@@ -1,0 +1,117 @@
+"""CONS-COST — information construction cost.
+
+Section 5: "Note that the construction cost of safety information has
+been proved to be the minimum in [7]."  The paper does not plot it;
+this bench regenerates the comparison the claim rests on, for a
+representative 400-node IA network:
+
+* hello beacons (both schemes need them): n transmissions;
+* safety + shape construction (distributed Algorithm 2): transmissions
+  == nodes that changed status/shape, counted by the protocol engine;
+* BOUNDHOLE: one walk per hole, total boundary hops as the message
+  cost (each boundary edge carries the walk token once).
+
+It also times the centralized constructions, which is the cost a
+simulation user actually pays per generated network.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import InformationModel, compute_safety, compute_shapes
+from repro.geometry import Rect
+from repro.network import EdgeDetector, UniformDeployment, build_unit_disk_graph
+from repro.protocols import (
+    build_hole_boundaries,
+    run_hello,
+    run_safety_protocol,
+)
+
+_AREA = Rect(0, 0, 200, 200)
+
+
+def _network(n=400, seed=11, radius=20.0):
+    rng = random.Random(seed)
+    positions = UniformDeployment(_AREA).sample(n, rng)
+    g = build_unit_disk_graph(positions, radius)
+    return EdgeDetector(strategy="convex").apply(g)
+
+
+def test_centralized_safety_construction(benchmark):
+    g = _network()
+    safety = benchmark(compute_safety, g)
+    assert len(safety.statuses) == 400
+
+
+def test_centralized_shape_construction(benchmark):
+    g = _network()
+    safety = compute_safety(g)
+    shapes = benchmark(compute_shapes, safety)
+    assert shapes.graph is g
+
+
+def test_full_information_model(benchmark):
+    g = _network()
+    model = benchmark(InformationModel.build, g)
+    assert model.graph is g
+
+
+def test_distributed_safety_protocol(benchmark):
+    g = _network()
+    engine, stats = benchmark(run_safety_protocol, g)
+    assert stats.quiesced
+
+
+def test_async_safety_protocol(benchmark):
+    """The asynchronous variant (random link delays, same fixed point)."""
+    from repro.protocols import AsyncEngine
+    from repro.protocols.safety_protocol import SafetyProtocolNode
+
+    g = _network()
+
+    def run_async():
+        engine = AsyncEngine(
+            g,
+            lambda u: SafetyProtocolNode(
+                u, g.position(u), g.is_edge_node(u)
+            ),
+            seed=5,
+        )
+        return engine.run()
+
+    stats = benchmark(run_async)
+    assert stats.quiesced
+
+
+def test_boundhole_construction(benchmark):
+    g = _network()
+    boundaries = benchmark(build_hole_boundaries, g)
+    assert len(boundaries) >= 1  # the outer rim at minimum
+
+
+def test_construction_cost_report(benchmark, results_dir):
+    """Persist the message-cost comparison table."""
+    g = _network()
+    _, hello_stats = benchmark(run_hello, g)
+    _, safety_stats = run_safety_protocol(g)
+    boundaries = build_hole_boundaries(g)
+    lines = [
+        "CONS-COST: information construction message cost (IA, n=400)",
+        f"hello beacons:            {hello_stats.transmissions} transmissions",
+        (
+            "safety+shape (Algo 2):    "
+            f"{safety_stats.transmissions} transmissions over "
+            f"{safety_stats.rounds} rounds"
+        ),
+        (
+            "BOUNDHOLE walks:          "
+            f"{boundaries.total_boundary_hops()} boundary hops over "
+            f"{len(boundaries)} boundaries"
+        ),
+    ]
+    (results_dir / "construction_cost.txt").write_text("\n".join(lines) + "\n")
+    # The safety construction must quiesce and stay linear-ish in n:
+    # every transmission corresponds to a (node, change) event.
+    assert safety_stats.quiesced
+    assert safety_stats.transmissions <= 6 * len(g)

@@ -1,0 +1,101 @@
+"""SCALE — microbenchmarks of the substrate hot paths.
+
+Times the building blocks the evaluation pipeline leans on, at the
+paper's densest setting (800 nodes / 200 m x 200 m / r = 20 m):
+
+* unit-disk graph construction (spatial-grid pair enumeration);
+* Gabriel planarization;
+* safety labeling + shape propagation;
+* a routed packet per scheme (steady-state router throughput).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import InformationModel, compute_safety
+from repro.geometry import Rect
+from repro.network import (
+    EdgeDetector,
+    UniformDeployment,
+    build_unit_disk_graph,
+    gabriel_graph,
+)
+from repro.protocols import build_hole_boundaries
+from repro.routing import GreedyRouter, LgfRouter, SlgfRouter, Slgf2Router
+
+_AREA = Rect(0, 0, 200, 200)
+_N = 800
+_RADIUS = 20.0
+
+
+def _positions(seed=21):
+    rng = random.Random(seed)
+    return UniformDeployment(_AREA).sample(_N, rng)
+
+
+def _graph(seed=21):
+    g = build_unit_disk_graph(_positions(seed), _RADIUS)
+    return EdgeDetector(strategy="convex").apply(g)
+
+
+def test_unit_disk_construction(benchmark):
+    positions = _positions()
+    g = benchmark(build_unit_disk_graph, positions, _RADIUS)
+    assert len(g) == _N
+
+
+def test_gabriel_planarization(benchmark):
+    g = _graph()
+    adj = benchmark(gabriel_graph, g)
+    assert len(adj) == _N
+
+
+def test_safety_labeling(benchmark):
+    g = _graph()
+    safety = benchmark(compute_safety, g)
+    assert len(safety.statuses) == _N
+
+
+def _route_batch(router, pairs):
+    delivered = 0
+    for s, d in pairs:
+        delivered += router.route(s, d).delivered
+    return delivered
+
+
+def _pairs(g, count=50, seed=3):
+    rng = random.Random(seed)
+    pool = sorted(g.connected_components()[0])
+    return [tuple(rng.sample(pool, 2)) for _ in range(count)]
+
+
+def test_gf_throughput(benchmark):
+    g = _graph()
+    boundaries = build_hole_boundaries(g)
+    router = GreedyRouter(g, recovery="boundhole", hole_boundaries=boundaries)
+    delivered = benchmark(_route_batch, router, _pairs(g))
+    assert delivered >= 45
+
+
+def test_lgf_throughput(benchmark):
+    g = _graph()
+    router = LgfRouter(g, candidate_scope="quadrant")
+    delivered = benchmark(_route_batch, router, _pairs(g))
+    assert delivered >= 45
+
+
+def test_slgf_throughput(benchmark):
+    g = _graph()
+    model = InformationModel.build(g)
+    router = SlgfRouter(model, candidate_scope="quadrant")
+    delivered = benchmark(_route_batch, router, _pairs(g))
+    assert delivered >= 45
+
+
+def test_slgf2_throughput(benchmark):
+    g = _graph()
+    model = InformationModel.build(g)
+    router = Slgf2Router(model)
+    delivered = benchmark(_route_batch, router, _pairs(g))
+    assert delivered >= 45

@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark suite.
+
+The figure benches share one evaluation sweep per deployment model
+(running it once instead of once per figure), default to the quick
+configuration, and switch to the paper-scale sweep when ``REPRO_FULL=1``
+is set.  Regenerated tables/CSVs are written under
+``benchmarks/results/`` so a benchmark run leaves the paper's numbers
+on disk.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import active_config, run_sweep
+
+
+@pytest.fixture(scope="session")
+def config():
+    return active_config()
+
+
+@pytest.fixture(scope="session")
+def ia_sweep(config):
+    return run_sweep(config, "IA")
+
+
+@pytest.fixture(scope="session")
+def fa_sweep(config):
+    return run_sweep(config, "FA")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    path = Path(__file__).parent / "results"
+    path.mkdir(exist_ok=True)
+    return path

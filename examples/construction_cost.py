@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Construction cost: what the information model costs on the air.
+
+Section 5 notes "the construction cost of safety information has been
+proved to be the minimum in [7]".  This example measures the message
+cost of every information base on the same networks, across densities:
+
+* hello beacons (needed by everything);
+* the distributed safety + shape construction (Algorithm 2);
+* BOUNDHOLE boundary walks (what the GF baseline needs instead).
+
+Run:  python examples/construction_cost.py
+"""
+
+import random
+
+from repro import Rect, build_unit_disk_graph
+from repro.network import EdgeDetector, UniformDeployment
+from repro.protocols import (
+    build_hole_boundaries,
+    run_hello,
+    run_safety_protocol,
+)
+
+AREA = Rect(0, 0, 200, 200)
+
+
+def build(n: int, seed: int):
+    rng = random.Random(seed)
+    positions = UniformDeployment(AREA).sample(n, rng)
+    graph = build_unit_disk_graph(positions, 20.0)
+    return EdgeDetector(strategy="convex").apply(graph)
+
+
+def main() -> None:
+    header = (
+        f"{'nodes':>5s} {'hello tx':>8s} {'safety tx':>9s} "
+        f"{'rounds':>6s} {'boundhole hops':>14s} {'holes':>5s}"
+    )
+    print("message cost of information construction (IA model)\n")
+    print(header)
+    print("-" * len(header))
+    for n in range(400, 801, 100):
+        hello_tx = safety_tx = rounds = walk_hops = holes = 0
+        networks = 5
+        for seed in range(networks):
+            graph = build(n, seed)
+            _, hello = run_hello(graph)
+            _, safety = run_safety_protocol(graph)
+            boundaries = build_hole_boundaries(graph)
+            hello_tx += hello.transmissions
+            safety_tx += safety.transmissions
+            rounds += safety.rounds
+            walk_hops += boundaries.total_boundary_hops()
+            holes += len(boundaries)
+        print(
+            f"{n:5d} {hello_tx // networks:8d} {safety_tx // networks:9d} "
+            f"{rounds / networks:6.1f} {walk_hops // networks:14d} "
+            f"{holes / networks:5.1f}"
+        )
+    print(
+        "\nsafety tx counts every (status|shape)-change broadcast; the\n"
+        "hello beacons are shared by both schemes.  Denser networks have\n"
+        "fewer unsafe nodes, so the safety construction gets *cheaper*\n"
+        "with density while boundary walks track hole perimeters."
+    )
+
+
+if __name__ == "__main__":
+    main()

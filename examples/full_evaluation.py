@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Full evaluation: regenerate every figure of Section 5.
+
+Drives the experiment harness over both deployment models and prints
+the three figure tables per model (plus ASCII charts), optionally at
+the paper's full scale:
+
+    python examples/full_evaluation.py            # quick sweep (~2 min)
+    python examples/full_evaluation.py --full     # paper scale (longer)
+    python examples/full_evaluation.py --csv out/ # also write CSVs
+
+Equivalent CLI: ``repro-wasn [--full] [--csv-dir out/]``.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments import (
+    PAPER_CONFIG,
+    QUICK_CONFIG,
+    figure_table,
+    format_table,
+    run_sweep,
+    to_chart,
+    to_csv,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="paper scale")
+    parser.add_argument("--csv", type=Path, default=None, help="CSV dir")
+    args = parser.parse_args()
+    config = PAPER_CONFIG if args.full else QUICK_CONFIG
+
+    print(
+        f"sweep: n in {config.node_counts}, "
+        f"{config.networks_per_point} networks x "
+        f"{config.routes_per_network} routes per point\n",
+        file=sys.stderr,
+    )
+    for model in ("IA", "FA"):
+        sweep = run_sweep(
+            config, model, progress=lambda s: print(s, file=sys.stderr)
+        )
+        for figure_id in ("fig5", "fig6", "fig7"):
+            table = figure_table(sweep, figure_id)
+            print()
+            print(format_table(table))
+            print()
+            print(to_chart(table))
+            if args.csv is not None:
+                path = to_csv(
+                    table, args.csv / f"{figure_id}_{model.lower()}.csv"
+                )
+                print(f"[csv] {path}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

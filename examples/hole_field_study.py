@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Hole field study: visualise unsafe areas and the routes around them.
+
+Builds an FA network with an L-shaped forbidden area (the paper's
+Fig. 1(a) "intertwined local minima" shape), prints an ASCII map of
+
+* the deployment and the obstacle,
+* the type-1 unsafe area the labeling discovers south-west of it,
+* the SLGF2 route versus the plain LGF route for a crossing packet,
+
+and reports the estimated shape rectangles ``E_1(u)`` stored at the
+unsafe nodes closest to the obstacle's south-west corner.
+
+Run:  python examples/hole_field_study.py [seed]
+"""
+
+import random
+import sys
+
+from repro import InformationModel, Rect, build_unit_disk_graph
+from repro.network import EdgeDetector, RectObstacle, UniformDeployment
+from repro.routing import LgfRouter, Slgf2Router
+from repro.viz import network_map
+
+AREA = Rect(0, 0, 200, 200)
+# An L-shape opening toward the south-west: the worst case for
+# north-east (type-1) forwarding.
+OBSTACLE_PARTS = (
+    RectObstacle(Rect(80, 80, 170, 105)),
+    RectObstacle(Rect(145, 80, 170, 170)),
+)
+
+
+def build_network(seed: int):
+    for attempt in range(seed, seed + 50):
+        rng = random.Random(attempt)
+        positions = UniformDeployment(AREA, OBSTACLE_PARTS).sample(500, rng)
+        graph = build_unit_disk_graph(positions, 20.0)
+        graph = EdgeDetector(strategy="convex").apply(graph)
+        if graph.is_connected():
+            return graph
+    raise RuntimeError("no connected deployment found")
+
+
+def main(seed: int = 1) -> None:
+    graph = build_network(seed)
+    model = InformationModel.build(graph)
+
+    unsafe_1 = model.safety.unsafe_nodes(1)
+    print(
+        f"type-1 unsafe nodes: {len(unsafe_1)} of {len(graph)} "
+        f"({len(model.safety.unsafe_areas(1))} unsafe areas)"
+    )
+    print("\nmap: '.' nodes, 'u' type-1 unsafe, '#' forbidden area\n")
+    print(
+        network_map(
+            graph,
+            AREA,
+            obstacles=OBSTACLE_PARTS,
+            highlight=unsafe_1,
+        )
+    )
+
+    # A packet that must cross the obstacle's shadow: from the pocket
+    # side (inside the L) to the far north-east corner region.
+    rng = random.Random(seed)
+    pocket = [
+        u
+        for u in graph.node_ids
+        if Rect(85, 30, 140, 75).contains(graph.position(u))
+    ]
+    target_region = [
+        u
+        for u in graph.node_ids
+        if Rect(150, 175, 200, 200).contains(graph.position(u))
+        and graph.same_component(u, pocket[0])
+    ]
+    source = rng.choice(pocket)
+    destination = rng.choice(target_region)
+
+    for name, router in (
+        ("LGF", LgfRouter(graph, candidate_scope="quadrant")),
+        ("SLGF2", Slgf2Router(model)),
+    ):
+        result = router.route(source, destination)
+        print(
+            f"\n{name}: delivered={result.delivered} hops={result.hops} "
+            f"length={result.length:.0f} m phases={result.phase_hops()}"
+        )
+        print(network_map(graph, AREA, obstacles=OBSTACLE_PARTS, path=result.path))
+
+    # Show the estimated shape information near the pocket corner.
+    print("\nestimated E_1 rectangles stored at unsafe nodes in the pocket:")
+    shown = 0
+    for u in sorted(pocket):
+        rect = model.estimated_area(u, 1)
+        if rect is None or rect.is_degenerate():
+            continue
+        print(
+            f"  node {u:4d} at ({graph.position(u).x:5.1f}, "
+            f"{graph.position(u).y:5.1f}): E_1 = "
+            f"[{rect.x_min:.0f}:{rect.x_max:.0f}, "
+            f"{rect.y_min:.0f}:{rect.y_max:.0f}]"
+        )
+        shown += 1
+        if shown == 8:
+            break
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1)

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``.  This file exists only
+so that ``pip install -e .`` works on offline environments whose pip
+cannot build PEP 517 editable wheels (no ``wheel`` package available):
+``pip install -e . --no-build-isolation --no-use-pep517`` takes the
+legacy ``setup.py develop`` path through this shim.
+"""
+
+from setuptools import setup
+
+setup()

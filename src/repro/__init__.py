@@ -1,0 +1,65 @@
+"""repro — reproduction of "A Straightforward Path Routing in Wireless
+Ad Hoc Sensor Networks" (Jiang, Ma, Lou, Wu — ICDCS Workshops 2009).
+
+The package rebuilds the paper's entire stack in Python:
+
+* :mod:`repro.geometry` — planar geometry substrate;
+* :mod:`repro.network` — unit-disk WASNs, deployments (IA/FA),
+  planarization, failures;
+* :mod:`repro.core` — the safety information model (Definition 1,
+  Algorithm 2, critical/forbidden regions);
+* :mod:`repro.routing` — GF, LGF, SLGF and SLGF2 (Algorithm 3);
+* :mod:`repro.protocols` — the round-based message-passing kernel,
+  distributed information construction, BOUNDHOLE;
+* :mod:`repro.experiments` — the Section 5 evaluation harness
+  (Figs. 5-7);
+* :mod:`repro.analysis` / :mod:`repro.viz` — statistics, oracles and
+  terminal rendering.
+
+Quickstart::
+
+    import random
+    from repro import (
+        InformationModel, Rect, Slgf2Router, build_unit_disk_graph,
+    )
+    from repro.network import EdgeDetector, UniformDeployment
+
+    rng = random.Random(7)
+    area = Rect(0, 0, 200, 200)
+    positions = UniformDeployment(area).sample(400, rng)
+    graph = EdgeDetector().apply(build_unit_disk_graph(positions, 20.0))
+    model = InformationModel.build(graph)
+    result = Slgf2Router(model).route(0, 42)
+    print(result.delivered, result.hops, result.length)
+"""
+
+from repro.core import InformationModel, SafetyModel, ShapeModel
+from repro.geometry import Point, Rect
+from repro.network import WasnGraph, build_unit_disk_graph
+from repro.routing import (
+    GreedyRouter,
+    LgfRouter,
+    RouteResult,
+    Router,
+    SlgfRouter,
+    Slgf2Router,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GreedyRouter",
+    "InformationModel",
+    "LgfRouter",
+    "Point",
+    "Rect",
+    "RouteResult",
+    "Router",
+    "SafetyModel",
+    "ShapeModel",
+    "SlgfRouter",
+    "Slgf2Router",
+    "WasnGraph",
+    "build_unit_disk_graph",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Analysis helpers: statistics, shortest-path oracles, traffic."""
+
+from repro.analysis.oracle import ShortestPathOracle
+from repro.analysis.stats import Summary, mean_confidence_interval, summarize
+from repro.analysis.traffic import TrafficReport, analyze_flows
+
+__all__ = [
+    "ShortestPathOracle",
+    "Summary",
+    "TrafficReport",
+    "analyze_flows",
+    "mean_confidence_interval",
+    "summarize",
+]

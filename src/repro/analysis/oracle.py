@@ -1,0 +1,82 @@
+"""Shortest-path oracle: the geometric lower bound for stretch analysis.
+
+The paper compares routing schemes against each other; a reproduction
+can additionally report the *stretch* of each scheme — path length
+relative to the true weighted shortest path — which makes "more
+straightforward" quantitative.  The oracle runs Dijkstra on demand and
+caches per-source distance maps, so sweeping many destinations from
+few sources stays cheap.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.network.graph import WasnGraph
+from repro.network.node import NodeId
+
+__all__ = ["ShortestPathOracle"]
+
+
+class ShortestPathOracle:
+    """Weighted (Euclidean) and hop-count shortest paths on a WASN."""
+
+    def __init__(self, graph: WasnGraph):
+        self._graph = graph
+        self._weighted_cache: dict[NodeId, dict[NodeId, float]] = {}
+        self._hops_cache: dict[NodeId, dict[NodeId, int]] = {}
+
+    def shortest_length(self, source: NodeId, destination: NodeId) -> float | None:
+        """Weighted shortest-path length, or None when disconnected."""
+        distances = self._weighted_from(source)
+        return distances.get(destination)
+
+    def shortest_hops(self, source: NodeId, destination: NodeId) -> int | None:
+        """Minimum hop count, or None when disconnected."""
+        hops = self._hops_from(source)
+        return hops.get(destination)
+
+    def stretch(
+        self, source: NodeId, destination: NodeId, achieved_length: float
+    ) -> float | None:
+        """``achieved / optimal`` length ratio (None when disconnected).
+
+        A perfectly "straightforward" route has stretch 1.0.
+        """
+        optimal = self.shortest_length(source, destination)
+        if optimal is None or optimal == 0.0:
+            return None
+        return achieved_length / optimal
+
+    def _weighted_from(self, source: NodeId) -> dict[NodeId, float]:
+        if source not in self._weighted_cache:
+            graph = self._graph
+            dist: dict[NodeId, float] = {source: 0.0}
+            heap: list[tuple[float, NodeId]] = [(0.0, source)]
+            while heap:
+                d, u = heapq.heappop(heap)
+                if d > dist.get(u, float("inf")):
+                    continue
+                for v in graph.neighbors(u):
+                    nd = d + graph.distance(u, v)
+                    if nd < dist.get(v, float("inf")):
+                        dist[v] = nd
+                        heapq.heappush(heap, (nd, v))
+            self._weighted_cache[source] = dist
+        return self._weighted_cache[source]
+
+    def _hops_from(self, source: NodeId) -> dict[NodeId, int]:
+        if source not in self._hops_cache:
+            graph = self._graph
+            hops = {source: 0}
+            frontier = [source]
+            while frontier:
+                next_frontier: list[NodeId] = []
+                for u in frontier:
+                    for v in graph.neighbors(u):
+                        if v not in hops:
+                            hops[v] = hops[u] + 1
+                            next_frontier.append(v)
+                frontier = next_frontier
+            self._hops_cache[source] = hops
+        return self._hops_cache[source]

@@ -1,0 +1,106 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+``repro-wasn`` runs the Section 5 evaluation and prints/saves the
+figure tables::
+
+    repro-wasn --quick                 # reduced sweep, tables to stdout
+    repro-wasn --full --csv-dir out/   # paper-scale sweep + CSV files
+    repro-wasn --figures fig6 --models FA
+
+The same functionality is available programmatically via
+:mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments import (
+    PAPER_CONFIG,
+    QUICK_CONFIG,
+    figure_table,
+    format_table,
+    run_sweep,
+    to_chart,
+    to_csv,
+)
+
+__all__ = ["main"]
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-wasn",
+        description=(
+            "Regenerate the evaluation figures of 'A Straightforward "
+            "Path Routing in Wireless Ad Hoc Sensor Networks' "
+            "(ICDCS Workshops 2009)."
+        ),
+    )
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced sweep (default): 5 densities x 10 networks",
+    )
+    scale.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale sweep: 9 densities x 100 networks",
+    )
+    parser.add_argument(
+        "--figures",
+        nargs="+",
+        default=["fig5", "fig6", "fig7"],
+        choices=["fig5", "fig6", "fig7"],
+        help="which figures to regenerate",
+    )
+    parser.add_argument(
+        "--models",
+        nargs="+",
+        default=["IA", "FA"],
+        choices=["IA", "FA"],
+        help="deployment models (panels) to evaluate",
+    )
+    parser.add_argument(
+        "--csv-dir",
+        type=Path,
+        default=None,
+        help="also write each panel as CSV into this directory",
+    )
+    parser.add_argument(
+        "--no-chart",
+        action="store_true",
+        help="suppress the ASCII charts",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: run sweeps and print/persist the figure panels."""
+    args = _parser().parse_args(argv)
+    config = PAPER_CONFIG if args.full else QUICK_CONFIG
+
+    for model in args.models:
+        sweep = run_sweep(
+            config, model, progress=lambda line: print(line, file=sys.stderr)
+        )
+        for figure_id in args.figures:
+            table = figure_table(sweep, figure_id)
+            print()
+            print(format_table(table))
+            if not args.no_chart:
+                print()
+                print(to_chart(table))
+            if args.csv_dir is not None:
+                path = to_csv(
+                    table, args.csv_dir / f"{figure_id}_{model.lower()}.csv"
+                )
+                print(f"[csv] {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,48 @@
+"""The paper's primary contribution: the safety information model.
+
+Layout of Section 3 and the first half of Section 4 onto modules:
+
+* :mod:`~repro.core.zones` — request zones ``Z_i(u, d)`` and
+  forwarding zones ``Q_i(u)`` (LAR scheme 1 machinery);
+* :mod:`~repro.core.safety` — Definition 1's labeling process and the
+  stabilised :class:`~repro.core.safety.SafetyModel`;
+* :mod:`~repro.core.shape` — Algorithm 2's estimated shape information
+  ``E_i(u)`` with the ``u^(1)``/``u^(2)`` chain propagation;
+* :mod:`~repro.core.regions` — the critical/forbidden split of a
+  forwarding zone and the either-hand rule's hand choice;
+* :mod:`~repro.core.model` — :class:`~repro.core.model.InformationModel`,
+  the facade the routers consume.
+"""
+
+from repro.core.model import InformationModel
+from repro.core.regions import Hand, RegionSplit, region_split_for
+from repro.core.safety import SafetyModel, compute_safety
+from repro.core.shape import ShapeInfo, ShapeModel, compute_shapes
+from repro.core.zones import (
+    ZONE_TYPES,
+    ZoneType,
+    forwarding_zone_contains,
+    opposite_zone_type,
+    quadrant_start_angle,
+    request_zone,
+    zone_type_of,
+)
+
+__all__ = [
+    "Hand",
+    "InformationModel",
+    "RegionSplit",
+    "SafetyModel",
+    "ShapeInfo",
+    "ShapeModel",
+    "ZONE_TYPES",
+    "ZoneType",
+    "compute_safety",
+    "compute_shapes",
+    "forwarding_zone_contains",
+    "opposite_zone_type",
+    "quadrant_start_angle",
+    "region_split_for",
+    "request_zone",
+    "zone_type_of",
+]

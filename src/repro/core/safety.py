@@ -1,0 +1,209 @@
+"""The safety information model — Definition 1 and its labeling process.
+
+    "Initially, each healthy node ``u`` sets its status ``S_i(u)`` to 1
+    (1 <= i <= 4) where '1' (or '0') stands for the safe (or unsafe)
+    status.  Any status, say ``S_i(u)``, will change to unsafe if there
+    is no type-``i`` safe neighbor in the type-``i`` forwarding zone;
+    that is, for all ``v`` in ``N(u) ∩ Q_i(u)``, ``S_i(v) = 0``.  The
+    connected unsafe nodes constitute an unsafe area."  (Definition 1.)
+
+    "In our labeling process, each edge node will always keep its
+    status tuple as (1, 1, 1, 1)."  (Section 3.)
+
+This module computes the stabilised labels centrally (the reference
+implementation; the message-passing version in
+:mod:`repro.protocols.safety_protocol` must agree with it, and a test
+asserts that).  The labeling is a *greatest fixed point*: starting from
+all-safe, statuses only ever flip safe -> unsafe, so a worklist pass
+converges in O(edges) per type regardless of propagation order — the
+order-independence that makes the paper's distributed construction
+well-defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.zones import ZONE_TYPES, ZoneType, forwarding_zone_contains
+from repro.network.graph import WasnGraph
+from repro.network.node import NodeId
+
+__all__ = ["SafetyModel", "compute_safety"]
+
+
+@dataclass(frozen=True)
+class SafetyModel:
+    """Stabilised safety statuses for every node and zone type.
+
+    ``statuses[u]`` is the paper's safety tuple ``(S_1(u), S_2(u),
+    S_3(u), S_4(u))`` with ``True`` = safe.
+    """
+
+    graph: WasnGraph
+    statuses: dict[NodeId, tuple[bool, bool, bool, bool]]
+    rounds: int
+
+    def is_safe(self, u: NodeId, zone_type: ZoneType) -> bool:
+        """``S_i(u) = 1`` — is ``u`` safe for type-``i`` forwarding?"""
+        return self.statuses[u][zone_type - 1]
+
+    def tuple_of(self, u: NodeId) -> tuple[bool, bool, bool, bool]:
+        """The full safety tuple of ``u``."""
+        return self.statuses[u]
+
+    def is_safe_any(self, u: NodeId) -> bool:
+        """Does ``u`` have *some* safe type (``∃i: S_i(u) > 0``)?
+
+        Algorithm 3's backup-path phase forwards through such nodes.
+        """
+        return any(self.statuses[u])
+
+    def is_fully_unsafe(self, u: NodeId) -> bool:
+        """Safety tuple ``(0, 0, 0, 0)`` — the perimeter-phase trigger.
+
+        "When the source or the destination has the safety tuple
+        (0, 0, 0, 0), the network may have disconnected." (Section 4.)
+        """
+        return not self.is_safe_any(u)
+
+    def unsafe_nodes(self, zone_type: ZoneType) -> set[NodeId]:
+        """All type-``i`` unsafe nodes."""
+        return {
+            u
+            for u, status in self.statuses.items()
+            if not status[zone_type - 1]
+        }
+
+    def unsafe_areas(self, zone_type: ZoneType) -> list[set[NodeId]]:
+        """Connected groups of type-``i`` unsafe nodes.
+
+        "The connected unsafe nodes constitute an unsafe area"
+        (Definition 1): connectivity is via ordinary graph edges,
+        restricted to nodes that are type-``i`` unsafe.  Areas are
+        returned largest-first (ties by smallest member) for
+        deterministic reporting.
+        """
+        remaining = self.unsafe_nodes(zone_type)
+        areas: list[set[NodeId]] = []
+        while remaining:
+            start = min(remaining)
+            area = {start}
+            remaining.discard(start)
+            frontier = [start]
+            while frontier:
+                w = frontier.pop()
+                for v in self.graph.neighbors(w):
+                    if v in remaining:
+                        remaining.discard(v)
+                        area.add(v)
+                        frontier.append(v)
+            areas.append(area)
+        areas.sort(key=lambda a: (-len(a), min(a)))
+        return areas
+
+    def stuck_nodes(self, zone_type: ZoneType) -> set[NodeId]:
+        """Type-``i`` unsafe nodes with an *empty* ``N(u) ∩ Q_i(u)``.
+
+        These are the local minima themselves — the nodes at which a
+        type-``i`` forwarding has no candidate at all.  Other unsafe
+        nodes merely *lead to* stuck nodes ("their type-1 forwarding
+        successors are all stuck nodes", Fig. 3 discussion).
+        """
+        out: set[NodeId] = set()
+        for u in self.graph.node_ids:
+            if self.is_safe(u, zone_type):
+                continue
+            pu = self.graph.position(u)
+            if not any(
+                forwarding_zone_contains(pu, zone_type, self.graph.position(v))
+                for v in self.graph.neighbors(u)
+            ):
+                out.add(u)
+        return out
+
+    def safe_fraction(self, zone_type: ZoneType | None = None) -> float:
+        """Fraction of nodes safe for ``zone_type`` (or in all types)."""
+        if not self.statuses:
+            return 1.0
+        if zone_type is None:
+            safe = sum(1 for s in self.statuses.values() if all(s))
+        else:
+            safe = sum(1 for s in self.statuses.values() if s[zone_type - 1])
+        return safe / len(self.statuses)
+
+
+def compute_safety(graph: WasnGraph) -> SafetyModel:
+    """Run the labeling process of Definition 1 to its fixed point.
+
+    Edge nodes (``graph.is_edge_node``) are pinned to (1, 1, 1, 1);
+    every other node starts all-safe and flips type-by-type whenever
+    its forwarding zone holds no safe neighbour of that type.  A node
+    with *no* neighbour in ``Q_i(u)`` is vacuously unsafe — that is the
+    local-minimum case itself.
+
+    ``rounds`` reports how many synchronous rounds the equivalent
+    round-based process would need (the longest propagation chain),
+    which the construction-cost benchmarks compare against BOUNDHOLE.
+    """
+    node_ids = graph.node_ids
+    positions = {u: graph.position(u) for u in node_ids}
+    # status[i-1][u] — mutable working state per type.
+    status: list[dict[NodeId, bool]] = [
+        {u: True for u in node_ids} for _ in ZONE_TYPES
+    ]
+
+    # Precompute quadrant neighbour lists once per type: the labeling
+    # only ever asks "which neighbours of u lie in Q_i(u)" and the
+    # reverse "which nodes have u in their Q_i".
+    quadrant_neighbors: list[dict[NodeId, tuple[NodeId, ...]]] = []
+    reverse_quadrant: list[dict[NodeId, list[NodeId]]] = []
+    for zone_type in ZONE_TYPES:
+        forward: dict[NodeId, tuple[NodeId, ...]] = {}
+        reverse: dict[NodeId, list[NodeId]] = {u: [] for u in node_ids}
+        for u in node_ids:
+            pu = positions[u]
+            inside = tuple(
+                v
+                for v in graph.neighbors(u)
+                if forwarding_zone_contains(pu, zone_type, positions[v])
+            )
+            forward[u] = inside
+            for v in inside:
+                reverse[v].append(u)
+        quadrant_neighbors.append(forward)
+        reverse_quadrant.append(reverse)
+
+    total_rounds = 0
+    for index, zone_type in enumerate(ZONE_TYPES):
+        forward = quadrant_neighbors[index]
+        reverse = reverse_quadrant[index]
+        st = status[index]
+
+        def becomes_unsafe(u: NodeId) -> bool:
+            if graph.is_edge_node(u):
+                return False  # pinned (1,1,1,1)
+            return not any(st[v] for v in forward[u])
+
+        # Round-structured worklist: "frontier" holds the nodes that
+        # flipped in the previous round; only their reverse-quadrant
+        # dependents can flip next.  Counting the rounds this way gives
+        # exactly the synchronous-round count of Definition 1.
+        frontier = {u for u in node_ids if st[u] and becomes_unsafe(u)}
+        rounds = 0
+        while frontier:
+            rounds += 1
+            for u in frontier:
+                st[u] = False
+            next_frontier: set[NodeId] = set()
+            for u in frontier:
+                for w in reverse[u]:
+                    if st[w] and becomes_unsafe(w):
+                        next_frontier.add(w)
+            frontier = next_frontier
+        total_rounds = max(total_rounds, rounds)
+
+    statuses = {
+        u: (status[0][u], status[1][u], status[2][u], status[3][u])
+        for u in node_ids
+    }
+    return SafetyModel(graph=graph, statuses=statuses, rounds=total_rounds)

@@ -1,0 +1,117 @@
+"""Request zones and forwarding zones (LAR scheme 1).
+
+Section 3 of the paper:
+
+    "Rectangle ``[x_u : x_d, y_u : y_d]`` has both ``u`` and ``d`` at
+    the opposite corners.  It is also called the *request zone* of node
+    ``u`` in LAR scheme 1.  The request zones with respect to ``d`` in
+    quadrants I, II, III, and IV are of types 1, 2, 3, and 4, denoted
+    by ``Z_i(u, d)``.  Respectively, each corresponding quadrant is
+    called a *type-i forwarding zone*, denoted by ``Q_i(u)``."
+
+Conventions fixed here (and relied on everywhere above):
+
+* Quadrant numbering is the standard counter-clockwise one: type 1 =
+  north-east, 2 = north-west, 3 = south-west, 4 = south-east.
+* Quadrants are **closed**: a point due east of ``u`` belongs to both
+  ``Q_1(u)`` and ``Q_4(u)``.  Membership tests therefore accept the
+  boundary, while :func:`zone_type_of` breaks boundary ties
+  deterministically (toward the counter-clockwise-first type) so the
+  "type of the request zone" is always a single number.
+* Request zones are closed rectangles.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry import Point, Rect
+
+__all__ = [
+    "ZoneType",
+    "ZONE_TYPES",
+    "forwarding_zone_contains",
+    "opposite_zone_type",
+    "quadrant_start_angle",
+    "request_zone",
+    "zone_type_of",
+]
+
+ZoneType = int
+
+# All four types, in paper order.
+ZONE_TYPES: tuple[ZoneType, ...] = (1, 2, 3, 4)
+
+# The CCW scan of Q_i starts at this angle (the "first" quadrant edge):
+# Q_1 spans [0, pi/2], Q_2 spans [pi/2, pi], and so on.
+_START_ANGLE = {1: 0.0, 2: math.pi / 2, 3: math.pi, 4: 3 * math.pi / 2}
+
+
+def zone_type_of(u: Point, d: Point) -> ZoneType:
+    """The type of the request zone of ``u`` with respect to ``d``.
+
+    Determined by the quadrant of ``d`` relative to ``u``.  Boundary
+    ties (``d`` exactly north, south, east or west of ``u``) resolve to
+    the type whose quadrant has that ray as its *starting* (clockwise)
+    edge — e.g. due east is type 1, due north type 2 — which keeps the
+    mapping total and deterministic.  ``d == u`` is a caller error
+    (routing terminates before asking for a zone type at ``d``).
+    """
+    if u == d:
+        raise ValueError("zone type undefined for coincident points")
+    dx = d.x - u.x
+    dy = d.y - u.y
+    if dx > 0 and dy >= 0:
+        return 1
+    if dx <= 0 and dy > 0:
+        return 2
+    if dx < 0 and dy <= 0:
+        return 3
+    return 4  # dx >= 0 and dy < 0
+
+
+def opposite_zone_type(k: ZoneType) -> ZoneType:
+    """The paper's ``k' = (k + 2) Mod 4`` with ``1 <= k' <= 4``.
+
+    If ``d`` lies in quadrant ``k`` of ``u``, then ``u`` lies in
+    quadrant ``k'`` of ``d``; Algorithm 3's safe-forwarding condition
+    checks the destination's safety in this reverse type.
+    """
+    _check_type(k)
+    return ((k + 1) % 4) + 1
+
+
+def request_zone(u: Point, d: Point) -> Rect:
+    """``Z_k(u, d)`` — the rectangle with ``u`` and ``d`` at opposite corners."""
+    return Rect.from_corners(u, d)
+
+
+def forwarding_zone_contains(u: Point, zone_type: ZoneType, p: Point) -> bool:
+    """Is ``p`` inside the (closed) type-``i`` forwarding zone ``Q_i(u)``?
+
+    ``u`` itself is *not* a member of its own forwarding zone: the zone
+    is where successors live, and self-forwarding is meaningless.
+    """
+    _check_type(zone_type)
+    if p == u:
+        return False
+    dx = p.x - u.x
+    dy = p.y - u.y
+    if zone_type == 1:
+        return dx >= 0 and dy >= 0
+    if zone_type == 2:
+        return dx <= 0 and dy >= 0
+    if zone_type == 3:
+        return dx <= 0 and dy <= 0
+    return dx >= 0 and dy <= 0
+
+
+def quadrant_start_angle(zone_type: ZoneType) -> float:
+    """Angle at which the CCW scan of ``Q_i`` begins (Algorithm 2 step 3)."""
+    _check_type(zone_type)
+    return _START_ANGLE[zone_type]
+
+
+def _check_type(zone_type: ZoneType) -> None:
+    if zone_type not in ZONE_TYPES:
+        raise ValueError(f"zone type must be 1..4, got {zone_type}")

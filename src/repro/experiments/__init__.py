@@ -1,0 +1,64 @@
+"""Evaluation harness: regenerate every figure of Section 5.
+
+Pipeline: :mod:`~repro.experiments.config` fixes the parameters,
+:mod:`~repro.experiments.workload` generates networks and s-d pairs,
+:mod:`~repro.experiments.runner` routes and aggregates one figure
+point, :mod:`~repro.experiments.sweep` runs the density sweep, and
+:mod:`~repro.experiments.figures` / :mod:`~repro.experiments.report`
+project and render the paper's Figs. 5-7.
+"""
+
+from repro.experiments.config import (
+    PAPER_CONFIG,
+    QUICK_CONFIG,
+    ExperimentConfig,
+    active_config,
+)
+from repro.experiments.figures import (
+    FIGURES,
+    FigureTable,
+    fig5,
+    fig6,
+    fig7,
+    figure_table,
+)
+from repro.experiments.report import format_table, to_chart, to_csv
+from repro.experiments.runner import (
+    ROUTER_ORDER,
+    PointResult,
+    RouterPointMetrics,
+    default_routers,
+    evaluate_point,
+)
+from repro.experiments.sweep import SweepResult, run_sweep
+from repro.experiments.workload import (
+    NetworkInstance,
+    build_network,
+    sample_pairs,
+)
+
+__all__ = [
+    "FIGURES",
+    "ExperimentConfig",
+    "FigureTable",
+    "NetworkInstance",
+    "PAPER_CONFIG",
+    "PointResult",
+    "QUICK_CONFIG",
+    "ROUTER_ORDER",
+    "RouterPointMetrics",
+    "SweepResult",
+    "active_config",
+    "build_network",
+    "default_routers",
+    "evaluate_point",
+    "fig5",
+    "fig6",
+    "fig7",
+    "figure_table",
+    "format_table",
+    "run_sweep",
+    "sample_pairs",
+    "to_chart",
+    "to_csv",
+]

@@ -1,0 +1,189 @@
+"""Experiment runner: route workloads over generated networks.
+
+One *point* of a paper figure = one (deployment model, node count)
+pair, evaluated over ``networks_per_point`` random networks with
+``routes_per_network`` random source-destination pairs each, for every
+routing scheme.  This module produces those points; the sweep and
+figure layers assemble them into the paper's curves.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis.stats import Summary, summarize
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.workload import (
+    NetworkInstance,
+    build_network,
+    sample_pairs,
+)
+from repro.routing import (
+    GreedyRouter,
+    LgfRouter,
+    Router,
+    SlgfRouter,
+    Slgf2Router,
+)
+
+__all__ = [
+    "ROUTER_ORDER",
+    "PointResult",
+    "RouterPointMetrics",
+    "default_routers",
+    "evaluate_point",
+]
+
+# Presentation order, matching the paper's figure legends.
+ROUTER_ORDER = ("GF", "LGF", "SLGF", "SLGF2")
+
+RouterFactory = Callable[[NetworkInstance], dict[str, Router]]
+
+
+def default_routers(instance: NetworkInstance) -> dict[str, Router]:
+    """The four schemes exactly as Section 5 evaluates them.
+
+    GF gets BOUNDHOLE boundary information ("boundary information [5]
+    is constructed for GF routings"); LGF/SLGF run quadrant-scoped
+    (the prose definition of blocking — DESIGN.md note 1); SLGF2 runs
+    with its defaults.
+    """
+    return {
+        "GF": GreedyRouter(
+            instance.graph,
+            recovery="boundhole",
+            hole_boundaries=instance.boundaries,
+        ),
+        "LGF": LgfRouter(instance.graph, candidate_scope="quadrant"),
+        "SLGF": SlgfRouter(instance.model, candidate_scope="quadrant"),
+        "SLGF2": Slgf2Router(instance.model),
+    }
+
+
+@dataclass(frozen=True)
+class RouterPointMetrics:
+    """Aggregated performance of one router at one figure point.
+
+    Hop and length statistics are over *delivered* routes (the paper
+    reports path metrics, not delivery failures — failures are
+    surfaced separately via ``delivery_rate``).
+    """
+
+    router: str
+    samples: int
+    delivered: int
+    hops: Summary
+    length: Summary
+    max_hops: int
+    perimeter_entries_per_route: float
+    backup_entries_per_route: float
+
+    @property
+    def delivery_rate(self) -> float:
+        return self.delivered / self.samples if self.samples else 0.0
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """All routers' metrics at one (deployment, node count) point."""
+
+    deployment_model: str
+    node_count: int
+    networks: int
+    per_router: dict[str, RouterPointMetrics] = field(repr=False)
+
+    def metric(self, router: str, name: str) -> float:
+        """Scalar projection used by the figure tables."""
+        metrics = self.per_router[router]
+        if name == "mean_hops":
+            return metrics.hops.mean
+        if name == "max_hops":
+            return float(metrics.max_hops)
+        if name == "mean_length":
+            return metrics.length.mean
+        if name == "delivery_rate":
+            return metrics.delivery_rate
+        if name == "perimeter_entries":
+            return metrics.perimeter_entries_per_route
+        raise KeyError(f"unknown metric {name!r}")
+
+
+def _network_seed(
+    config: ExperimentConfig, deployment_model: str, node_count: int, index: int
+) -> int:
+    """Stable per-network seed: reruns regenerate identical networks."""
+    key = f"{config.seed}/{deployment_model}/{node_count}/{index}"
+    return random.Random(key).getrandbits(63)
+
+
+def evaluate_point(
+    config: ExperimentConfig,
+    deployment_model: str,
+    node_count: int,
+    router_factory: RouterFactory = default_routers,
+) -> PointResult:
+    """Evaluate every router at one (deployment, node count) point."""
+    per_router_hops: dict[str, list[float]] = {}
+    per_router_length: dict[str, list[float]] = {}
+    per_router_delivered: dict[str, int] = {}
+    per_router_samples: dict[str, int] = {}
+    per_router_max: dict[str, int] = {}
+    per_router_perimeter: dict[str, int] = {}
+    per_router_backup: dict[str, int] = {}
+
+    for index in range(config.networks_per_point):
+        seed = _network_seed(config, deployment_model, node_count, index)
+        instance = build_network(config, deployment_model, node_count, seed)
+        pair_rng = random.Random(seed + 1)
+        pairs = sample_pairs(
+            instance.graph, config.routes_per_network, pair_rng
+        )
+        routers = router_factory(instance)
+        for name, router in routers.items():
+            hops = per_router_hops.setdefault(name, [])
+            lengths = per_router_length.setdefault(name, [])
+            for s, d in pairs:
+                result = router.route(s, d)
+                per_router_samples[name] = per_router_samples.get(name, 0) + 1
+                per_router_perimeter[name] = (
+                    per_router_perimeter.get(name, 0)
+                    + result.perimeter_entries
+                )
+                per_router_backup[name] = (
+                    per_router_backup.get(name, 0) + result.backup_entries
+                )
+                if result.delivered:
+                    per_router_delivered[name] = (
+                        per_router_delivered.get(name, 0) + 1
+                    )
+                    hops.append(float(result.hops))
+                    lengths.append(result.length)
+                    per_router_max[name] = max(
+                        per_router_max.get(name, 0), result.hops
+                    )
+
+    per_router: dict[str, RouterPointMetrics] = {}
+    for name in per_router_samples:
+        samples = per_router_samples[name]
+        per_router[name] = RouterPointMetrics(
+            router=name,
+            samples=samples,
+            delivered=per_router_delivered.get(name, 0),
+            hops=summarize(per_router_hops[name] or [0.0]),
+            length=summarize(per_router_length[name] or [0.0]),
+            max_hops=per_router_max.get(name, 0),
+            perimeter_entries_per_route=(
+                per_router_perimeter.get(name, 0) / samples
+            ),
+            backup_entries_per_route=(
+                per_router_backup.get(name, 0) / samples
+            ),
+        )
+    return PointResult(
+        deployment_model=deployment_model,
+        node_count=node_count,
+        networks=config.networks_per_point,
+        per_router=per_router,
+    )

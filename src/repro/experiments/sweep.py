@@ -1,0 +1,72 @@
+"""Density sweeps: the x-axis of every figure in Section 5.
+
+"We test the networks when the number of nodes in the interest area is
+varied from 400 to 800 in increments of 50."  A sweep evaluates every
+configured node count under one deployment model and keeps the full
+:class:`~repro.experiments.runner.PointResult` per point, so all three
+figures (and the phase/ablation benches) project from a single run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    PointResult,
+    RouterFactory,
+    default_routers,
+    evaluate_point,
+)
+
+__all__ = ["SweepResult", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One deployment model's full density sweep."""
+
+    deployment_model: str
+    config: ExperimentConfig
+    points: tuple[PointResult, ...]
+
+    @property
+    def node_counts(self) -> tuple[int, ...]:
+        return tuple(p.node_count for p in self.points)
+
+    def routers(self) -> tuple[str, ...]:
+        """Router names present (stable order across points)."""
+        if not self.points:
+            return ()
+        seen = self.points[0].per_router
+        return tuple(seen)
+
+    def series(self, router: str, metric: str) -> list[float]:
+        """One curve: ``metric`` for ``router`` across node counts."""
+        return [p.metric(router, metric) for p in self.points]
+
+
+def run_sweep(
+    config: ExperimentConfig,
+    deployment_model: str,
+    router_factory: RouterFactory = default_routers,
+    progress: Callable[[str], None] | None = None,
+) -> SweepResult:
+    """Evaluate every node count of ``config`` under one deployment."""
+    points = []
+    for node_count in config.node_counts:
+        if progress is not None:
+            progress(
+                f"[{deployment_model}] n={node_count} "
+                f"({config.networks_per_point} networks x "
+                f"{config.routes_per_network} routes)"
+            )
+        points.append(
+            evaluate_point(config, deployment_model, node_count, router_factory)
+        )
+    return SweepResult(
+        deployment_model=deployment_model,
+        config=config,
+        points=tuple(points),
+    )

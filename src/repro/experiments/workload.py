@@ -1,0 +1,96 @@
+"""Workload generation: networks and source-destination pairs.
+
+"We assume that the destination and the source are randomly selected
+in the interest area, including both safe sources and unsafe sources."
+(Section 5.)  Pairs are drawn uniformly from the largest connected
+component — a disconnected pair is undeliverable for *every* scheme and
+would only add identical noise to all curves (the paper's densities
+make disconnection rare to begin with).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.model import InformationModel
+from repro.experiments.config import ExperimentConfig
+from repro.network.deployment import (
+    deploy_forbidden_area_model,
+    deploy_uniform_model,
+)
+from repro.network.edges import EdgeDetector
+from repro.network.graph import WasnGraph, build_unit_disk_graph
+from repro.network.node import NodeId
+from repro.protocols.boundhole import HoleBoundarySet, build_hole_boundaries
+
+__all__ = ["NetworkInstance", "build_network", "sample_pairs"]
+
+DEPLOYMENT_MODELS = ("IA", "FA")
+
+
+@dataclass(frozen=True)
+class NetworkInstance:
+    """One generated network with all per-network information built.
+
+    Mirrors the paper's procedure: "Before we test the routing
+    performance ..., boundary information [5] is constructed for GF
+    routings, and safety information and estimated shape information
+    are constructed for our SLGF and SLGF2 routing."
+    """
+
+    graph: WasnGraph
+    model: InformationModel
+    boundaries: HoleBoundarySet
+    deployment_model: str
+    seed: int
+
+
+def build_network(
+    config: ExperimentConfig,
+    deployment_model: str,
+    node_count: int,
+    seed: int,
+) -> NetworkInstance:
+    """Generate one network under the IA or FA model."""
+    if deployment_model not in DEPLOYMENT_MODELS:
+        raise ValueError(
+            f"unknown deployment model {deployment_model!r}; "
+            f"expected one of {DEPLOYMENT_MODELS}"
+        )
+    rng = random.Random(seed)
+    if deployment_model == "IA":
+        result = deploy_uniform_model(node_count, config.area, rng)
+    else:
+        result = deploy_forbidden_area_model(
+            node_count,
+            config.area,
+            rng,
+            obstacle_count=config.obstacle_count,
+            min_obstacle_size=config.min_obstacle_size,
+            max_obstacle_size=config.max_obstacle_size,
+        )
+    graph = build_unit_disk_graph(list(result.positions), config.radius)
+    graph = EdgeDetector(strategy="convex").apply(graph)
+    return NetworkInstance(
+        graph=graph,
+        model=InformationModel.build(graph),
+        boundaries=build_hole_boundaries(graph),
+        deployment_model=deployment_model,
+        seed=seed,
+    )
+
+
+def sample_pairs(
+    graph: WasnGraph, count: int, rng: random.Random
+) -> list[tuple[NodeId, NodeId]]:
+    """Random source-destination pairs within the largest component."""
+    components = graph.connected_components()
+    if not components or len(components[0]) < 2:
+        return []
+    pool = sorted(components[0])
+    pairs = []
+    for _ in range(count):
+        s, d = rng.sample(pool, 2)
+        pairs.append((s, d))
+    return pairs

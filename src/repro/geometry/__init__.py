@@ -1,0 +1,50 @@
+"""Planar geometry substrate for the WASN simulator.
+
+Everything in the paper is two-dimensional: node locations, request-zone
+rectangles, counter-clockwise ray scans, and the hull that bounds the
+interest area.  This subpackage provides those primitives with exact,
+well-tested semantics so that the routing and safety-model layers never
+have to reason about raw coordinate arithmetic.
+
+Public surface
+--------------
+* :class:`~repro.geometry.point.Point` — immutable 2-D point/vector.
+* :class:`~repro.geometry.rect.Rect` — axis-aligned rectangle, the
+  paper's ``[x1 : x2, y1 : y2]`` notation.
+* :class:`~repro.geometry.segment.Segment` — line segment with
+  intersection predicates (used by planarity checks and obstacles).
+* :mod:`~repro.geometry.angles` — angle normalisation, CCW sweeps and
+  the hand-rule neighbour ordering used by perimeter routing.
+* :mod:`~repro.geometry.hull` — convex hull (Andrew monotone chain) and
+  an alpha-shape style concave boundary for edge-node detection.
+"""
+
+from repro.geometry.angles import (
+    angle_of,
+    ccw_angle_distance,
+    cw_angle_distance,
+    is_ccw_turn,
+    normalize_angle,
+    orientation,
+)
+from repro.geometry.hull import alpha_shape_boundary, convex_hull
+from repro.geometry.point import Point, distance, midpoint
+from repro.geometry.rect import Rect
+from repro.geometry.segment import Segment, segments_intersect
+
+__all__ = [
+    "Point",
+    "Rect",
+    "Segment",
+    "alpha_shape_boundary",
+    "angle_of",
+    "ccw_angle_distance",
+    "convex_hull",
+    "cw_angle_distance",
+    "distance",
+    "is_ccw_turn",
+    "midpoint",
+    "normalize_angle",
+    "orientation",
+    "segments_intersect",
+]

@@ -1,0 +1,179 @@
+"""Angle arithmetic and rotational sweeps.
+
+The paper's perimeter phases are all defined by rotating rays:
+
+* LGF's perimeter step "rotat[es] the ray ``ud`` counter-clockwise until
+  the first untried node ``v`` in ``N(u)`` is hit by the ray"
+  (Section 3, Algorithm 1 step 4) — the classic right-hand rule;
+* SLGF2's **either-hand rule** performs the same sweep either
+  counter-clockwise (right-hand) or clockwise (left-hand) and then
+  sticks with the chosen hand (Section 4, Algorithm 3 steps 4-5);
+* Algorithm 2 orders the unsafe neighbours of a node by a
+  counter-clockwise scan of the forwarding quadrant to find the first
+  and last boundary chains of an unsafe area.
+
+This module owns the underlying angular machinery so every sweep in the
+code base normalises, compares, and tie-breaks angles the same way.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.geometry.point import Point
+
+__all__ = [
+    "angle_of",
+    "ccw_angle_distance",
+    "cw_angle_distance",
+    "first_hit_ccw",
+    "first_hit_cw",
+    "is_ccw_turn",
+    "normalize_angle",
+    "orientation",
+    "sort_ccw",
+]
+
+T = TypeVar("T")
+
+_EPS = 1e-12
+
+
+def normalize_angle(theta: float) -> float:
+    """Map an angle in radians onto ``[0, 2*pi)``."""
+    theta = math.fmod(theta, math.tau)
+    if theta < 0.0:
+        theta += math.tau
+    # fmod of values like -1e-18 can round back up to tau exactly.
+    if theta >= math.tau:
+        theta -= math.tau
+    return theta
+
+
+def angle_of(origin: Point, target: Point) -> float:
+    """Angle of the ray ``origin -> target`` in ``[0, 2*pi)``.
+
+    ``0`` points along +x (east), ``pi/2`` along +y (north), matching
+    the quadrant numbering of the paper (quadrant I = north-east).
+    """
+    return normalize_angle(math.atan2(target.y - origin.y, target.x - origin.x))
+
+
+def ccw_angle_distance(from_angle: float, to_angle: float) -> float:
+    """Counter-clockwise rotation needed to get from one angle to another.
+
+    Result lies in ``[0, 2*pi)``; zero means the angles coincide.
+    """
+    return normalize_angle(to_angle - from_angle)
+
+
+def cw_angle_distance(from_angle: float, to_angle: float) -> float:
+    """Clockwise rotation needed to get from one angle to another."""
+    return normalize_angle(from_angle - to_angle)
+
+
+def orientation(a: Point, b: Point, c: Point) -> int:
+    """Turn direction of the path a -> b -> c.
+
+    ``+1`` = counter-clockwise (left turn), ``-1`` = clockwise (right
+    turn), ``0`` = collinear within floating-point tolerance.
+    """
+    cross = (b - a).cross(c - a)
+    if cross > _EPS:
+        return 1
+    if cross < -_EPS:
+        return -1
+    return 0
+
+
+def is_ccw_turn(a: Point, b: Point, c: Point) -> bool:
+    """True when a -> b -> c makes a strict left (counter-clockwise) turn."""
+    return orientation(a, b, c) == 1
+
+
+def _sweep(
+    origin: Point,
+    reference_angle: float,
+    candidates: Iterable[T],
+    position_of: Callable[[T], Point],
+    distance_fn: Callable[[float, float], float],
+    exclusive: bool,
+) -> T | None:
+    """Shared implementation of the CW/CCW "first node hit by a ray" sweep.
+
+    Candidates at zero angular offset are either returned immediately
+    (``exclusive=False``) or pushed a full turn away (``exclusive=True``
+    — used when sweeping away from the previous hop so the packet never
+    bounces straight back).  Ties in angle are broken by Euclidean
+    distance (closer node first), matching the deterministic successor
+    choice the simulation needs for reproducibility.
+    """
+    best: T | None = None
+    best_key: tuple[float, float] | None = None
+    for candidate in candidates:
+        pos = position_of(candidate)
+        if pos == origin:
+            continue
+        offset = distance_fn(reference_angle, angle_of(origin, pos))
+        if exclusive and offset < _EPS:
+            offset = math.tau
+        key = (offset, origin.distance_to(pos))
+        if best_key is None or key < best_key:
+            best = candidate
+            best_key = key
+    return best
+
+
+def first_hit_ccw(
+    origin: Point,
+    reference_angle: float,
+    candidates: Iterable[T],
+    position_of: Callable[[T], Point],
+    exclusive: bool = False,
+) -> T | None:
+    """First candidate hit by rotating a ray counter-clockwise.
+
+    This is the right-hand rule sweep of Algorithm 1 step 4: start the
+    ray at ``reference_angle`` (typically the direction ``u -> d`` or
+    the direction back to the previous hop) and rotate CCW until a
+    candidate is hit.  Returns ``None`` when there are no candidates.
+    """
+    return _sweep(
+        origin, reference_angle, candidates, position_of, ccw_angle_distance, exclusive
+    )
+
+
+def first_hit_cw(
+    origin: Point,
+    reference_angle: float,
+    candidates: Iterable[T],
+    position_of: Callable[[T], Point],
+    exclusive: bool = False,
+) -> T | None:
+    """First candidate hit by rotating a ray clockwise (left-hand rule)."""
+    return _sweep(
+        origin, reference_angle, candidates, position_of, cw_angle_distance, exclusive
+    )
+
+
+def sort_ccw(
+    origin: Point,
+    reference_angle: float,
+    candidates: Sequence[T],
+    position_of: Callable[[T], Point],
+) -> list[T]:
+    """Candidates ordered by increasing CCW offset from the reference ray.
+
+    Algorithm 2 step 3 scans the forwarding quadrant "in counter-
+    clockwise order" to find the *first* and *last* unsafe neighbours;
+    those are exactly the first and last elements of this ordering
+    restricted to the quadrant.
+    """
+    return sorted(
+        candidates,
+        key=lambda c: (
+            ccw_angle_distance(reference_angle, angle_of(origin, position_of(c))),
+            origin.distance_to(position_of(c)),
+        ),
+    )

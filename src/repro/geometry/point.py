@@ -1,0 +1,102 @@
+"""Immutable 2-D points.
+
+The paper denotes a node location as ``L(u) = (x_u, y_u)`` and uses
+``|L(u) - L(v)|`` for the Euclidean distance between nodes.  ``Point``
+is the in-code counterpart of ``L(u)``: a frozen value object with the
+small amount of vector arithmetic the routing layers need (differences,
+dot/cross products, distances).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Point", "distance", "midpoint"]
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point (or free vector) in the plane.
+
+    Instances are immutable and hashable so they can be dictionary keys,
+    set members, and safely shared between nodes, packets and cached
+    shape information.
+    """
+
+    x: float
+    y: float
+
+    def __iter__(self) -> Iterator[float]:
+        """Allow ``x, y = point`` unpacking and ``tuple(point)``."""
+        yield self.x
+        yield self.y
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scale: float) -> "Point":
+        return Point(self.x * scale, self.y * scale)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Point":
+        return Point(-self.x, -self.y)
+
+    def dot(self, other: "Point") -> float:
+        """Dot product, treating both points as vectors from the origin."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Point") -> float:
+        """Z-component of the 3-D cross product (signed parallelogram area).
+
+        Positive when ``other`` lies counter-clockwise of ``self``.
+        """
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        """Euclidean length of the vector from the origin."""
+        return math.hypot(self.x, self.y)
+
+    def norm_squared(self) -> float:
+        """Squared Euclidean length (avoids the sqrt for comparisons)."""
+        return self.x * self.x + self.y * self.y
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance ``|L(self) - L(other)|``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def distance_squared_to(self, other: "Point") -> float:
+        """Squared Euclidean distance (cheap comparison key)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def angle_to(self, other: "Point") -> float:
+        """Angle of the ray ``self -> other`` in radians, in ``[0, 2*pi)``."""
+        angle = math.atan2(other.y - self.y, other.x - self.x) % math.tau
+        # A tiny negative atan2 result wraps to a value that rounds to
+        # exactly tau; clamp it back into the half-open interval.
+        return angle if angle < math.tau else 0.0
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Plain tuple, convenient for numpy and networkx interop."""
+        return (self.x, self.y)
+
+    def is_finite(self) -> bool:
+        """True when both coordinates are finite numbers."""
+        return math.isfinite(self.x) and math.isfinite(self.y)
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points (module-level convenience)."""
+    return a.distance_to(b)
+
+
+def midpoint(a: Point, b: Point) -> Point:
+    """The midpoint of segment ``ab`` (used by Gabriel-graph planarization)."""
+    return Point((a.x + b.x) / 2.0, (a.y + b.y) / 2.0)

@@ -1,0 +1,193 @@
+"""Axis-aligned rectangles — the paper's ``[x1 : x2, y1 : y2]`` notation.
+
+Rectangles appear in three roles in the paper:
+
+* the **request zone** ``Z_k(u, d) = [x_u : x_d, y_u : y_d]`` of LAR
+  scheme 1, with the current node and the destination at opposite
+  corners (Section 3);
+* the **estimated unsafe-area shape** ``E_i(u) = [x_u : x_u(1), y_u :
+  y_u(2)]`` stored at unsafe nodes (Section 3, Theorem 2);
+* the **forbidden deployment areas** of the FA model (Section 5).
+
+The paper's corner order is arbitrary (``[x_u : x_d, ...]`` may have
+``x_d < x_u``), so the constructor normalises corners; the original
+anchoring that the safety model needs is preserved by the call sites
+(they keep the anchor node separately).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+
+__all__ = ["Rect"]
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """Axis-aligned rectangle with ``x_min <= x_max`` and ``y_min <= y_max``."""
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_min > self.x_max or self.y_min > self.y_max:
+            raise ValueError(
+                f"degenerate Rect bounds: [{self.x_min}:{self.x_max}, "
+                f"{self.y_min}:{self.y_max}]"
+            )
+
+    @classmethod
+    def from_corners(cls, a: Point, b: Point) -> "Rect":
+        """The paper's ``[x_a : x_b, y_a : y_b]`` with corners normalised.
+
+        This is exactly the request zone construction: ``a`` and ``b``
+        sit at opposite corners regardless of their relative position.
+        """
+        return cls(
+            min(a.x, b.x), min(a.y, b.y), max(a.x, b.x), max(a.y, b.y)
+        )
+
+    @classmethod
+    def from_center(cls, center: Point, half_width: float, half_height: float) -> "Rect":
+        """Rectangle centred on ``center`` (used by obstacle generators)."""
+        if half_width < 0 or half_height < 0:
+            raise ValueError("half extents must be non-negative")
+        return cls(
+            center.x - half_width,
+            center.y - half_height,
+            center.x + half_width,
+            center.y + half_height,
+        )
+
+    @property
+    def width(self) -> float:
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        return self.y_max - self.y_min
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.x_min + self.x_max) / 2.0, (self.y_min + self.y_max) / 2.0)
+
+    @property
+    def perimeter(self) -> float:
+        return 2.0 * (self.width + self.height)
+
+    def corners(self) -> tuple[Point, Point, Point, Point]:
+        """Corners in counter-clockwise order starting at (x_min, y_min)."""
+        return (
+            Point(self.x_min, self.y_min),
+            Point(self.x_max, self.y_min),
+            Point(self.x_max, self.y_max),
+            Point(self.x_min, self.y_max),
+        )
+
+    def contains(self, p: Point, tol: float = 0.0) -> bool:
+        """Closed-rectangle membership, optionally fattened by ``tol``.
+
+        The safety model tests node membership in estimated unsafe areas
+        with a small tolerance so that floating-point jitter on the
+        boundary chain never flips a containment verdict.
+        """
+        return (
+            self.x_min - tol <= p.x <= self.x_max + tol
+            and self.y_min - tol <= p.y <= self.y_max + tol
+        )
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True when ``other`` lies entirely inside ``self`` (closed)."""
+        return (
+            self.x_min <= other.x_min
+            and self.y_min <= other.y_min
+            and other.x_max <= self.x_max
+            and other.y_max <= self.y_max
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """Closed-rectangle overlap test."""
+        return not (
+            other.x_max < self.x_min
+            or self.x_max < other.x_min
+            or other.y_max < self.y_min
+            or self.y_max < other.y_min
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The overlapping rectangle, or ``None`` when disjoint."""
+        if not self.intersects(other):
+            return None
+        return Rect(
+            max(self.x_min, other.x_min),
+            max(self.y_min, other.y_min),
+            min(self.x_max, other.x_max),
+            min(self.y_max, other.y_max),
+        )
+
+    def union_bounds(self, other: "Rect") -> "Rect":
+        """Smallest rectangle covering both (used by the bounded perimeter
+        phase, which confines routing to "the area that covers all four
+        E areas")."""
+        return Rect(
+            min(self.x_min, other.x_min),
+            min(self.y_min, other.y_min),
+            max(self.x_max, other.x_max),
+            max(self.y_max, other.y_max),
+        )
+
+    def expanded(self, margin: float) -> "Rect":
+        """Rectangle grown by ``margin`` on every side.
+
+        A negative margin shrinks the rectangle; shrinking past a
+        degenerate rectangle collapses to the centre point.
+        """
+        if 2.0 * -margin > min(self.width, self.height):
+            c = self.center
+            return Rect(c.x, c.y, c.x, c.y)
+        return Rect(
+            self.x_min - margin,
+            self.y_min - margin,
+            self.x_max + margin,
+            self.y_max + margin,
+        )
+
+    def clamp(self, p: Point) -> Point:
+        """The point of the rectangle closest to ``p``."""
+        return Point(
+            min(max(p.x, self.x_min), self.x_max),
+            min(max(p.y, self.y_min), self.y_max),
+        )
+
+    def distance_to_point(self, p: Point) -> float:
+        """Euclidean distance from ``p`` to the rectangle (0 inside)."""
+        return self.clamp(p).distance_to(p)
+
+    def sample_grid(self, nx: int, ny: int) -> list[Point]:
+        """An ``nx * ny`` lattice of interior points (test fixtures)."""
+        if nx < 1 or ny < 1:
+            raise ValueError("grid dimensions must be >= 1")
+        xs = [
+            self.x_min + (i + 0.5) * self.width / nx for i in range(nx)
+        ]
+        ys = [
+            self.y_min + (j + 0.5) * self.height / ny for j in range(ny)
+        ]
+        return [Point(x, y) for y in ys for x in xs]
+
+    def is_degenerate(self, tol: float = 0.0) -> bool:
+        """True when the rectangle has (near-)zero width or height."""
+        return self.width <= tol or self.height <= tol
+
+    def diagonal(self) -> float:
+        """Length of the rectangle diagonal."""
+        return math.hypot(self.width, self.height)

@@ -1,0 +1,138 @@
+"""Line segments and their intersection predicates.
+
+Segments back two substrates:
+
+* **obstacle checks** — the FA deployment model rejects node placements
+  and (optionally) links that cross a forbidden area;
+* **planarity validation** — the Gabriel-graph planarization used by the
+  GF perimeter phase is property-tested by asserting that no two of its
+  edges cross, which needs a robust segment-intersection predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+
+__all__ = ["Segment", "proper_intersection_point", "segments_intersect"]
+
+_EPS = 1e-12
+
+
+def _orient(a: Point, b: Point, c: Point) -> int:
+    """Sign of the signed area of triangle (a, b, c).
+
+    Returns ``+1`` for a counter-clockwise turn, ``-1`` for clockwise,
+    ``0`` for (numerically) collinear points.
+    """
+    cross = (b - a).cross(c - a)
+    if cross > _EPS:
+        return 1
+    if cross < -_EPS:
+        return -1
+    return 0
+
+
+def _on_segment(a: Point, b: Point, p: Point) -> bool:
+    """True when collinear point ``p`` lies within the bounding box of ab."""
+    return (
+        min(a.x, b.x) - _EPS <= p.x <= max(a.x, b.x) + _EPS
+        and min(a.y, b.y) - _EPS <= p.y <= max(a.y, b.y) + _EPS
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """Closed line segment between two points."""
+
+    a: Point
+    b: Point
+
+    @property
+    def length(self) -> float:
+        return self.a.distance_to(self.b)
+
+    @property
+    def midpoint(self) -> Point:
+        return Point((self.a.x + self.b.x) / 2.0, (self.a.y + self.b.y) / 2.0)
+
+    def intersects(self, other: "Segment") -> bool:
+        """Closed-segment intersection (shared endpoints count)."""
+        return segments_intersect(self.a, self.b, other.a, other.b)
+
+    def properly_intersects(self, other: "Segment") -> bool:
+        """True only for a transversal crossing at an interior point.
+
+        Sharing an endpoint or merely touching does **not** count; this
+        is the predicate planarity tests care about, because two edges
+        of a planar graph may legitimately share a vertex.
+        """
+        o1 = _orient(self.a, self.b, other.a)
+        o2 = _orient(self.a, self.b, other.b)
+        o3 = _orient(other.a, other.b, self.a)
+        o4 = _orient(other.a, other.b, self.b)
+        return o1 * o2 < 0 and o3 * o4 < 0
+
+    def distance_to_point(self, p: Point) -> float:
+        """Euclidean distance from ``p`` to the closest point of the segment."""
+        ab = self.b - self.a
+        denom = ab.norm_squared()
+        # Only a *exactly* zero-length segment is degenerate: for tiny
+        # but nonzero segments the parametric projection below is
+        # numerically fine (numerator and denominator scale together),
+        # while an epsilon cutoff would silently misreport distances to
+        # the far endpoint.
+        if denom == 0.0:
+            return self.a.distance_to(p)
+        t = (p - self.a).dot(ab) / denom
+        t = min(1.0, max(0.0, t))
+        closest = Point(self.a.x + t * ab.x, self.a.y + t * ab.y)
+        return closest.distance_to(p)
+
+
+def proper_intersection_point(
+    p1: Point, p2: Point, p3: Point, p4: Point
+) -> Point | None:
+    """Interior crossing point of segments ``p1p2`` and ``p3p4``.
+
+    Returns ``None`` unless the segments cross transversally at a point
+    interior to both (endpoint touching and collinear overlap do not
+    count).  GPSR-style face routing uses this to decide whether a
+    candidate perimeter edge crosses the stuck-node-to-destination line
+    closer to the destination (the face-change test).
+    """
+    d1 = p2 - p1
+    d2 = p4 - p3
+    denom = d1.cross(d2)
+    if abs(denom) <= _EPS:
+        return None  # parallel or collinear
+    t = (p3 - p1).cross(d2) / denom
+    s = (p3 - p1).cross(d1) / denom
+    if not (_EPS < t < 1.0 - _EPS and _EPS < s < 1.0 - _EPS):
+        return None
+    return Point(p1.x + t * d1.x, p1.y + t * d1.y)
+
+
+def segments_intersect(p1: Point, p2: Point, p3: Point, p4: Point) -> bool:
+    """Closed intersection test for segments ``p1p2`` and ``p3p4``.
+
+    Handles all degeneracies: collinear overlap, endpoint touching, and
+    zero-length segments. Uses the classic four-orientation test.
+    """
+    o1 = _orient(p1, p2, p3)
+    o2 = _orient(p1, p2, p4)
+    o3 = _orient(p3, p4, p1)
+    o4 = _orient(p3, p4, p2)
+
+    if o1 != o2 and o3 != o4:
+        return True
+    if o1 == 0 and _on_segment(p1, p2, p3):
+        return True
+    if o2 == 0 and _on_segment(p1, p2, p4):
+        return True
+    if o3 == 0 and _on_segment(p3, p4, p1):
+        return True
+    if o4 == 0 and _on_segment(p3, p4, p2):
+        return True
+    return False

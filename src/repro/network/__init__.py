@@ -1,0 +1,67 @@
+"""WASN network substrate: nodes, unit-disk graphs, deployments.
+
+Section 3 of the paper models a WASN as a simple undirected graph
+``G = (V, E)`` where an edge connects every pair of nodes within a
+common communication range (a *unit-disk graph*), and Section 5
+evaluates on two deployment models:
+
+* **IA** — nodes placed uniformly at random in the interest area, so
+  holes arise only from sparse placement;
+* **FA** — uniform placement with randomly generated *forbidden areas*
+  (possibly irregular obstacles) where no node may lie, producing the
+  large routing holes that stress the perimeter phases.
+
+This subpackage builds those networks and the auxiliary structure the
+routing layers require: spatial indexing for O(1)-neighbourhood
+construction, edge-node detection (the hull of the interest area),
+Gabriel/RNG planarization for face routing, and failure injection for
+the dynamic-hole scenarios the introduction motivates.
+"""
+
+from repro.network.deployment import (
+    DeploymentResult,
+    GridDeployment,
+    PoissonDiskDeployment,
+    UniformDeployment,
+    deploy_forbidden_area_model,
+    deploy_uniform_model,
+)
+from repro.network.edges import EdgeDetector
+from repro.network.failures import fail_nodes, fail_region
+from repro.network.graph import WasnGraph, build_unit_disk_graph
+from repro.network.mobility import RandomWaypointMobility
+from repro.network.node import Node, NodeId
+from repro.network.obstacles import (
+    CompositeObstacle,
+    DiscObstacle,
+    Obstacle,
+    RectObstacle,
+    random_obstacle_field,
+)
+from repro.network.planar import gabriel_graph, relative_neighborhood_graph
+from repro.network.spatial import SpatialGrid
+
+__all__ = [
+    "CompositeObstacle",
+    "DeploymentResult",
+    "DiscObstacle",
+    "EdgeDetector",
+    "GridDeployment",
+    "Node",
+    "NodeId",
+    "Obstacle",
+    "PoissonDiskDeployment",
+    "RandomWaypointMobility",
+    "RectObstacle",
+    "SpatialGrid",
+    "UniformDeployment",
+    "WasnGraph",
+    "build_unit_disk_graph",
+    "deploy_forbidden_area_model",
+    "deploy_uniform_model",
+    "fail_nodes",
+    "fail_region",
+    "gabriel_graph",
+    "random_obstacle_field",
+    "relative_neighborhood_graph",
+]

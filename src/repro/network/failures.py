@@ -1,0 +1,86 @@
+"""Failure injection: the dynamic causes of local minima.
+
+Section 1: "The occurrence of block can be caused by not only the
+'deployment hole' ... but also many dynamic factors, including node
+failures, signal fading, communication jamming, power exhaustion,
+interference, and node mobility."
+
+All of these manifest, at the graph level, as nodes disappearing from
+the topology.  Because :class:`~repro.network.graph.WasnGraph` is
+immutable, failures produce a *new* graph; the caller then re-runs the
+information-construction protocol on it — exactly what a deployed WASN
+would do when hello beacons stop arriving — and can compare safety
+labels before/after (see ``examples/dynamic_failures.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.geometry import Point, Rect
+from repro.network.graph import WasnGraph
+from repro.network.node import NodeId
+
+__all__ = ["fail_nodes", "fail_random", "fail_region"]
+
+
+def fail_nodes(graph: WasnGraph, failed: Iterable[NodeId]) -> WasnGraph:
+    """Remove an explicit set of failed nodes."""
+    failed = set(failed)
+    missing = failed - set(graph.node_ids)
+    if missing:
+        raise KeyError(f"cannot fail unknown nodes: {sorted(missing)}")
+    return graph.without_nodes(failed)
+
+
+def fail_random(
+    graph: WasnGraph,
+    fraction: float,
+    rng: random.Random,
+    protect: Iterable[NodeId] = (),
+) -> tuple[WasnGraph, set[NodeId]]:
+    """Fail a random fraction of nodes (power exhaustion model).
+
+    ``protect`` shields specific nodes (e.g. an experiment's source and
+    destination) from failing.  Returns the surviving graph and the set
+    of failed ids.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    protected = set(protect)
+    candidates = [u for u in graph.node_ids if u not in protected]
+    count = round(fraction * len(candidates))
+    failed = set(rng.sample(candidates, count)) if count else set()
+    return graph.without_nodes(failed), failed
+
+
+def fail_region(
+    graph: WasnGraph,
+    region: Rect | tuple[Point, float],
+    protect: Iterable[NodeId] = (),
+) -> tuple[WasnGraph, set[NodeId]]:
+    """Fail every node inside a region (jamming / physical damage model).
+
+    ``region`` is either a rectangle or a ``(center, radius)`` disc.
+    Returns the surviving graph and the set of failed ids.
+    """
+    protected = set(protect)
+    if isinstance(region, Rect):
+        def hit(p: Point) -> bool:
+            return region.contains(p)
+    else:
+        center, radius = region
+        if radius <= 0:
+            raise ValueError("region radius must be positive")
+        radius_sq = radius * radius
+
+        def hit(p: Point) -> bool:
+            return p.distance_squared_to(center) <= radius_sq
+
+    failed = {
+        u
+        for u in graph.node_ids
+        if u not in protected and hit(graph.position(u))
+    }
+    return graph.without_nodes(failed), failed

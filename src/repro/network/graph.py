@@ -1,0 +1,274 @@
+"""The WASN unit-disk graph ``G = (V, E)``.
+
+"With the assumption that all the sensors have the same communication
+range, a WASN can be represented by a simple undirected graph
+G = (V, E) ... each [edge] indicates two nodes are within the
+communication range of each other.  N(u) denotes the set of neighboring
+nodes of node u." (Section 3.)
+
+:class:`WasnGraph` is the shared, read-mostly structure every layer
+above builds on: safety labeling iterates over ``N(u)``, routers query
+neighbourhoods and positions, protocols enumerate links.  It is
+deliberately immutable after construction — failure injection and
+mobility produce *new* graphs (see :mod:`repro.network.failures`), so a
+routing run can never observe a half-updated topology.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.geometry import Point
+from repro.network.node import Node, NodeId
+from repro.network.spatial import SpatialGrid
+
+__all__ = ["WasnGraph", "build_unit_disk_graph"]
+
+
+class WasnGraph:
+    """Undirected unit-disk graph over a fixed set of sensor nodes."""
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        adjacency: dict[NodeId, tuple[NodeId, ...]],
+        radius: float,
+    ):
+        """Build from explicit adjacency (see :func:`build_unit_disk_graph`).
+
+        ``adjacency`` must be symmetric and must not contain self-loops;
+        this is validated eagerly because every algorithm above relies
+        on it (the paper's graph is *simple* and *undirected*).
+        """
+        if radius <= 0:
+            raise ValueError("communication radius must be positive")
+        self._nodes: dict[NodeId, Node] = {}
+        for node in nodes:
+            if node.id in self._nodes:
+                raise ValueError(f"duplicate node id {node.id}")
+            self._nodes[node.id] = node
+        self._radius = radius
+        self._adjacency = adjacency
+        self._validate()
+
+    def _validate(self) -> None:
+        for u, neighbors in self._adjacency.items():
+            if u not in self._nodes:
+                raise ValueError(f"adjacency references unknown node {u}")
+            seen: set[NodeId] = set()
+            for v in neighbors:
+                if v == u:
+                    raise ValueError(f"self-loop at node {u}")
+                if v in seen:
+                    raise ValueError(f"duplicate edge {u}-{v}")
+                seen.add(v)
+                if v not in self._nodes:
+                    raise ValueError(f"edge {u}-{v} references unknown node")
+                if u not in self._adjacency.get(v, ()):
+                    raise ValueError(f"asymmetric edge {u}-{v}")
+        for u in self._nodes:
+            if u not in self._adjacency:
+                raise ValueError(f"node {u} missing from adjacency")
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def radius(self) -> float:
+        """The common communication range of all sensors."""
+        return self._radius
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self._nodes
+
+    @property
+    def node_ids(self) -> list[NodeId]:
+        """All node ids in ascending order (deterministic iteration)."""
+        return sorted(self._nodes)
+
+    def nodes(self) -> Iterator[Node]:
+        """Nodes in ascending id order."""
+        for node_id in self.node_ids:
+            yield self._nodes[node_id]
+
+    def node(self, node_id: NodeId) -> Node:
+        return self._nodes[node_id]
+
+    def position(self, node_id: NodeId) -> Point:
+        """``L(u)`` — the location of node ``u``."""
+        return self._nodes[node_id].position
+
+    def is_edge_node(self, node_id: NodeId) -> bool:
+        """True when ``u`` lies on the edge of the network (the hull)."""
+        return self._nodes[node_id].is_edge
+
+    def neighbors(self, node_id: NodeId) -> tuple[NodeId, ...]:
+        """``N(u)`` — ids of nodes within communication range of ``u``."""
+        return self._adjacency[node_id]
+
+    def degree(self, node_id: NodeId) -> int:
+        return len(self._adjacency[node_id])
+
+    def has_edge(self, u: NodeId, v: NodeId) -> bool:
+        return v in self._adjacency.get(u, ())
+
+    def edges(self) -> Iterator[tuple[NodeId, NodeId]]:
+        """Each undirected edge once, as (smaller id, larger id)."""
+        for u in self.node_ids:
+            for v in self._adjacency[u]:
+                if u < v:
+                    yield (u, v)
+
+    def edge_count(self) -> int:
+        return sum(len(n) for n in self._adjacency.values()) // 2
+
+    def average_degree(self) -> float:
+        if not self._nodes:
+            return 0.0
+        return 2.0 * self.edge_count() / len(self._nodes)
+
+    def distance(self, u: NodeId, v: NodeId) -> float:
+        """Euclidean distance ``|L(u) - L(v)|``."""
+        return self.position(u).distance_to(self.position(v))
+
+    # ------------------------------------------------------------------
+    # Connectivity
+    # ------------------------------------------------------------------
+
+    def connected_components(self) -> list[set[NodeId]]:
+        """Connected components, largest first (ties by smallest member)."""
+        unseen = set(self._nodes)
+        components: list[set[NodeId]] = []
+        while unseen:
+            start = min(unseen)
+            component = {start}
+            frontier = [start]
+            unseen.discard(start)
+            while frontier:
+                u = frontier.pop()
+                for v in self._adjacency[u]:
+                    if v in unseen:
+                        unseen.discard(v)
+                        component.add(v)
+                        frontier.append(v)
+            components.append(component)
+        components.sort(key=lambda c: (-len(c), min(c)))
+        return components
+
+    def is_connected(self) -> bool:
+        return len(self._nodes) <= 1 or len(self.connected_components()) == 1
+
+    def same_component(self, u: NodeId, v: NodeId) -> bool:
+        """BFS reachability test between two nodes."""
+        if u == v:
+            return True
+        seen = {u}
+        frontier = [u]
+        while frontier:
+            w = frontier.pop()
+            for x in self._adjacency[w]:
+                if x == v:
+                    return True
+                if x not in seen:
+                    seen.add(x)
+                    frontier.append(x)
+        return False
+
+    def hop_distance(self, u: NodeId, v: NodeId) -> int | None:
+        """Minimum hop count between two nodes, or None if disconnected."""
+        if u == v:
+            return 0
+        dist = {u: 0}
+        frontier = [u]
+        while frontier:
+            next_frontier: list[NodeId] = []
+            for w in frontier:
+                for x in self._adjacency[w]:
+                    if x in dist:
+                        continue
+                    dist[x] = dist[w] + 1
+                    if x == v:
+                        return dist[x]
+                    next_frontier.append(x)
+            frontier = next_frontier
+        return None
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+
+    def without_nodes(self, removed: Iterable[NodeId]) -> "WasnGraph":
+        """A new graph with the given nodes (and incident edges) removed.
+
+        This is the substrate for failure injection: "node failures,
+        signal fading, ... power exhaustion" (Section 1) all manifest as
+        node removals that may create fresh local minima.
+        """
+        removed_set = set(removed)
+        nodes = [n for n in self.nodes() if n.id not in removed_set]
+        adjacency = {
+            n.id: tuple(
+                v for v in self._adjacency[n.id] if v not in removed_set
+            )
+            for n in nodes
+        }
+        return WasnGraph(nodes, adjacency, self._radius)
+
+    def with_edge_nodes(self, edge_ids: Iterable[NodeId]) -> "WasnGraph":
+        """A new graph with the edge-node flags replaced by ``edge_ids``."""
+        edge_set = set(edge_ids)
+        nodes = [
+            node.with_edge_flag(node.id in edge_set) for node in self.nodes()
+        ]
+        return WasnGraph(nodes, dict(self._adjacency), self._radius)
+
+    def to_networkx(self):
+        """Export to a :mod:`networkx` graph (analysis / oracle layer).
+
+        Node attribute ``pos`` carries the location tuple; edge
+        attribute ``weight`` the Euclidean length, so networkx shortest
+        paths can serve as the geometric stretch oracle.
+        """
+        import networkx as nx
+
+        g = nx.Graph()
+        for node in self.nodes():
+            g.add_node(node.id, pos=node.position.as_tuple(), is_edge=node.is_edge)
+        for u, v in self.edges():
+            g.add_edge(u, v, weight=self.distance(u, v))
+        return g
+
+
+def build_unit_disk_graph(
+    positions: Sequence[Point],
+    radius: float,
+    edge_ids: Iterable[NodeId] = (),
+) -> WasnGraph:
+    """Construct the unit-disk graph over ``positions``.
+
+    Node ``i`` takes id ``i``; two nodes are adjacent iff their distance
+    is at most ``radius`` (closed ball).  ``edge_ids`` marks nodes on
+    the network edge (see :class:`repro.network.edges.EdgeDetector`).
+    """
+    if radius <= 0:
+        raise ValueError("communication radius must be positive")
+    grid = SpatialGrid(cell_size=radius)
+    grid.bulk_insert(enumerate(positions))
+
+    neighbor_sets: dict[NodeId, list[NodeId]] = {i: [] for i in range(len(positions))}
+    for a, b in grid.all_pairs_within(radius):
+        neighbor_sets[a].append(b)
+        neighbor_sets[b].append(a)
+
+    edge_set = set(edge_ids)
+    nodes = [
+        Node(i, p, is_edge=i in edge_set) for i, p in enumerate(positions)
+    ]
+    adjacency = {
+        i: tuple(sorted(neighbor_sets[i])) for i in range(len(positions))
+    }
+    return WasnGraph(nodes, adjacency, radius)

@@ -1,0 +1,156 @@
+"""Node mobility — the random waypoint model.
+
+Section 1 lists "node mobility" among the dynamic factors that create
+local minima: as nodes drift, yesterday's safe labels go stale and new
+holes open.  This module provides the standard random-waypoint model
+so that studies can generate *topology streams*: each epoch the
+simulator advances every node toward its waypoint, a fresh unit-disk
+graph is built, and the information construction re-runs (exactly what
+a deployed WASN's periodic beaconing achieves).
+
+The model: each node picks a uniform waypoint in the area, moves toward
+it in a straight line at a per-leg uniform speed, pauses, then picks
+the next waypoint.  Obstacles (forbidden areas) are respected by
+re-sampling waypoints and by clamping motion that would enter them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.geometry import Point, Rect
+from repro.network.graph import WasnGraph, build_unit_disk_graph
+from repro.network.obstacles import Obstacle
+
+__all__ = ["RandomWaypointMobility"]
+
+_MAX_WAYPOINT_TRIES = 1000
+
+
+@dataclass
+class _Walker:
+    """Mutable per-node mobility state."""
+
+    position: Point
+    waypoint: Point
+    speed: float
+    pause_remaining: float
+
+
+class RandomWaypointMobility:
+    """Random-waypoint mobility over a rectangular area.
+
+    ``speed`` is the (min, max) per-leg speed in metres per time unit;
+    ``pause`` the dwell time at each waypoint.  All randomness comes
+    from the supplied ``rng``, so topology streams are reproducible.
+    """
+
+    def __init__(
+        self,
+        area: Rect,
+        count: int,
+        rng: random.Random,
+        speed: tuple[float, float] = (1.0, 5.0),
+        pause: float = 0.0,
+        obstacles: Sequence[Obstacle] = (),
+    ):
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        low, high = speed
+        if low <= 0 or high < low:
+            raise ValueError("need 0 < min speed <= max speed")
+        if pause < 0:
+            raise ValueError("pause must be non-negative")
+        self._area = area
+        self._rng = rng
+        self._speed = speed
+        self._pause = pause
+        self._obstacles = tuple(obstacles)
+        self._walkers = [
+            _Walker(
+                position=self._sample_point(),
+                waypoint=self._sample_point(),
+                speed=rng.uniform(low, high),
+                pause_remaining=0.0,
+            )
+            for _ in range(count)
+        ]
+
+    def _sample_point(self) -> Point:
+        for _ in range(_MAX_WAYPOINT_TRIES):
+            p = Point(
+                self._rng.uniform(self._area.x_min, self._area.x_max),
+                self._rng.uniform(self._area.y_min, self._area.y_max),
+            )
+            if all(not ob.contains(p) for ob in self._obstacles):
+                return p
+        raise RuntimeError(
+            "could not sample a waypoint outside the forbidden areas"
+        )
+
+    def positions(self) -> list[Point]:
+        """Current node positions (index = node id)."""
+        return [w.position for w in self._walkers]
+
+    def advance(self, dt: float) -> None:
+        """Move every node ``dt`` time units along its trajectory."""
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        low, high = self._speed
+        for walker in self._walkers:
+            remaining = dt
+            while remaining > 1e-12:
+                if walker.pause_remaining > 0:
+                    dwell = min(walker.pause_remaining, remaining)
+                    walker.pause_remaining -= dwell
+                    remaining -= dwell
+                    continue
+                to_target = walker.waypoint - walker.position
+                distance = to_target.norm()
+                step = walker.speed * remaining
+                if step < distance:
+                    scale = step / distance
+                    candidate = Point(
+                        walker.position.x + to_target.x * scale,
+                        walker.position.y + to_target.y * scale,
+                    )
+                    if any(
+                        ob.contains(candidate) for ob in self._obstacles
+                    ):
+                        # Road blocked: abandon this waypoint where we
+                        # stand and pick a new one next iteration.
+                        walker.waypoint = self._sample_point()
+                        walker.speed = self._rng.uniform(low, high)
+                        continue
+                    walker.position = candidate
+                    remaining = 0.0
+                else:
+                    # Reached the waypoint: consume the travel time,
+                    # pause, then pick the next leg.
+                    travel = distance / walker.speed if walker.speed else 0.0
+                    walker.position = walker.waypoint
+                    remaining -= travel
+                    walker.pause_remaining = self._pause
+                    walker.waypoint = self._sample_point()
+                    walker.speed = self._rng.uniform(low, high)
+
+    def snapshot_graph(self, radius: float) -> WasnGraph:
+        """The unit-disk graph of the current positions."""
+        return build_unit_disk_graph(self.positions(), radius)
+
+    def topology_stream(
+        self, radius: float, dt: float, epochs: int
+    ) -> Iterator[WasnGraph]:
+        """Yield ``epochs`` successive topology snapshots ``dt`` apart.
+
+        The first snapshot is the current state (before any motion);
+        each subsequent one follows an ``advance(dt)``.
+        """
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        yield self.snapshot_graph(radius)
+        for _ in range(epochs - 1):
+            self.advance(dt)
+            yield self.snapshot_graph(radius)

@@ -1,0 +1,43 @@
+"""Sensor node identity and static attributes.
+
+A node in the paper carries only an identifier and a location
+``L(u) = (x_u, y_u)``; every protocol-level attribute (safety tuple,
+shape information, boundary flags) is *derived* state that lives in the
+model layers, keeping ``Node`` itself a plain immutable record that can
+be freely shared between graphs, packets and protocol engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import Point
+
+__all__ = ["Node", "NodeId"]
+
+# Node identifiers are dense small integers: deployments assign them in
+# placement order so they double as array indices everywhere.
+NodeId = int
+
+
+@dataclass(frozen=True, slots=True)
+class Node:
+    """A sensor node: identifier plus fixed location.
+
+    ``is_edge`` marks nodes on the edge of the network (the hull of the
+    interest area).  Section 3: "each edge node will always keep its
+    status tuple as (1, 1, 1, 1)" — the labeling process needs this flag
+    and it is a static property of the deployment, so it lives here.
+    """
+
+    id: NodeId
+    position: Point
+    is_edge: bool = False
+
+    def distance_to(self, other: "Node") -> float:
+        """Euclidean distance ``|L(self) - L(other)|``."""
+        return self.position.distance_to(other.position)
+
+    def with_edge_flag(self, is_edge: bool) -> "Node":
+        """Copy of this node with the edge flag replaced."""
+        return Node(self.id, self.position, is_edge)

@@ -1,0 +1,96 @@
+"""Graph planarization: Gabriel graph and relative neighbourhood graph.
+
+The classic perimeter-routing phase (Bose, Morin, Stojmenovic — the
+paper's reference [2], and GPSR) traverses the faces of "the planar
+graph that represents the same connectivity as the original network".
+For unit-disk graphs the standard local constructions are:
+
+* the **Gabriel graph (GG)**: keep edge ``uv`` iff no other node lies
+  inside the closed disc with diameter ``uv``;
+* the **relative neighbourhood graph (RNG)**: keep ``uv`` iff no node
+  ``w`` satisfies ``max(|uw|, |vw|) < |uv|`` (the "lune" test).
+
+Both are computable from single-hop neighbourhood information only (any
+witness node inside the Gabriel disc / lune of an edge is a neighbour
+of both endpoints), preserve connectivity of the unit-disk graph, and
+are planar — RNG ⊆ GG ⊆ UDG.  The GF router's recovery phase runs the
+right-hand rule on one of these subgraphs.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import midpoint
+from repro.network.graph import WasnGraph
+from repro.network.node import NodeId
+
+__all__ = ["gabriel_graph", "relative_neighborhood_graph"]
+
+# Numerical slack for the witness tests.  The Gabriel test uses the
+# *closed* disc (a witness exactly on the circle removes the edge):
+# four exactly co-circular nodes — e.g. a perfect square, common in
+# grid fixtures — would otherwise keep both crossing diagonals and
+# break planarity.  Connectivity is still preserved because a boundary
+# witness w of edge uv satisfies |uw|, |wv| < |uv| strictly, so the
+# usual shortest-detour induction goes through.  The RNG lune test
+# stays *open* (strict), the standard definition, so that equilateral
+# triangles are not disconnected; RNG(open) remains a subgraph of
+# GG(closed).
+_EPS = 1e-9
+
+
+def gabriel_graph(graph: WasnGraph) -> dict[NodeId, tuple[NodeId, ...]]:
+    """Adjacency of the Gabriel subgraph of ``graph``.
+
+    Edge ``uv`` survives iff no third node lies inside the closed
+    circle having ``uv`` as diameter.  Witnesses are searched among
+    ``N(u)`` only: any point inside the Gabriel disc of ``uv`` is within
+    ``|uv| <= radius`` of both ``u`` and ``v``, hence a neighbour of
+    both — this is what makes the construction local/distributed.
+    """
+    kept: dict[NodeId, list[NodeId]] = {u: [] for u in graph.node_ids}
+    for u, v in graph.edges():
+        pu, pv = graph.position(u), graph.position(v)
+        center = midpoint(pu, pv)
+        radius_sq = center.distance_squared_to(pu)
+        witness = False
+        for w in graph.neighbors(u):
+            if w == v:
+                continue
+            if graph.position(w).distance_squared_to(center) <= radius_sq + _EPS:
+                witness = True
+                break
+        if not witness:
+            kept[u].append(v)
+            kept[v].append(u)
+    return {u: tuple(sorted(vs)) for u, vs in kept.items()}
+
+
+def relative_neighborhood_graph(
+    graph: WasnGraph,
+) -> dict[NodeId, tuple[NodeId, ...]]:
+    """Adjacency of the RNG subgraph of ``graph``.
+
+    Edge ``uv`` survives iff no node ``w`` is strictly closer to both
+    endpoints than they are to each other.  The RNG is sparser than the
+    Gabriel graph (fewer faces to traverse) at the cost of longer
+    perimeter detours; the GF router accepts either.
+    """
+    kept: dict[NodeId, list[NodeId]] = {u: [] for u in graph.node_ids}
+    for u, v in graph.edges():
+        pu, pv = graph.position(u), graph.position(v)
+        length_sq = pu.distance_squared_to(pv)
+        witness = False
+        for w in graph.neighbors(u):
+            if w == v:
+                continue
+            pw = graph.position(w)
+            if (
+                pw.distance_squared_to(pu) < length_sq - _EPS
+                and pw.distance_squared_to(pv) < length_sq - _EPS
+            ):
+                witness = True
+                break
+        if not witness:
+            kept[u].append(v)
+            kept[v].append(u)
+    return {u: tuple(sorted(vs)) for u, vs in kept.items()}

@@ -1,0 +1,44 @@
+"""Distributed protocols: the message-passing side of the paper.
+
+Section 3 presents everything "in a synchronous, round-based system";
+this subpackage provides that system and the protocols that run on it:
+
+* :mod:`~repro.protocols.engine` — the synchronous round-based kernel
+  with radio-style local broadcast and cost accounting;
+* :mod:`~repro.protocols.hello` — neighbour discovery beacons;
+* :mod:`~repro.protocols.safety_protocol` — Algorithm 2 (information
+  construction) as an actual distributed protocol, whose fixed point
+  must equal the centralized :func:`repro.core.safety.compute_safety`
+  (a test asserts this);
+* :mod:`~repro.protocols.boundhole` — BOUNDHOLE boundary detection
+  (the paper's ref [5]), the information base of the GF baseline.
+"""
+
+from repro.protocols.async_engine import AsyncEngine, AsyncStats
+from repro.protocols.boundhole import HoleBoundarySet, build_hole_boundaries
+from repro.protocols.engine import (
+    Broadcast,
+    EngineStats,
+    ProtocolNode,
+    SyncEngine,
+)
+from repro.protocols.hello import HelloNode, run_hello
+from repro.protocols.safety_protocol import (
+    SafetyProtocolNode,
+    run_safety_protocol,
+)
+
+__all__ = [
+    "AsyncEngine",
+    "AsyncStats",
+    "Broadcast",
+    "EngineStats",
+    "HelloNode",
+    "HoleBoundarySet",
+    "ProtocolNode",
+    "SafetyProtocolNode",
+    "SyncEngine",
+    "build_hole_boundaries",
+    "run_hello",
+    "run_safety_protocol",
+]

@@ -1,0 +1,186 @@
+"""BOUNDHOLE: hole boundary detection (Fang, Gao, Guibas — ref [5]).
+
+Section 5: "within the interest area, boundary information [5] is
+constructed for GF routings" — the GF baseline recovers from local
+minima by walking precomputed hole boundaries instead of discovering
+detours on the fly.  This module builds that information:
+
+1. **TENT rule** — a node is a *potential stuck node* when the angular
+   gap between two consecutive neighbours (sorted by angle) exceeds
+   120°: packets for destinations inside such a gap cannot advance
+   greedily.  (This is the standard local simplification of the exact
+   TENT construction, which intersects perpendicular bisectors; the
+   gap form is what BOUNDHOLE deployments actually compute.)
+2. **Boundary walk** — from each stuck node, the hole boundary is
+   traced with the right-hand rule: enter the gap along its clockwise
+   edge and keep taking the first neighbour counter-clockwise from the
+   incoming edge until the walk returns to the start.  Connected stuck
+   nodes end up on the same cycle; each node is assigned the first
+   boundary that contains it.
+
+The result is deliberately exposed through the tiny
+:class:`~repro.routing.greedy.HoleBoundaries` protocol so the router
+layer stays decoupled from the construction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.geometry.angles import angle_of, ccw_angle_distance, first_hit_cw
+from repro.network.graph import WasnGraph
+from repro.network.node import NodeId
+
+__all__ = ["HoleBoundarySet", "build_hole_boundaries", "tent_stuck_nodes"]
+
+# TENT threshold: 120 degrees.
+_TENT_GAP = 2.0 * math.pi / 3.0
+
+
+def tent_stuck_nodes(graph: WasnGraph) -> set[NodeId]:
+    """Nodes with an angular neighbour gap exceeding 120° (TENT rule).
+
+    Nodes with no neighbours are skipped (they are unreachable, not
+    stuck); a single-neighbour node has a full 360° gap and qualifies.
+    """
+    stuck: set[NodeId] = set()
+    for u in graph.node_ids:
+        neighbors = graph.neighbors(u)
+        if not neighbors:
+            continue
+        pu = graph.position(u)
+        angles = sorted(angle_of(pu, graph.position(v)) for v in neighbors)
+        worst = 0.0
+        for i, current in enumerate(angles):
+            following = angles[(i + 1) % len(angles)]
+            gap = ccw_angle_distance(current, following)
+            if len(angles) == 1:
+                gap = math.tau
+            worst = max(worst, gap)
+        if worst > _TENT_GAP:
+            stuck.add(u)
+    return stuck
+
+
+@dataclass(frozen=True)
+class HoleBoundarySet:
+    """All detected hole boundaries, with per-node lookup."""
+
+    boundaries: tuple[tuple[NodeId, ...], ...]
+    _by_node: dict[NodeId, int] = field(repr=False)
+
+    def boundary_of(self, node: NodeId) -> tuple[NodeId, ...] | None:
+        """The boundary cycle through ``node`` (or None)."""
+        index = self._by_node.get(node)
+        return self.boundaries[index] if index is not None else None
+
+    def __len__(self) -> int:
+        return len(self.boundaries)
+
+    def nodes_on_boundaries(self) -> set[NodeId]:
+        """Every node that lies on some traced boundary."""
+        return set(self._by_node)
+
+    def total_boundary_hops(self) -> int:
+        """Total boundary edges — the message cost of the walks."""
+        return sum(len(b) for b in self.boundaries)
+
+
+def _widest_gap_edges(
+    graph: WasnGraph, u: NodeId
+) -> tuple[NodeId, NodeId] | None:
+    """The neighbours bounding u's widest angular gap (cw edge, ccw edge)."""
+    neighbors = graph.neighbors(u)
+    if not neighbors:
+        return None
+    pu = graph.position(u)
+    ordered = sorted(
+        neighbors, key=lambda v: angle_of(pu, graph.position(v))
+    )
+    if len(ordered) == 1:
+        return (ordered[0], ordered[0])
+    best: tuple[NodeId, NodeId] | None = None
+    best_gap = -1.0
+    for i, v in enumerate(ordered):
+        w = ordered[(i + 1) % len(ordered)]
+        gap = ccw_angle_distance(
+            angle_of(pu, graph.position(v)), angle_of(pu, graph.position(w))
+        )
+        if gap > best_gap:
+            best_gap = gap
+            best = (v, w)
+    return best
+
+
+def _trace_boundary(
+    graph: WasnGraph, start: NodeId, max_steps: int
+) -> tuple[NodeId, ...] | None:
+    """Rim walk of the hole starting at ``start``.
+
+    The first hop leaves along the *clockwise* edge of the widest gap
+    (the hole lies inside the gap); each subsequent hop takes the
+    first neighbour **clockwise** from the edge back to the previous
+    node — the pairing that keeps the hole on a consistent side of the
+    walk (a counter-clockwise sweep would immediately fold the walk
+    back away from the hole into a degenerate triangle).  Returns the
+    cycle when the walk comes back to ``start``; ``None`` when it
+    degenerates (repeated directed edge elsewhere, or step budget
+    exhausted).
+    """
+    gap = _widest_gap_edges(graph, start)
+    if gap is None:
+        return None
+    prev, current = start, gap[0]
+    walk = [start, current]
+    seen_edges = {(start, current)}
+    for _ in range(max_steps):
+        if current == start:
+            return tuple(walk[:-1])  # closed: drop the repeated start
+        pc = graph.position(current)
+        neighbors = graph.neighbors(current)
+        nxt = first_hit_cw(
+            pc,
+            angle_of(pc, graph.position(prev)),
+            neighbors,
+            graph.position,
+            exclusive=True,
+        )
+        if nxt is None:
+            # Degenerate single-neighbour dead end: bounce back.
+            nxt = prev
+        edge = (current, nxt)
+        if edge in seen_edges:
+            return None  # walk trapped in a sub-cycle missing start
+        seen_edges.add(edge)
+        walk.append(nxt)
+        prev, current = current, nxt
+    return None
+
+
+def build_hole_boundaries(
+    graph: WasnGraph, max_steps_factor: float = 4.0
+) -> HoleBoundarySet:
+    """Detect stuck nodes (TENT) and trace their hole boundaries.
+
+    ``max_steps_factor`` bounds each walk at ``factor * |V|`` hops.
+    Stuck nodes already assigned to a traced boundary are not re-walked
+    (connected stuck nodes share their hole's rim), which keeps
+    construction cost proportional to total boundary length — the
+    quantity the construction-cost benchmark reports.
+    """
+    stuck = tent_stuck_nodes(graph)
+    max_steps = max(16, int(max_steps_factor * len(graph)))
+    boundaries: list[tuple[NodeId, ...]] = []
+    by_node: dict[NodeId, int] = {}
+    for start in sorted(stuck):
+        if start in by_node:
+            continue
+        cycle = _trace_boundary(graph, start, max_steps)
+        if cycle is None:
+            continue
+        index = len(boundaries)
+        boundaries.append(cycle)
+        for node in cycle:
+            by_node.setdefault(node, index)
+    return HoleBoundarySet(boundaries=tuple(boundaries), _by_node=by_node)

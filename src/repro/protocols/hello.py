@@ -1,0 +1,55 @@
+"""Neighbour discovery: hello beacons.
+
+Every WASN protocol in the paper assumes nodes know their neighbours
+and the neighbours' locations (greedy forwarding needs ``L(v)`` for
+every ``v ∈ N(u)``).  That knowledge comes from a one-shot beacon
+exchange: each node broadcasts ``(id, position)`` once; after one round
+everyone has heard every neighbour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import Point
+from repro.network.graph import WasnGraph
+from repro.network.node import NodeId
+from repro.protocols.engine import Broadcast, EngineStats, ProtocolNode, SyncEngine
+
+__all__ = ["HelloNode", "run_hello"]
+
+
+@dataclass(frozen=True, slots=True)
+class _Hello:
+    position: Point
+
+
+class HelloNode(ProtocolNode):
+    """Broadcasts one beacon; records every beacon it hears."""
+
+    def __init__(self, node_id: NodeId, position: Point):
+        super().__init__(node_id)
+        self.position = position
+        self.neighbor_positions: dict[NodeId, Point] = {}
+
+    def on_start(self) -> _Hello:
+        """Broadcast the one-and-only beacon."""
+        return _Hello(self.position)
+
+    def on_round(self, inbox: list[Broadcast]) -> None:
+        for broadcast in inbox:
+            self.neighbor_positions[broadcast.sender] = broadcast.payload.position
+        return None  # nothing further to say
+
+
+def run_hello(graph: WasnGraph) -> tuple[SyncEngine, EngineStats]:
+    """Run neighbour discovery over ``graph``.
+
+    Returns the engine (for per-node inspection) and the cost stats —
+    exactly ``n`` transmissions and ``2 * |E|`` receptions.
+    """
+    engine = SyncEngine(
+        graph, lambda u: HelloNode(u, graph.position(u))
+    )
+    stats = engine.run()
+    return engine, stats

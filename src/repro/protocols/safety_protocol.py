@@ -1,0 +1,233 @@
+"""Algorithm 2 as a distributed protocol.
+
+    "In such a process, the safety status and the estimated shape
+    information are collected and distributed via information exchanges
+    among neighbors.  Such an exchange is implemented by broadcasting
+    such information of a node that newly changes its safety status to
+    all its neighbors."  (Section 3.)
+
+Every node starts by broadcasting a hello carrying its position and
+the all-safe status tuple; from then on a node re-evaluates its tuple
+and shape records whenever it hears an update, and broadcasts only when
+something of its own changed.  Statuses are monotone (safe -> unsafe
+only), shape records converge along the forwarding chains, so the
+protocol quiesces; its fixed point must equal the centralized
+construction (``tests/protocols`` asserts both statuses and shapes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.zones import (
+    ZONE_TYPES,
+    ZoneType,
+    forwarding_zone_contains,
+    quadrant_start_angle,
+)
+from repro.geometry import Point, Rect
+from repro.geometry.angles import sort_ccw
+from repro.network.graph import WasnGraph
+from repro.network.node import NodeId
+from repro.protocols.engine import Broadcast, EngineStats, ProtocolNode, SyncEngine
+
+__all__ = ["SafetyProtocolNode", "run_safety_protocol"]
+
+# Shape record as carried on the air: the far node of the first-scan
+# chain and of the last-scan chain, with their positions (a receiver
+# may not know those nodes directly — they can be many hops away).
+_ShapeWire = tuple[NodeId, Point, NodeId, Point]
+
+
+@dataclass(frozen=True, slots=True)
+class _Update:
+    """One broadcast: the sender's position, statuses and shapes.
+
+    ``version`` is a per-sender sequence number.  Asynchronous delivery
+    can reorder two broadcasts from the same sender (independent random
+    link delays), and acting on a stale update would freeze a wrong
+    belief; receivers keep only the highest version seen per sender.
+    """
+
+    position: Point
+    statuses: tuple[bool, bool, bool, bool]
+    shapes: dict[ZoneType, _ShapeWire]
+    version: int
+
+
+# For these scan-start edges the *first* chain hugs the horizontal
+# axis; mirrors repro.core.shape.
+_FIRST_CHAIN_IS_HORIZONTAL = {1: True, 2: False, 3: True, 4: False}
+
+
+class SafetyProtocolNode(ProtocolNode):
+    """Per-node state machine of the information construction."""
+
+    def __init__(
+        self, node_id: NodeId, position: Point, is_edge: bool
+    ):
+        super().__init__(node_id)
+        self.position = position
+        self.is_edge = is_edge
+        self.statuses: list[bool] = [True, True, True, True]
+        self.shapes: dict[ZoneType, _ShapeWire] = {}
+        self._neighbor_position: dict[NodeId, Point] = {}
+        self._neighbor_statuses: dict[
+            NodeId, tuple[bool, bool, bool, bool]
+        ] = {}
+        self._neighbor_shapes: dict[NodeId, dict[ZoneType, _ShapeWire]] = {}
+        self._neighbor_version: dict[NodeId, int] = {}
+        self._version = 0
+
+    # -- protocol hooks ------------------------------------------------
+
+    def on_start(self) -> _Update:
+        """Round-0 hello: position plus the all-safe initial tuple."""
+        return self._snapshot()
+
+    def on_round(self, inbox: list[Broadcast]) -> _Update | None:
+        for broadcast in inbox:
+            update: _Update = broadcast.payload
+            seen = self._neighbor_version.get(broadcast.sender, -1)
+            if update.version <= seen:
+                continue  # stale (reordered) update — discard
+            self._neighbor_version[broadcast.sender] = update.version
+            self._neighbor_position[broadcast.sender] = update.position
+            self._neighbor_statuses[broadcast.sender] = update.statuses
+            self._neighbor_shapes[broadcast.sender] = update.shapes
+        changed = self._reevaluate()
+        return self._snapshot() if changed else None
+
+    # -- local evaluation ----------------------------------------------
+
+    def _in_quadrant(self, zone_type: ZoneType) -> list[NodeId]:
+        return [
+            v
+            for v, pv in self._neighbor_position.items()
+            if forwarding_zone_contains(self.position, zone_type, pv)
+        ]
+
+    def _neighbor_is_safe(self, v: NodeId, zone_type: ZoneType) -> bool:
+        # Until a neighbour says otherwise it is presumed safe — the
+        # initial condition of Definition 1.
+        statuses = self._neighbor_statuses.get(v)
+        return statuses is None or statuses[zone_type - 1]
+
+    def _reevaluate(self) -> bool:
+        """Recompute statuses and shapes from current beliefs.
+
+        The recomputation is *bidirectional* (a status may flip back to
+        safe), which matters for asynchronous delivery: a node can act
+        before it has heard from every neighbour, label itself unsafe
+        for a quadrant that merely *looks* empty, and must recover when
+        the late hello arrives.  Convergence is still guaranteed: the
+        per-type dependency relation ("my status depends on my quadrant
+        neighbours'") follows a strictly increasing position key, so it
+        is a DAG, and recompute-to-fixpoint on a DAG reaches the unique
+        fixed point regardless of message order — this is what makes
+        the paper's "extended easily to an asynchronous ... system"
+        claim true, and the async-engine tests check it.
+        """
+        changed = False
+        for zone_type in ZONE_TYPES:
+            index = zone_type - 1
+            if self.is_edge:
+                continue  # pinned (1, 1, 1, 1)
+            in_quadrant = self._in_quadrant(zone_type)
+            safe = any(
+                self._neighbor_is_safe(v, zone_type) for v in in_quadrant
+            )
+            if safe != self.statuses[index]:
+                self.statuses[index] = safe
+                changed = True
+            if not safe:
+                if self._update_shape(zone_type, in_quadrant):
+                    changed = True
+            elif zone_type in self.shapes:
+                # Re-labeled safe: retract the stale shape record.
+                del self.shapes[zone_type]
+                changed = True
+        return changed
+
+    def _update_shape(
+        self, zone_type: ZoneType, in_quadrant: list[NodeId]
+    ) -> bool:
+        """Recompute ``u^(1)``/``u^(2)`` from current neighbour claims."""
+        unsafe_in_quadrant = [
+            v
+            for v in in_quadrant
+            if not self._neighbor_is_safe(v, zone_type)
+        ]
+        if not in_quadrant or not unsafe_in_quadrant:
+            # Either a genuine stuck node (empty quadrant) or a
+            # transient state before the quadrant neighbours have
+            # reported unsafe; both collapse to self (Algorithm 2's
+            # base case), refined by later rounds if needed.
+            record = (self.node_id, self.position, self.node_id, self.position)
+        else:
+            scan = sort_ccw(
+                self.position,
+                quadrant_start_angle(zone_type),
+                unsafe_in_quadrant,
+                self._neighbor_position.__getitem__,
+            )
+            v1, v2 = scan[0], scan[-1]
+            first = self._far_of(v1, zone_type, first_chain=True)
+            last = self._far_of(v2, zone_type, first_chain=False)
+            record = (*first, *last)
+        if self.shapes.get(zone_type) != record:
+            self.shapes[zone_type] = record
+            return True
+        return False
+
+    def _far_of(
+        self, v: NodeId, zone_type: ZoneType, first_chain: bool
+    ) -> tuple[NodeId, Point]:
+        """``v^(1)`` (or ``v^(2)``) as last reported by ``v``."""
+        shapes = self._neighbor_shapes.get(v, {})
+        record = shapes.get(zone_type)
+        if record is None:
+            return (v, self._neighbor_position[v])
+        return (record[0], record[1]) if first_chain else (record[2], record[3])
+
+    def _snapshot(self) -> _Update:
+        update = _Update(
+            position=self.position,
+            statuses=tuple(self.statuses),
+            shapes=dict(self.shapes),
+            version=self._version,
+        )
+        self._version += 1
+        return update
+
+    # -- inspection helpers (tests, examples) ---------------------------
+
+    def status_tuple(self) -> tuple[bool, bool, bool, bool]:
+        """The current safety tuple ``(S_1, S_2, S_3, S_4)``."""
+        return tuple(self.statuses)
+
+    def estimated_rect(self, zone_type: ZoneType) -> Rect | None:
+        """``E_i(u)`` as this node currently believes it."""
+        record = self.shapes.get(zone_type)
+        if record is None:
+            return None
+        first_pos, last_pos = record[1], record[3]
+        if _FIRST_CHAIN_IS_HORIZONTAL[zone_type]:
+            corner = Point(first_pos.x, last_pos.y)
+        else:
+            corner = Point(last_pos.x, first_pos.y)
+        return Rect.from_corners(self.position, corner)
+
+
+def run_safety_protocol(
+    graph: WasnGraph, max_rounds: int = 10_000
+) -> tuple[SyncEngine, EngineStats]:
+    """Run the distributed information construction over ``graph``."""
+    engine = SyncEngine(
+        graph,
+        lambda u: SafetyProtocolNode(
+            u, graph.position(u), graph.is_edge_node(u)
+        ),
+    )
+    stats = engine.run(max_rounds)
+    return engine, stats

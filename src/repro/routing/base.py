@@ -1,0 +1,194 @@
+"""Router interface, packet bookkeeping and route results.
+
+Every routing scheme in the paper is "presented via [its] forwarding
+node selection at an intermediate node" (Section 3): a packet moves hop
+by hop, each hop chosen from local state only.  This module owns the
+shared mechanics — TTL enforcement, path/phase recording, and the
+result record the experiment harness aggregates — so the four routers
+contain nothing but their successor-selection logic.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.network.graph import WasnGraph
+from repro.network.node import NodeId
+
+__all__ = [
+    "DEFAULT_TTL_FACTOR",
+    "Phase",
+    "RouteResult",
+    "Router",
+    "RoutingError",
+]
+
+# TTL defaults: generous enough that no legitimate detour is clipped
+# (the paper's worst curves stay well under 2 hops/node), tight enough
+# to cut off pathological oscillation.
+DEFAULT_TTL_FACTOR = 4.0
+_MIN_TTL = 64
+
+
+class RoutingError(Exception):
+    """Misuse of a router (unknown node, source == destination, ...)."""
+
+
+class Phase:
+    """Phase labels attached to every hop of a route.
+
+    String constants instead of an Enum so that results serialise to
+    CSV trivially and routers can introduce sub-phases without a
+    central registry edit.
+    """
+
+    GREEDY = "greedy"  # plain/zone-limited greedy advance
+    SAFE = "safe"  # safety-informed greedy advance (SLGF/SLGF2)
+    BACKUP = "backup"  # SLGF2 backup-path forwarding
+    PERIMETER = "perimeter"  # any recovery/perimeter phase
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """Outcome of routing one packet.
+
+    ``path`` always starts at the source and records every node the
+    packet touched in order (including backtracking re-visits, which
+    cost real transmissions and are therefore real hops for every
+    metric in the paper).  ``phases`` labels each hop, so
+    ``phases[i]`` explains the hop ``path[i] -> path[i+1]``.
+    """
+
+    router: str
+    source: NodeId
+    destination: NodeId
+    delivered: bool
+    path: tuple[NodeId, ...]
+    phases: tuple[str, ...]
+    length: float
+    perimeter_entries: int = 0
+    backup_entries: int = 0
+    bound_escapes: int = 0
+    failure_reason: str | None = None
+
+    @property
+    def hops(self) -> int:
+        """Number of transmissions (path edges)."""
+        return len(self.path) - 1
+
+    def phase_hops(self) -> dict[str, int]:
+        """Hop count per phase label."""
+        counts: dict[str, int] = {}
+        for phase in self.phases:
+            counts[phase] = counts.get(phase, 0) + 1
+        return counts
+
+    def __post_init__(self) -> None:
+        if len(self.phases) != max(len(self.path) - 1, 0):
+            raise ValueError(
+                "phases must label exactly the hops of the path"
+            )
+        if self.delivered and (
+            not self.path or self.path[-1] != self.destination
+        ):
+            raise ValueError("delivered route must end at the destination")
+
+
+class _PacketTrace:
+    """Mutable accumulator used while a packet is in flight."""
+
+    def __init__(self, graph: WasnGraph, source: NodeId, ttl: int):
+        self.graph = graph
+        self.path: list[NodeId] = [source]
+        self.phases: list[str] = []
+        self.length = 0.0
+        self.ttl = ttl
+        self.perimeter_entries = 0
+        self.backup_entries = 0
+        self.bound_escapes = 0
+
+    @property
+    def current(self) -> NodeId:
+        return self.path[-1]
+
+    @property
+    def previous(self) -> NodeId | None:
+        return self.path[-2] if len(self.path) >= 2 else None
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+    def exhausted(self) -> bool:
+        return self.hops >= self.ttl
+
+    def advance(self, node: NodeId, phase: str) -> None:
+        """Record one transmission to ``node``."""
+        if not self.graph.has_edge(self.current, node):
+            raise RoutingError(
+                f"illegal hop {self.current} -> {node}: not an edge"
+            )
+        self.length += self.graph.distance(self.current, node)
+        self.path.append(node)
+        self.phases.append(phase)
+
+
+class Router(ABC):
+    """Base class for the four routing schemes.
+
+    Subclasses implement :meth:`_run`, advancing the packet trace until
+    delivery or failure and returning an optional failure reason.
+    """
+
+    #: Short name used in result tables ("GF", "LGF", "SLGF", "SLGF2").
+    name: str = "?"
+
+    def __init__(self, graph: WasnGraph, ttl: int | None = None):
+        self._graph = graph
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive")
+        self._ttl = ttl if ttl is not None else max(
+            _MIN_TTL, int(DEFAULT_TTL_FACTOR * len(graph))
+        )
+
+    @property
+    def graph(self) -> WasnGraph:
+        """The network this router was built for."""
+        return self._graph
+
+    @property
+    def ttl(self) -> int:
+        """Hop budget per packet."""
+        return self._ttl
+
+    def route(self, source: NodeId, destination: NodeId) -> RouteResult:
+        """Route one packet from ``source`` to ``destination``."""
+        if source not in self._graph or destination not in self._graph:
+            raise RoutingError("source or destination not in graph")
+        if source == destination:
+            raise RoutingError("source equals destination")
+        trace = _PacketTrace(self._graph, source, self._ttl)
+        failure = self._run(trace, destination)
+        delivered = trace.current == destination and failure is None
+        return RouteResult(
+            router=self.name,
+            source=source,
+            destination=destination,
+            delivered=delivered,
+            path=tuple(trace.path),
+            phases=tuple(trace.phases),
+            length=trace.length,
+            perimeter_entries=trace.perimeter_entries,
+            backup_entries=trace.backup_entries,
+            bound_escapes=trace.bound_escapes,
+            failure_reason=failure,
+        )
+
+    @abstractmethod
+    def _run(self, trace: _PacketTrace, destination: NodeId) -> str | None:
+        """Advance ``trace`` until delivery or failure.
+
+        Returns ``None`` on delivery, otherwise a short failure-reason
+        string (e.g. ``"ttl_exceeded"``, ``"perimeter_loop"``).
+        """

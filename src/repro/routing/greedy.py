@@ -1,0 +1,176 @@
+"""GF: geographic greedy forwarding with perimeter recovery.
+
+The baseline of Section 5.  Greedy mode forwards to the neighbour
+closest to the destination; at a local minimum the packet enters a
+perimeter phase.  Two recovery strategies are provided:
+
+* ``"face"`` — GPSR/GFG right-hand-rule face routing on a planarized
+  subgraph (Gabriel graph by default), with the standard face-change
+  test on the stuck-node-to-destination line and the traversed-first-
+  edge-twice drop rule (destination unreachable);
+* ``"boundhole"`` — follow a precomputed hole boundary (the paper's
+  Section 5 gives GF routings "boundary information [5]", i.e.
+  BOUNDHOLE, Fang et al.).  The boundary object is produced by
+  :mod:`repro.protocols.boundhole`; nodes not on any boundary fall back
+  to face routing.
+
+Both exit recovery as soon as the packet reaches a node closer to the
+destination than the point where it got stuck.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+from repro.geometry import Point
+from repro.network.graph import WasnGraph
+from repro.network.node import NodeId
+from repro.network.planar import gabriel_graph, relative_neighborhood_graph
+from repro.routing.base import Phase, Router, _PacketTrace
+from repro.routing.perimeter import face_recovery
+
+__all__ = ["GreedyRouter", "HoleBoundaries"]
+
+_EPS = 1e-9
+
+
+class HoleBoundaries(Protocol):
+    """Boundary information in the BOUNDHOLE sense (paper ref [5])."""
+
+    def boundary_of(self, node: NodeId) -> tuple[NodeId, ...] | None:
+        """The boundary cycle through ``node``, or ``None``."""
+        ...
+
+
+class GreedyRouter(Router):
+    """GF routing: greedy forwarding + perimeter recovery."""
+
+    name = "GF"
+
+    def __init__(
+        self,
+        graph: WasnGraph,
+        ttl: int | None = None,
+        planarization: str = "gabriel",
+        recovery: str = "face",
+        hole_boundaries: HoleBoundaries | None = None,
+    ):
+        super().__init__(graph, ttl)
+        if planarization == "gabriel":
+            self._planar = gabriel_graph(graph)
+        elif planarization == "rng":
+            self._planar = relative_neighborhood_graph(graph)
+        else:
+            raise ValueError(
+                f"unknown planarization {planarization!r}; "
+                "expected 'gabriel' or 'rng'"
+            )
+        if recovery not in ("face", "boundhole"):
+            raise ValueError(
+                f"unknown recovery {recovery!r}; expected 'face' or 'boundhole'"
+            )
+        if recovery == "boundhole" and hole_boundaries is None:
+            raise ValueError("boundhole recovery needs hole_boundaries")
+        self._recovery = recovery
+        self._boundaries = hole_boundaries
+
+    # ------------------------------------------------------------------
+
+    def _run(self, trace: _PacketTrace, destination: NodeId) -> str | None:
+        graph = self.graph
+        pd = graph.position(destination)
+        while not trace.exhausted():
+            u = trace.current
+            if u == destination:
+                return None
+            if graph.has_edge(u, destination):
+                trace.advance(destination, Phase.GREEDY)
+                return None
+            pu = graph.position(u)
+            best = self._greedy_step(u, pu, pd)
+            if best is not None:
+                trace.advance(best, Phase.GREEDY)
+                continue
+            # Local minimum: recover.
+            trace.perimeter_entries += 1
+            if self._recovery == "boundhole":
+                failure = self._boundhole_recovery(trace, destination)
+            else:
+                failure = face_recovery(
+                    trace, graph, self._planar, destination
+                )
+            if failure is not None:
+                return failure
+            if trace.current == destination:
+                return None
+        return "ttl_exceeded"
+
+    def _greedy_step(self, u: NodeId, pu: Point, pd: Point) -> NodeId | None:
+        """The neighbour strictly closest to the destination, if any."""
+        graph = self.graph
+        du = pu.distance_to(pd)
+        best: NodeId | None = None
+        best_dist = du - _EPS
+        for v in graph.neighbors(u):
+            dv = graph.position(v).distance_to(pd)
+            if dv < best_dist:
+                best = v
+                best_dist = dv
+        return best
+
+    # ------------------------------------------------------------------
+    # BOUNDHOLE boundary recovery
+    # ------------------------------------------------------------------
+
+    def _boundhole_recovery(
+        self, trace: _PacketTrace, destination: NodeId
+    ) -> str | None:
+        """Walk the precomputed hole boundary until closer than stuck.
+
+        The boundary is a cycle of nodes enclosing the hole that caused
+        the local minimum (BOUNDHOLE's output).  The packet walks it in
+        the direction whose first step loses less distance, and exits
+        on the first node closer to the destination than the stuck
+        node.  If the stuck node is on no boundary (e.g. it only got
+        stuck because of the interest-area edge), face recovery is used
+        instead.
+        """
+        graph = self.graph
+        pd = graph.position(destination)
+        stuck = trace.current
+        exit_dist = graph.position(stuck).distance_to(pd)
+        assert self._boundaries is not None
+        cycle = self._boundaries.boundary_of(stuck)
+        if cycle is None or len(cycle) < 2:
+            return face_recovery(trace, graph, self._planar, destination)
+
+        index = cycle.index(stuck)
+        forward = cycle[index + 1 :] + cycle[:index]
+        backward = tuple(reversed(cycle[:index])) + tuple(
+            reversed(cycle[index + 1 :])
+        )
+        # Pick the direction that gets closer to the destination sooner.
+        def first_gain(order: tuple[NodeId, ...]) -> float:
+            return (
+                graph.position(order[0]).distance_to(pd)
+                if order
+                else math.inf
+            )
+
+        walk = forward if first_gain(forward) <= first_gain(backward) else backward
+        for node in walk:
+            if trace.exhausted():
+                return "ttl_exceeded"
+            if not graph.has_edge(trace.current, node):
+                # Boundary edges are graph edges by construction; a gap
+                # means the boundary is stale (e.g. node failures).
+                return face_recovery(trace, graph, self._planar, destination)
+            trace.advance(node, Phase.PERIMETER)
+            if graph.has_edge(node, destination):
+                trace.advance(destination, Phase.PERIMETER)
+                return None
+            if graph.position(node).distance_to(pd) < exit_dist - _EPS:
+                return None  # resume greedy
+        # Walked the whole boundary without getting closer.
+        return "unreachable"

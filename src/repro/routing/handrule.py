@@ -1,0 +1,40 @@
+"""Hand-rule sweeps shared by every perimeter/backup phase.
+
+The paper describes all recovery traversals as ray rotations: the
+right-hand rule "rotat[es] the ray ud counter-clockwise until the first
+untried node v ∈ N(u) is hit" (Algorithm 1), and SLGF2 generalises to
+the **either-hand rule** — pick the rotation direction that matches the
+destination's side of an unsafe area and then *stick with it*
+(Algorithm 3).  This module is the single place that maps a
+:class:`~repro.core.regions.Hand` onto the geometric sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.core.regions import Hand
+from repro.geometry import Point
+from repro.geometry.angles import first_hit_ccw, first_hit_cw
+
+__all__ = ["hand_sweep"]
+
+
+def hand_sweep(
+    hand: Hand,
+    origin: Point,
+    reference_angle: float,
+    candidates: Iterable[int],
+    position_of: Callable[[int], Point],
+    exclusive: bool = False,
+) -> int | None:
+    """First candidate hit when rotating a ray in ``hand``'s direction.
+
+    ``Hand.RIGHT`` rotates counter-clockwise (the classic right-hand
+    rule), ``Hand.LEFT`` clockwise.  ``exclusive`` skips candidates
+    exactly on the reference ray — used when sweeping away from the
+    previous hop so a packet never bounces straight back unless no
+    other option exists.
+    """
+    sweep = first_hit_ccw if hand is Hand.RIGHT else first_hit_cw
+    return sweep(origin, reference_angle, candidates, position_of, exclusive)

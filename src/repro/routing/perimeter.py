@@ -1,0 +1,118 @@
+"""Face-routing perimeter recovery (Bose-Morin-Stojmenovic / GPSR).
+
+The paper's perimeter phases cite "the 'right-hand rule' policy [2]" —
+reference [2] being the face-routing paper (Routing with Guaranteed
+Delivery in Ad Hoc Wireless Networks).  This module implements that
+traversal once, parameterised by the rotation hand so that:
+
+* GF uses it with the right hand (classic GPSR perimeter mode);
+* SLGF2 uses it with the hand chosen by the either-hand rule and
+  sticks with it for the phase (Algorithm 3 step 5).
+
+Mechanics (mirrored exactly for the left hand):
+
+* the walk runs on a planarized subgraph (Gabriel/RNG adjacency);
+* the first edge is the first one swept from the ray toward the
+  destination; afterwards the sweep starts from the edge back to the
+  previous node (exclusive, so the packet never u-turns needlessly);
+* an edge crossing the stuck-node-to-destination segment closer to the
+  destination than any previous crossing triggers a face change (the
+  sweep rotates past it);
+* traversing the first edge of the current face a second time means
+  the destination is unreachable (the GPSR drop rule);
+* the phase exits at the first node strictly closer to the destination
+  than the stuck node.
+"""
+
+from __future__ import annotations
+
+from repro.core.regions import Hand
+from repro.geometry.angles import angle_of
+from repro.geometry.segment import proper_intersection_point
+from repro.network.graph import WasnGraph
+from repro.network.node import NodeId
+from repro.routing.base import Phase, _PacketTrace
+from repro.routing.handrule import hand_sweep
+
+__all__ = ["face_recovery"]
+
+_EPS = 1e-9
+
+
+def face_recovery(
+    trace: _PacketTrace,
+    graph: WasnGraph,
+    planar: dict[NodeId, tuple[NodeId, ...]],
+    destination: NodeId,
+    hand: Hand = Hand.RIGHT,
+) -> str | None:
+    """Walk faces of the planar subgraph until closer than the stuck node.
+
+    Returns ``None`` when greedy forwarding may resume (or the packet
+    arrived); otherwise a failure reason (``"unreachable"``,
+    ``"ttl_exceeded"``, ``"isolated_in_planar_graph"``).
+    """
+    pd = graph.position(destination)
+    stuck = trace.current
+    stuck_pos = graph.position(stuck)
+    exit_dist = stuck_pos.distance_to(pd)
+
+    first_edge: tuple[NodeId, NodeId] | None = None
+    best_cross = exit_dist
+    while not trace.exhausted():
+        u = trace.current
+        pu = graph.position(u)
+        if u != stuck and pu.distance_to(pd) < exit_dist - _EPS:
+            return None  # resume forwarding
+        if graph.has_edge(u, destination):
+            trace.advance(destination, Phase.PERIMETER)
+            return None
+        candidates = planar[u]
+        if not candidates:
+            return "isolated_in_planar_graph"
+        prev = trace.previous
+        if first_edge is None or prev is None:
+            reference = angle_of(pu, pd)
+            exclusive = False
+        else:
+            reference = angle_of(pu, graph.position(prev))
+            exclusive = True
+        nxt = hand_sweep(
+            hand, pu, reference, candidates, graph.position, exclusive
+        )
+        if nxt is None:
+            return "isolated_in_planar_graph"
+        # Face-change test: rotate past edges crossing the
+        # stuck->destination segment closer to the destination.
+        changed_face = False
+        for _ in range(len(candidates)):
+            crossing = proper_intersection_point(
+                pu, graph.position(nxt), stuck_pos, pd
+            )
+            if crossing is None:
+                break
+            cross_dist = crossing.distance_to(pd)
+            if cross_dist >= best_cross - _EPS:
+                break
+            best_cross = cross_dist
+            changed_face = True
+            rotated = hand_sweep(
+                hand,
+                pu,
+                angle_of(pu, graph.position(nxt)),
+                candidates,
+                graph.position,
+                exclusive=True,
+            )
+            if rotated is None:
+                break
+            nxt = rotated
+        edge = (u, nxt)
+        if changed_face or first_edge is None:
+            first_edge = edge
+        elif edge == first_edge:
+            # Traversing the first edge of the face a second time: the
+            # destination is unreachable (GPSR drop rule).
+            return "unreachable"
+        trace.advance(nxt, Phase.PERIMETER)
+    return "ttl_exceeded"

@@ -1,0 +1,579 @@
+"""SLGF2: the paper's routing algorithm (Algorithm 3, Section 4).
+
+The phase ladder, "in the following order":
+
+1. **Safe forwarding** — forward to a request-zone candidate that is
+   safe for its own request zone toward ``d`` (step 2).
+2. **Either-hand superseding rule** (step 3) — among candidates,
+   prefer ones *not* in the forbidden region of any known unsafe area
+   while the destination sits in the critical region.
+3. **Backup path forwarding** (step 4) — when safe forwarding is
+   unavailable and the unsafe area ahead is *large*, forward along
+   other-type safe nodes chosen by the either-hand rule, sticking with
+   the chosen hand, until safe forwarding resumes.  This routes
+   *around* the unsafe area instead of entering it and triggering a
+   perimeter phase.
+4. **Perimeter routing** (step 5) — last resort, sticking with one
+   hand.  Three mechanics are provided via ``perimeter_mode``:
+
+   * ``"face"`` (default) — either-hand face routing on the Gabriel
+     subgraph (the paper's perimeter policy cites the face-routing
+     paper, its ref [2]); this is what realises contribution (c)'s
+     promise of "avoid[ing] many unnecessary trials";
+   * ``"dfs"`` — the untried-node ray sweep with backtracking that LGF
+     and SLGF use (Algorithm 1 step 4), for like-for-like ablations;
+   * ``"dfs-bounded"`` — the DFS confined to the union of estimated
+     unsafe rectangles (the literal reading of contribution (c)).
+     Measured effect is *negative* under DFS mechanics — the bound
+     overrides the hand sweep's angular order (see the ablation bench
+     and EXPERIMENTS.md) — which is why it is not the default.
+     ``bound_escapes`` counts fallbacks when the bound starves the
+     sweep.
+
+Engineering decisions layered on the paper's text (all documented in
+DESIGN.md, all surfaced as constructor flags for the ablation benches):
+
+* **Safe-arrival gate.**  "When the destination d is type-k' safe
+  (k' = (k+2) Mod 4), a straightforward path is achieved" — and when
+  ``d`` is *not* type-k' safe no safe-forwarding path can complete the
+  route, so the router behaves like SLGF with an unsafe destination
+  (greedy + perimeter, "without the safety information"), still
+  steering with the superseding filter.
+* **Size-aware entry.**  Contribution (b) avoids "enter[ing] an unsafe
+  area, which will directly lead to a perimeter routing phase" — but
+  when the estimated rectangle ahead is tiny, entering and recovering
+  is cheaper than orbiting.  The router enters when the predicted
+  block's rectangle diagonal is below ``enter_threshold_factor`` radii
+  (or contains the destination), and detours otherwise.  The rectangle
+  is exactly the paper's own size estimate: "the number of detours is
+  in proportion[] [to] the perimeter of the unsafe area".
+* **Backup episode cap.**  For the same reason, one backup episode is
+  capped at a multiple of (estimated area perimeter / radius) hops;
+  beyond that the packet stops orbiting and enters (or falls to the
+  perimeter phase).
+* **Per-packet backup memory.**  Safety statuses are quadrant-based
+  while forwarding is zone-limited, so "safe forwarding resumed" can
+  be a false escape leading straight back into the same dead end; the
+  backup visited-set persists for the packet's lifetime to force
+  progress.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.model import InformationModel
+from repro.core.regions import Hand, RegionSplit
+from repro.core.zones import (
+    ZONE_TYPES,
+    forwarding_zone_contains,
+    opposite_zone_type,
+    request_zone,
+    zone_type_of,
+)
+from repro.geometry import Point, Rect
+from repro.geometry.angles import angle_of
+from repro.network.node import NodeId
+from repro.network.planar import gabriel_graph
+from repro.routing.base import Phase, Router, _PacketTrace
+from repro.routing.handrule import hand_sweep
+from repro.routing.perimeter import face_recovery
+
+__all__ = ["Slgf2Router"]
+
+_EPS = 1e-9
+
+
+class Slgf2Router(Router):
+    """SLGF2 routing (Algorithm 3)."""
+
+    name = "SLGF2"
+
+    def __init__(
+        self,
+        model: InformationModel,
+        ttl: int | None = None,
+        use_superseding: bool = True,
+        use_backup: bool = True,
+        perimeter_mode: str = "face",
+        bound_margin_factor: float = 1.0,
+        enter_threshold_factor: float = 3.0,
+        backup_cap_factor: float = 2.0,
+        candidate_scope: str = "quadrant",
+        perimeter_hand: str = "right",
+        adaptive_greedy: bool = False,
+    ):
+        super().__init__(model.graph, ttl)
+        if candidate_scope not in ("zone", "quadrant"):
+            raise ValueError(
+                f"unknown candidate_scope {candidate_scope!r}; "
+                "expected 'zone' or 'quadrant'"
+            )
+        if perimeter_mode not in ("face", "dfs", "dfs-bounded"):
+            raise ValueError(
+                f"unknown perimeter_mode {perimeter_mode!r}; "
+                "expected 'face', 'dfs' or 'dfs-bounded'"
+            )
+        if perimeter_hand not in ("right", "either"):
+            raise ValueError(
+                f"unknown perimeter_hand {perimeter_hand!r}; "
+                "expected 'right' or 'either'"
+            )
+        self._perimeter_hand = perimeter_hand
+        self._adaptive_greedy = adaptive_greedy
+        self._scope = candidate_scope
+        if bound_margin_factor < 0:
+            raise ValueError("bound_margin_factor must be non-negative")
+        if enter_threshold_factor < 0:
+            raise ValueError("enter_threshold_factor must be non-negative")
+        if backup_cap_factor <= 0:
+            raise ValueError("backup_cap_factor must be positive")
+        self._model = model
+        self._use_superseding = use_superseding
+        self._use_backup = use_backup
+        self._perimeter_mode = perimeter_mode
+        self._bound_margin = bound_margin_factor * model.graph.radius
+        self._enter_threshold = enter_threshold_factor * model.graph.radius
+        self._backup_cap_factor = backup_cap_factor
+        self._planar = (
+            gabriel_graph(model.graph) if perimeter_mode == "face" else None
+        )
+
+    @property
+    def model(self) -> InformationModel:
+        """The information model this router consults."""
+        return self._model
+
+    # ------------------------------------------------------------------
+    # Candidate machinery
+    # ------------------------------------------------------------------
+
+    def _plain_zone_candidates(
+        self, u: NodeId, pu: Point, pd: Point
+    ) -> list[NodeId]:
+        """All forwarding candidates at ``u``.
+
+        ``"zone"`` scope: ``Z_k(u, d) ∩ N(u)`` (Algorithm 1 as
+        printed); ``"quadrant"`` scope: strictly-closer neighbours in
+        ``Q_k(u)`` (the prose definition of blocking, and the scope
+        under which the safety labels are exact — see DESIGN.md).
+        """
+        graph = self.graph
+        if self._scope == "zone":
+            zone = request_zone(pu, pd)
+            return [
+                v
+                for v in graph.neighbors(u)
+                if zone.contains(graph.position(v))
+            ]
+        k = zone_type_of(pu, pd)
+        du = pu.distance_to(pd)
+        candidates = [
+            v
+            for v in graph.neighbors(u)
+            if forwarding_zone_contains(pu, k, graph.position(v))
+            and graph.position(v).distance_to(pd) < du - _EPS
+        ]
+        if not candidates and self._adaptive_greedy:
+            # Future-work extension ("increase the routing adaptivity
+            # so that fewer perimeter routing phases are needed"):
+            # when the forwarding zone is empty, accept *any* strictly
+            # closer neighbour before resorting to detour phases.
+            candidates = [
+                v
+                for v in graph.neighbors(u)
+                if graph.position(v).distance_to(pd) < du - _EPS
+            ]
+        return candidates
+
+    def _safe_zone_candidates(
+        self, candidates: list[NodeId], pd: Point
+    ) -> list[NodeId]:
+        """Step 2: candidates safe w.r.t. their own zone toward ``d``."""
+        graph = self.graph
+        out: list[NodeId] = []
+        for v in candidates:
+            pv = graph.position(v)
+            if pv == pd or self._model.is_safe(v, zone_type_of(pv, pd)):
+                out.append(v)
+        return out
+
+    def _region_splits_at(self, u: NodeId, pd: Point) -> list[RegionSplit]:
+        """Critical/forbidden splits visible from ``u``.
+
+        One split per (unsafe node, type) among ``u`` and its
+        neighbours, kept only when the destination lies inside the
+        split's forwarding zone (otherwise "the destination is in the
+        critical region" cannot hold) and off the divider.
+        """
+        graph = self.graph
+        splits: list[RegionSplit] = []
+        for w in (u, *graph.neighbors(u)):
+            pw = graph.position(w)
+            for zone_type in ZONE_TYPES:
+                if self._model.is_safe(w, zone_type):
+                    continue
+                if not forwarding_zone_contains(pw, zone_type, pd):
+                    continue
+                split = self._model.region_split(w, zone_type, pd)
+                if split is not None and split.destination_side != 0:
+                    splits.append(split)
+        return splits
+
+    def _prefer_non_forbidden(
+        self, candidates: list[NodeId], splits: list[RegionSplit]
+    ) -> list[NodeId]:
+        """Step 3, the superseding rule: drop forbidden-region candidates.
+
+        A *preference*, not a hard constraint: when every candidate is
+        forbidden the original list is returned (a detour beats a
+        stall).
+        """
+        if not self._use_superseding or not splits:
+            return candidates
+        graph = self.graph
+        filtered = [
+            v
+            for v in candidates
+            if not any(
+                split.in_forbidden_region(graph.position(v))
+                for split in splits
+            )
+        ]
+        return filtered or candidates
+
+    def _greedy_pick(
+        self, candidates: list[NodeId], pd: Point
+    ) -> NodeId:
+        """Deterministic greedy choice: closest to ``d``, ties by id."""
+        graph = self.graph
+        return min(
+            candidates,
+            key=lambda v: (graph.position(v).distance_to(pd), v),
+        )
+
+    def _is_backup_candidate(self, u: NodeId, pu: Point, v: NodeId) -> bool:
+        """Is hopping to ``v`` a safe type-``i`` forwarding for some ``i``?
+
+        True when ``v`` is safe for a quadrant type it occupies
+        relative to ``u`` (a node on a quadrant boundary occupies two
+        types; being safe in either qualifies).  "The routing from u
+        can use the type-i forwarding to approach the edge of that
+        type-k unsafe area and then leave away from such an area."
+        """
+        pv = self.graph.position(v)
+        return any(
+            forwarding_zone_contains(pu, zone_type, pv)
+            and self._model.is_safe(v, zone_type)
+            for zone_type in ZONE_TYPES
+        )
+
+    def _choose_hand(
+        self, splits: list[RegionSplit]
+    ) -> Hand:
+        """Pick the hand that walks around the unsafe area on d's side.
+
+        Uses the first visible split (deterministic: splits are
+        gathered in node-id order); defaults to the right hand when no
+        shape information is visible — the paper's base rule.
+        """
+        for split in splits:
+            return split.preferred_hand()
+        return Hand.RIGHT
+
+    # ------------------------------------------------------------------
+    # Size-aware entry decision
+    # ------------------------------------------------------------------
+
+    def _entering_is_cheap(self, v: NodeId, pd: Point) -> bool:
+        """Should the packet enter the unsafe area through ``v``?
+
+        ``v`` is an unsafe zone candidate; its estimated rectangle
+        ``E_k̄(v)`` measures the blocking area ahead.  Entering is
+        cheap when the rectangle is small (recovery after the predicted
+        block costs less than orbiting), and *necessary* when the
+        destination lies inside the rectangle (no safe path can end
+        there anyway).
+        """
+        pv = self.graph.position(v)
+        if pv == pd:
+            return True
+        rect = self._model.estimated_area(v, zone_type_of(pv, pd))
+        if rect is None:
+            return True  # no prediction of a block at all
+        if rect.contains(pd, tol=_EPS):
+            return True
+        if rect.is_degenerate(tol=_EPS):
+            # The candidate is itself a stuck node with an empty
+            # quadrant: its point-rectangle says nothing about the size
+            # of the blocking area (it could be the bottom of a deep
+            # pocket).  Never treat that as cheap.
+            return False
+        return rect.diagonal() <= self._enter_threshold
+
+    def _backup_cap(self, u: NodeId) -> int:
+        """Episode hop budget: proportional to the estimated perimeter.
+
+        "The number of detours is in proportion[] [to] the perimeter of
+        the unsafe area.  Due to the limited size of each unsafe area,
+        the length of the routing path can be controlled."
+        """
+        rects = self._model.known_unsafe_rects(u)
+        if not rects:
+            return 8
+        bound = rects[0]
+        for rect in rects[1:]:
+            bound = bound.union_bounds(rect)
+        hops_around = bound.perimeter / self.graph.radius
+        return max(8, math.ceil(self._backup_cap_factor * hops_around))
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def _run(self, trace: _PacketTrace, destination: NodeId) -> str | None:
+        graph = self.graph
+        pd = graph.position(destination)
+        hand: Hand | None = None  # committed hand while in backup mode
+        in_backup = False
+        backup_budget = 0
+        backup_visited: set[NodeId] = set()  # per-packet, see module doc
+
+        while not trace.exhausted():
+            u = trace.current
+            if u == destination:
+                return None
+            if graph.has_edge(u, destination):
+                trace.advance(
+                    destination, Phase.BACKUP if in_backup else Phase.SAFE
+                )
+                return None
+            pu = graph.position(u)
+            k = zone_type_of(pu, pd)
+            plain = self._plain_zone_candidates(u, pu, pd)
+            safe = self._safe_zone_candidates(plain, pd)
+
+            # Steps 2+3: safe forwarding under the superseding rule.
+            if safe:
+                if in_backup:
+                    # "until the forwarding from v to d is safe": leave
+                    # backup mode, release the hand commitment.
+                    in_backup = False
+                    hand = None
+                splits = self._region_splits_at(u, pd)
+                preferred = self._prefer_non_forbidden(safe, splits)
+                trace.advance(self._greedy_pick(preferred, pd), Phase.SAFE)
+                continue
+
+            # Safe-arrival gate (see module docstring): an unsafe
+            # destination voids the safe-forwarding guarantee, so run
+            # SLGF-style greedy + perimeter, superseding filter intact.
+            arrival_safe = self._model.is_safe(
+                destination, opposite_zone_type(k)
+            )
+
+            # Backup triggers on u's own status, as in Section 4:
+            # "When u is safe in one of four types but not in the type
+            # of its request zone (S_k(u) = 0 ∧ S_i(u) > 0, i ≠ k), the
+            # routing from u can use the type-i forwarding."  When
+            # S_k(u) = 1 the label promises a continuable forwarding
+            # ahead, so a plain greedy hop is the right move even
+            # though no *zone-safe* candidate showed up (quadrant-based
+            # labels vs zone-limited candidates).  The size heuristic
+            # (`_entering_is_cheap`) can additionally allow entering a
+            # provably tiny area; it is conservative and never fires on
+            # degenerate point-rectangles.
+            detour_justified = (
+                self._use_backup
+                and arrival_safe
+                and not self._model.is_safe(u, k)
+                and self._model.is_safe_any(u)
+                and not (
+                    plain
+                    and self._entering_is_cheap(
+                        self._greedy_pick(plain, pd), pd
+                    )
+                )
+            )
+            if plain and not detour_justified:
+                splits = self._region_splits_at(u, pd)
+                preferred = self._prefer_non_forbidden(plain, splits)
+                trace.advance(self._greedy_pick(preferred, pd), Phase.GREEDY)
+                continue
+
+            # Step 4: backup path forwarding around a large unsafe area.
+            backup: list[NodeId] = []
+            if self._use_backup and arrival_safe:
+                if in_backup and backup_budget <= 0:
+                    # Episode over budget: stop orbiting.  Enter the
+                    # area if possible, else fall to perimeter.
+                    if plain:
+                        splits = self._region_splits_at(u, pd)
+                        preferred = self._prefer_non_forbidden(plain, splits)
+                        trace.advance(
+                            self._greedy_pick(preferred, pd), Phase.GREEDY
+                        )
+                        in_backup = False
+                        hand = None
+                        continue
+                else:
+                    backup = [
+                        v
+                        for v in graph.neighbors(u)
+                        if v not in backup_visited
+                        and self._is_backup_candidate(u, pu, v)
+                    ]
+            if backup:
+                if not in_backup:
+                    in_backup = True
+                    trace.backup_entries += 1
+                    backup_budget = self._backup_cap(u)
+                    backup_visited.add(u)
+                    if hand is None:
+                        # In the detour phases the superseding rule *is*
+                        # the hand choice: route around the area on the
+                        # destination's side (Section 4's "either-hand
+                        # rule"), then stick with that hand.
+                        hand = self._choose_hand(
+                            self._region_splits_at(u, pd)
+                        )
+                # Sweep anchored on the ray ud (like Algorithm 1's
+                # perimeter rule): backup hops hug the destination
+                # direction — "approach the edge of the unsafe area" —
+                # while the visited-set prevents ping-pong.
+                pick = hand_sweep(
+                    hand,
+                    pu,
+                    angle_of(pu, pd),
+                    backup,
+                    graph.position,
+                    exclusive=False,
+                )
+                if pick is not None:
+                    backup_visited.add(pick)
+                    backup_budget -= 1
+                    trace.advance(pick, Phase.BACKUP)
+                    continue
+                # All sweep candidates degenerate (coincident points):
+                # fall through to the perimeter phase.
+
+            # Step 5: perimeter routing.  The hand: the paper prescribes
+            # the either-hand rule here too, but the E-rectangle
+            # estimates that drive the hand choice systematically
+            # underestimate *large* unsafe areas (the chains only see
+            # the near rim), and a mis-chosen hand walks a face the
+            # long way around — measured: either-hand costs ~50% extra
+            # hops under FA.  Default is therefore the plain right-hand
+            # rule; ``perimeter_hand="either"`` restores the paper's
+            # letter for the ablation bench.
+            in_backup = False
+            trace.perimeter_entries += 1
+            if self._perimeter_hand == "right":
+                peri_hand = Hand.RIGHT
+            elif hand is not None:
+                peri_hand = hand
+            else:
+                peri_hand = self._choose_hand(self._region_splits_at(u, pd))
+            failure = self._perimeter_phase(trace, destination, peri_hand)
+            if failure is not None:
+                return failure
+            hand = None
+            if trace.current == destination:
+                return None
+        return "ttl_exceeded"
+
+    def _perimeter_phase(
+        self, trace: _PacketTrace, destination: NodeId, hand: Hand
+    ) -> str | None:
+        """Dispatch on the configured perimeter mechanics."""
+        if self._perimeter_mode == "face":
+            assert self._planar is not None
+            return face_recovery(
+                trace, self.graph, self._planar, destination, hand
+            )
+        return self._bounded_perimeter_phase(trace, destination, hand)
+
+    # ------------------------------------------------------------------
+    # Step 5: bounded perimeter phase
+    # ------------------------------------------------------------------
+
+    def _perimeter_bound(self, u: NodeId) -> Rect | None:
+        """The rectangle that "covers all four E areas" known at ``u``.
+
+        Union of the estimated unsafe-area rectangles of ``u`` and its
+        neighbours, fattened by one bound margin (default: one
+        communication radius) so the detour path *around* the area
+        stays inside the bound.
+        """
+        if self._perimeter_mode != "dfs-bounded":
+            return None
+        rects = self._model.known_unsafe_rects(u)
+        if not rects:
+            return None
+        bound = rects[0]
+        for rect in rects[1:]:
+            bound = bound.union_bounds(rect)
+        return bound.expanded(self._bound_margin)
+
+    def _bounded_perimeter_phase(
+        self, trace: _PacketTrace, destination: NodeId, hand: Hand
+    ) -> str | None:
+        """Hand-rule sweep over untried neighbours with backtracking.
+
+        Candidates are confined to the estimated-unsafe-area bound when
+        one is known; the phase exits at the first node strictly closer
+        to the destination than the entry point (the same recovery exit
+        every other router uses, which keeps perimeter entries strictly
+        monotone in distance-to-destination and hence terminating).
+        """
+        graph = self.graph
+        pd = graph.position(destination)
+        entry = trace.current
+        entry_dist = graph.position(entry).distance_to(pd)
+        bound = self._perimeter_bound(entry)
+        tried: set[NodeId] = {entry}
+        stack: list[NodeId] = [entry]
+        while not trace.exhausted():
+            u = trace.current
+            pu = graph.position(u)
+            if graph.has_edge(u, destination):
+                trace.advance(destination, Phase.PERIMETER)
+                return None
+            if u != entry and pu.distance_to(pd) < entry_dist - _EPS:
+                return None  # recovery complete, resume the ladder
+            untried = [v for v in graph.neighbors(u) if v not in tried]
+            candidates = untried
+            if bound is not None and untried:
+                inside = [
+                    v for v in untried if bound.contains(graph.position(v))
+                ]
+                if inside:
+                    candidates = inside
+                else:
+                    trace.bound_escapes += 1
+            if candidates:
+                # ud-anchored sweep, as in Algorithm 1's perimeter rule;
+                # the tried-set provides the "untried" memory.  The
+                # superseding rule acts here through the committed hand
+                # only — per-candidate forbidden-region filtering would
+                # fight the hand discipline and measurably lengthens
+                # detours (see the ablation bench).
+                pick = hand_sweep(
+                    hand,
+                    pu,
+                    angle_of(pu, pd),
+                    candidates,
+                    graph.position,
+                    exclusive=False,
+                )
+                if pick is not None:
+                    tried.add(pick)
+                    stack.append(pick)
+                    trace.advance(pick, Phase.PERIMETER)
+                    continue
+            # Dead end inside the bound: backtrack.
+            stack.pop()
+            if not stack:
+                return "unreachable"
+            trace.advance(stack[-1], Phase.PERIMETER)
+        return "ttl_exceeded"

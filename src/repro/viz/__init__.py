@@ -1,0 +1,12 @@
+"""Terminal visualisation: ASCII charts and network maps.
+
+matplotlib is unavailable in the offline reproduction environment, so
+figures are rendered as aligned tables, CSV files and ASCII line
+charts — sufficient to compare curve *shapes* against the paper — and
+network maps for the example scripts.
+"""
+
+from repro.viz.ascii_chart import line_chart
+from repro.viz.network_map import network_map
+
+__all__ = ["line_chart", "network_map"]

@@ -1,0 +1,79 @@
+"""ASCII line charts for figure series."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["line_chart"]
+
+# Each series gets a marker, assigned in insertion order.
+_MARKERS = "ox+*#@%&"
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    x_values: Sequence[float] | None = None,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Render several y-series on a shared ASCII canvas.
+
+    Series are drawn as scattered markers at their sample positions
+    (one column per x sample, interpolated onto the canvas width); a
+    legend maps markers to series names.  Overlapping points keep the
+    marker drawn last, which is fine for eyeballing curve shapes.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must have the same length")
+    (n,) = lengths
+    if n == 0:
+        raise ValueError("series must not be empty")
+    if x_values is not None and len(x_values) != n:
+        raise ValueError("x_values length must match the series")
+    if width < 8 or height < 4:
+        raise ValueError("canvas too small")
+
+    all_values = [v for vs in series.values() for v in vs]
+    lo, hi = min(all_values), max(all_values)
+    if hi == lo:
+        hi = lo + 1.0  # flat chart: avoid dividing by zero
+
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for i, value in enumerate(values):
+            x = round(i * (width - 1) / max(n - 1, 1))
+            y = round((value - lo) / (hi - lo) * (height - 1))
+            canvas[height - 1 - y][x] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{hi:.6g}"
+    bottom_label = f"{lo:.6g}"
+    label_width = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            label = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}|")
+    if x_values is not None:
+        left = f"{x_values[0]:g}"
+        right = f"{x_values[-1]:g}"
+        pad = width - len(left) - len(right)
+        lines.append(
+            " " * (label_width + 2) + left + " " * max(pad, 1) + right
+        )
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""ASCII maps of a deployed network, for the example scripts.
+
+Renders the interest area as a character grid: nodes, obstacles,
+routing paths and unsafe areas each get a glyph layer, later layers
+overwriting earlier ones so a path stays visible on top of the node
+cloud.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.geometry import Rect
+from repro.network.graph import WasnGraph
+from repro.network.node import NodeId
+from repro.network.obstacles import Obstacle
+
+__all__ = ["network_map"]
+
+
+def network_map(
+    graph: WasnGraph,
+    area: Rect,
+    width: int = 72,
+    height: int = 28,
+    obstacles: Sequence[Obstacle] = (),
+    highlight: Iterable[NodeId] = (),
+    path: Sequence[NodeId] = (),
+    node_char: str = ".",
+    highlight_char: str = "u",
+    path_char: str = "*",
+    obstacle_char: str = "#",
+) -> str:
+    """Render the network as an ASCII map (north up).
+
+    Layers, later wins: obstacles, plain nodes, ``highlight`` nodes
+    (e.g. an unsafe area), the ``path`` (endpoints become ``S``/``D``).
+    """
+    if width < 4 or height < 4:
+        raise ValueError("map too small")
+    canvas = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> tuple[int, int]:
+        cx = round((x - area.x_min) / max(area.width, 1e-9) * (width - 1))
+        cy = round((y - area.y_min) / max(area.height, 1e-9) * (height - 1))
+        return min(max(cx, 0), width - 1), min(max(cy, 0), height - 1)
+
+    # Obstacles: sample the canvas grid against the obstacle shapes.
+    if obstacles:
+        for row in range(height):
+            for col in range(width):
+                x = area.x_min + col / (width - 1) * area.width
+                y = area.y_min + row / (height - 1) * area.height
+                from repro.geometry import Point
+
+                if any(ob.contains(Point(x, y)) for ob in obstacles):
+                    canvas[row][col] = obstacle_char
+
+    for node in graph.nodes():
+        cx, cy = cell(node.position.x, node.position.y)
+        canvas[cy][cx] = node_char
+
+    for node_id in highlight:
+        p = graph.position(node_id)
+        cx, cy = cell(p.x, p.y)
+        canvas[cy][cx] = highlight_char
+
+    for node_id in path:
+        p = graph.position(node_id)
+        cx, cy = cell(p.x, p.y)
+        canvas[cy][cx] = path_char
+    if path:
+        for node_id, mark in ((path[0], "S"), (path[-1], "D")):
+            p = graph.position(node_id)
+            cx, cy = cell(p.x, p.y)
+            canvas[cy][cx] = mark
+
+    # Row 0 of the canvas is the south edge; print north-up.
+    border = "+" + "-" * width + "+"
+    lines = [border]
+    for row in reversed(canvas):
+        lines.append("|" + "".join(row) + "|")
+    lines.append(border)
+    return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""Tests for summary statistics and the shortest-path oracle."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    ShortestPathOracle,
+    mean_confidence_interval,
+    summarize,
+)
+from repro.geometry import Point
+from repro.network import build_unit_disk_graph
+
+values = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=50,
+)
+
+
+class TestSummarize:
+    def test_single_value(self):
+        s = summarize([5.0])
+        assert s.mean == 5.0
+        assert s.std == 0.0
+        assert s.ci95_half_width == 0.0
+        assert s.count == 1
+
+    def test_known_values(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.std == pytest.approx(1.2909944, rel=1e-6)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_format_mean(self):
+        s = summarize([1.0, 2.0, 3.0])
+        text = s.format_mean(1)
+        assert "±" in text
+        assert text.startswith("2.0")
+
+    @given(values)
+    def test_mean_within_bounds(self, vs):
+        s = summarize(vs)
+        assert s.minimum - 1e-9 <= s.mean <= s.maximum + 1e-9
+
+    @given(values)
+    def test_ci_contains_mean(self, vs):
+        mean, low, high = mean_confidence_interval(vs)
+        assert low <= mean <= high
+
+
+class TestOracle:
+    def _network(self):
+        # A square with one diagonal shortcut.
+        positions = [
+            Point(0, 0),
+            Point(10, 0),
+            Point(10, 10),
+            Point(0, 10),
+        ]
+        return build_unit_disk_graph(positions, radius=15)
+
+    def test_shortest_length_uses_diagonal(self):
+        g = self._network()
+        oracle = ShortestPathOracle(g)
+        # 0 -> 2 via the direct diagonal edge (radius 15 connects it).
+        assert oracle.shortest_length(0, 2) == pytest.approx(
+            (2 * 10**2) ** 0.5
+        )
+
+    def test_shortest_hops(self):
+        g = self._network()
+        oracle = ShortestPathOracle(g)
+        assert oracle.shortest_hops(0, 2) == 1
+        assert oracle.shortest_hops(0, 0) == 0
+
+    def test_disconnected_returns_none(self):
+        g = build_unit_disk_graph([Point(0, 0), Point(100, 0)], radius=10)
+        oracle = ShortestPathOracle(g)
+        assert oracle.shortest_length(0, 1) is None
+        assert oracle.shortest_hops(0, 1) is None
+        assert oracle.stretch(0, 1, 50.0) is None
+
+    def test_stretch(self):
+        g = self._network()
+        oracle = ShortestPathOracle(g)
+        optimal = oracle.shortest_length(0, 2)
+        assert oracle.stretch(0, 2, 2 * optimal) == pytest.approx(2.0)
+
+    def test_matches_networkx(self):
+        import random
+
+        import networkx as nx
+
+        rng = random.Random(3)
+        positions = [
+            Point(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(50)
+        ]
+        g = build_unit_disk_graph(positions, radius=30)
+        oracle = ShortestPathOracle(g)
+        nxg = g.to_networkx()
+        for source in (0, 7):
+            lengths = nx.single_source_dijkstra_path_length(
+                nxg, source, weight="weight"
+            )
+            for target, expected in lengths.items():
+                assert oracle.shortest_length(source, target) == pytest.approx(
+                    expected
+                )

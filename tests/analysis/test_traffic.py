@@ -1,0 +1,101 @@
+"""Tests for the multi-flow traffic/interference analysis."""
+
+import random
+
+import pytest
+
+from repro.analysis import TrafficReport, analyze_flows
+from repro.geometry import Point
+from repro.network import build_unit_disk_graph
+from repro.routing import GreedyRouter
+
+
+def line_graph(n=12, spacing=10.0):
+    return build_unit_disk_graph(
+        [Point(i * spacing, 0) for i in range(n)], radius=12
+    )
+
+
+def far_apart_graph():
+    # Two disjoint 3-node lines far from each other.
+    positions = [
+        Point(0, 0),
+        Point(10, 0),
+        Point(20, 0),
+        Point(0, 500),
+        Point(10, 500),
+        Point(20, 500),
+    ]
+    return build_unit_disk_graph(positions, radius=12)
+
+
+class TestAnalyzeFlows:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_flows(line_graph(), [])
+
+    def test_single_flow(self):
+        g = line_graph()
+        result = GreedyRouter(g).route(0, 5)
+        report = analyze_flows(g, [result])
+        assert report.flows == 1
+        assert report.delivered == 1
+        assert report.conflicting_flow_pairs == 0
+        assert report.conflict_ratio() == 0.0
+        assert report.max_channel_load == 1
+        assert report.busy_nodes >= 6
+
+    def test_disjoint_flows_do_not_conflict(self):
+        g = far_apart_graph()
+        router = GreedyRouter(g)
+        results = [router.route(0, 2), router.route(3, 5)]
+        report = analyze_flows(g, results)
+        assert report.flows == 2
+        assert report.conflicting_flow_pairs == 0
+        assert report.max_channel_load == 1
+
+    def test_overlapping_flows_conflict(self):
+        g = line_graph()
+        router = GreedyRouter(g)
+        results = [router.route(0, 8), router.route(2, 10)]
+        report = analyze_flows(g, results)
+        assert report.conflicting_flow_pairs == 1
+        assert report.conflict_ratio() == 1.0
+        assert report.max_channel_load == 2
+
+    def test_total_hops(self):
+        g = line_graph()
+        router = GreedyRouter(g)
+        results = [router.route(0, 4), router.route(5, 9)]
+        report = analyze_flows(g, results)
+        assert report.total_hops == 8
+
+    def test_straighter_routes_interfere_less(self):
+        """The paper's interference motivation, end to end: on a random
+        network, routes with fewer hops occupy fewer nodes overall."""
+        from repro.core import InformationModel
+        from repro.network import EdgeDetector, UniformDeployment
+        from repro.geometry import Rect
+        from repro.routing import LgfRouter, Slgf2Router
+
+        rng = random.Random(5)
+        for seed in range(30):
+            deploy_rng = random.Random(seed)
+            positions = UniformDeployment(Rect(0, 0, 200, 200)).sample(
+                400, deploy_rng
+            )
+            g = build_unit_disk_graph(positions, 20.0)
+            g = EdgeDetector(strategy="convex").apply(g)
+            if g.is_connected():
+                break
+        model = InformationModel.build(g)
+        ids = g.node_ids
+        pairs = [tuple(rng.sample(ids, 2)) for _ in range(12)]
+        lgf = analyze_flows(
+            g, [LgfRouter(g, candidate_scope="quadrant").route(s, d) for s, d in pairs]
+        )
+        slgf2 = analyze_flows(
+            g, [Slgf2Router(model).route(s, d) for s, d in pairs]
+        )
+        assert slgf2.total_hops <= lgf.total_hops
+        assert slgf2.busy_nodes <= 1.1 * lgf.busy_nodes

@@ -1,0 +1,114 @@
+"""Tests for the critical/forbidden region split and hand choice."""
+
+import pytest
+
+from repro.core import InformationModel, compute_safety, compute_shapes
+from repro.core.regions import Hand, RegionSplit, region_split_for
+from repro.geometry import Point
+from repro.network import build_unit_disk_graph
+
+
+def fork_model():
+    """The type-1 unsafe fork from the shape tests, as a full model."""
+    positions = [
+        Point(0.0, 0.0),  # 0: u (anchor)
+        Point(2.0, 0.5),  # 1
+        Point(4.0, 0.6),  # 2
+        Point(0.5, 2.0),  # 3
+        Point(0.6, 4.0),  # 4
+    ]
+    g = build_unit_disk_graph(positions, radius=3.0)
+    return InformationModel.build(g)
+
+
+class TestRegionSplit:
+    def test_divider_through_far_corner(self):
+        model = fork_model()
+        split = model.region_split(0, 1, destination=Point(10, 10))
+        assert split is not None
+        assert split.corner == Point(4.0, 4.0)
+        assert split.anchor_position == Point(0.0, 0.0)
+
+    def test_destination_on_divider(self):
+        model = fork_model()
+        split = model.region_split(0, 1, destination=Point(8, 8))
+        assert split.destination_side == 0
+        assert not split.in_forbidden_region(Point(1, 3))
+        assert not split.in_forbidden_region(Point(3, 1))
+
+    def test_destination_north_side(self):
+        model = fork_model()
+        # north of the diagonal y = x: counter-clockwise side (+1)
+        split = model.region_split(0, 1, destination=Point(2, 9))
+        assert split.destination_side == 1
+        # Forbidden region = the south-east side of the divider inside Q1.
+        assert split.in_forbidden_region(Point(3, 1))
+        assert not split.in_forbidden_region(Point(1, 3))
+
+    def test_destination_south_side(self):
+        model = fork_model()
+        split = model.region_split(0, 1, destination=Point(9, 2))
+        assert split.destination_side == -1
+        assert split.in_forbidden_region(Point(1, 3))
+        assert not split.in_forbidden_region(Point(3, 1))
+
+    def test_points_outside_quadrant_never_forbidden(self):
+        model = fork_model()
+        split = model.region_split(0, 1, destination=Point(2, 9))
+        # South-west of the anchor: outside Q1, so not part of either
+        # region even though it is on the forbidden side of the ray.
+        assert not split.in_forbidden_region(Point(5, -1))
+        assert not split.in_forbidden_region(Point(-1, -1))
+
+    def test_preferred_hand_follows_destination(self):
+        model = fork_model()
+        north = model.region_split(0, 1, destination=Point(2, 9))
+        south = model.region_split(0, 1, destination=Point(9, 2))
+        on_ray = model.region_split(0, 1, destination=Point(8, 8))
+        assert north.preferred_hand() is Hand.RIGHT
+        assert south.preferred_hand() is Hand.LEFT
+        assert on_ray.preferred_hand() is Hand.RIGHT  # default
+
+    def test_safe_node_yields_no_split(self):
+        positions = [Point(0, 0), Point(1, 1)]
+        g = build_unit_disk_graph(positions, radius=5, edge_ids=[0])
+        model = InformationModel.build(g)
+        # Node 1 is type-3 safe; no shape, no split.
+        assert model.region_split(1, 3, destination=Point(-5, -5)) is None
+
+    def test_degenerate_rect_yields_no_split(self):
+        # A stuck node's rectangle collapses to a point: no divider.
+        positions = [Point(0, 0), Point(1, 1)]
+        g = build_unit_disk_graph(positions, radius=5)
+        model = InformationModel.build(g)
+        assert model.region_split(1, 1, destination=Point(9, 9)) is None
+
+
+class TestHand:
+    def test_flipped(self):
+        assert Hand.RIGHT.flipped() is Hand.LEFT
+        assert Hand.LEFT.flipped() is Hand.RIGHT
+
+
+class TestInformationModelFacade:
+    def test_build_wires_layers_together(self):
+        model = fork_model()
+        assert model.safety.graph is model.graph
+        assert model.shapes.graph is model.graph
+        assert not model.is_safe(0, 1)
+        assert model.estimated_area(0, 1) is not None
+
+    def test_known_unsafe_rects_include_neighbours(self):
+        model = fork_model()
+        rects = model.known_unsafe_rects(0)
+        own = model.estimated_area(0, 1)
+        assert own in rects
+        neighbour = model.estimated_area(1, 1)
+        assert neighbour in rects
+
+    def test_fully_unsafe_detection(self):
+        positions = [Point(0, 0), Point(1, 1)]
+        g = build_unit_disk_graph(positions, radius=5)
+        model = InformationModel.build(g)
+        assert model.is_fully_unsafe(0)
+        assert not model.is_safe_any(1)

@@ -1,0 +1,259 @@
+"""Tests for the safety labeling process (Definition 1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ZONE_TYPES, compute_safety, forwarding_zone_contains
+from repro.geometry import Point
+from repro.network import EdgeDetector, build_unit_disk_graph
+
+coords = st.floats(min_value=0, max_value=120, allow_nan=False)
+position_lists = st.lists(
+    st.builds(Point, coords, coords),
+    min_size=1,
+    max_size=45,
+    unique_by=lambda p: (round(p.x, 2), round(p.y, 2)),
+)
+
+
+def labeled_random_graph(positions, radius=25.0):
+    g = build_unit_disk_graph(positions, radius)
+    g = EdgeDetector(strategy="convex").apply(g)
+    return g, compute_safety(g)
+
+
+class TestFig3Example:
+    """The labeling walk-through of Fig. 3(a).
+
+    u1 and u2 face a hole to their north-east and become type-1 unsafe
+    in round 1; u, whose only quadrant-I neighbours are u1 and u2,
+    follows in round 2; u4 keeps S_1 = 1 thanks to a safe neighbour w.
+    """
+
+    def build(self):
+        # Index:          0: u        1: u1       2: u2       3: u4
+        #                 4: w (edge-pinned safe neighbour of u4)
+        positions = [
+            Point(0.0, 0.0),   # u
+            Point(1.0, 2.0),   # u1 — empty quadrant I
+            Point(2.0, 1.0),   # u2 — empty quadrant I
+            Point(-2.0, -1.0),  # u4
+            Point(-2.0, 3.0),  # w, due north of u4
+        ]
+        g = build_unit_disk_graph(positions, radius=5.0)
+        g = g.with_edge_nodes([4])  # pin w as an edge node
+        return g, compute_safety(g)
+
+    def test_stuck_nodes_unsafe_first(self):
+        g, safety = self.build()
+        assert not safety.is_safe(1, 1)  # u1
+        assert not safety.is_safe(2, 1)  # u2
+
+    def test_cascade_reaches_u(self):
+        g, safety = self.build()
+        assert not safety.is_safe(0, 1)  # u
+
+    def test_u4_stays_safe_via_w(self):
+        g, safety = self.build()
+        assert safety.is_safe(3, 1)  # u4: w is a type-1 safe neighbour
+
+    def test_edge_node_pinned(self):
+        g, safety = self.build()
+        assert safety.tuple_of(4) == (True, True, True, True)
+
+    def test_rounds_reflect_cascade_depth(self):
+        g, safety = self.build()
+        assert safety.rounds >= 2
+
+    def test_stuck_vs_merely_unsafe(self):
+        g, safety = self.build()
+        stuck = safety.stuck_nodes(1)
+        # "u1 and u2 are stuck nodes.  u is not a stuck node but ...
+        # [its] type-1 forwarding successors are all stuck nodes."
+        assert 1 in stuck and 2 in stuck
+        assert 0 not in stuck
+
+    def test_unsafe_area_is_connected_group(self):
+        g, safety = self.build()
+        areas = safety.unsafe_areas(1)
+        assert {0, 1, 2} in areas
+
+
+class TestIsolatedAndTiny:
+    def test_single_non_edge_node_fully_unsafe(self):
+        g = build_unit_disk_graph([Point(0, 0)], radius=5)
+        safety = compute_safety(g)
+        assert safety.tuple_of(0) == (False, False, False, False)
+        assert safety.is_fully_unsafe(0)
+
+    def test_single_edge_node_fully_safe(self):
+        g = build_unit_disk_graph([Point(0, 0)], radius=5, edge_ids=[0])
+        safety = compute_safety(g)
+        assert safety.tuple_of(0) == (True, True, True, True)
+
+    def test_empty_graph(self):
+        g = build_unit_disk_graph([], radius=5)
+        safety = compute_safety(g)
+        assert safety.statuses == {}
+        assert safety.safe_fraction() == 1.0
+
+    def test_pair_mutual_support(self):
+        # Two neighbouring non-edge nodes: each is the other's only
+        # quadrant neighbour in one type, but starts safe; with no edge
+        # nodes at all, every direction eventually cascades unsafe.
+        g = build_unit_disk_graph([Point(0, 0), Point(1, 1)], radius=5)
+        safety = compute_safety(g)
+        assert safety.is_fully_unsafe(0)
+        assert safety.is_fully_unsafe(1)
+
+
+class TestDenseGridInterior:
+    def test_interior_of_hull_labeled_grid_is_safe(self):
+        # A dense 8x8 grid with convex-hull edge pinning: every
+        # interior node has safe neighbours toward the hull in all four
+        # quadrant directions, so everything stays fully safe.
+        positions = [
+            Point(i * 10.0, j * 10.0) for j in range(8) for i in range(8)
+        ]
+        g = build_unit_disk_graph(positions, radius=15.0)
+        g = EdgeDetector(strategy="convex").apply(g)
+        safety = compute_safety(g)
+        assert safety.safe_fraction() == 1.0
+
+    def test_convex_hole_creates_no_unsafe_nodes(self):
+        # A rectangular hole in an axis-aligned grid creates *no*
+        # unsafe nodes: quadrants are closed, so a node on the hole's
+        # south rim can always slide due east (dy = 0 stays inside
+        # Q_1) around the hole.  The labeling correctly predicts that
+        # quadrant-scoped forwarding never blocks here.
+        positions = []
+        for j in range(10):
+            for i in range(10):
+                if 3 <= i <= 6 and 3 <= j <= 6:
+                    continue
+                positions.append(Point(i * 10.0, j * 10.0))
+        g = build_unit_disk_graph(positions, radius=15.0)
+        g = EdgeDetector(strategy="convex").apply(g)
+        safety = compute_safety(g)
+        assert safety.safe_fraction() == 1.0
+
+    def _pocket_grid(self):
+        """12x12 grid with a ⌐-shaped wall enclosing a NE-facing pocket.
+
+        The wall removes the cells (6, j) for j=2..6 (east arm) and
+        (i, 6) for i=2..6 (north arm); nodes inside the pocket can only
+        leave toward the south-west, so they are type-1 unsafe while
+        staying type-3 safe — the Fig. 1(a) "blocking area" in miniature.
+        """
+        removed = {(6, j) for j in range(2, 7)} | {
+            (i, 6) for i in range(2, 7)
+        }
+        positions = []
+        for j in range(12):
+            for i in range(12):
+                if (i, j) in removed:
+                    continue
+                positions.append(Point(i * 10.0, j * 10.0))
+        g = build_unit_disk_graph(positions, radius=15.0)
+        g = EdgeDetector(strategy="convex").apply(g)
+        return positions, g, compute_safety(g)
+
+    def test_pocket_corner_is_stuck(self):
+        positions, g, safety = self._pocket_grid()
+        corner = positions.index(Point(50.0, 50.0))
+        assert not safety.is_safe(corner, 1)
+        assert corner in safety.stuck_nodes(1)
+
+    def test_pocket_interior_cascades_unsafe(self):
+        positions, g, safety = self._pocket_grid()
+        interior = positions.index(Point(40.0, 40.0))
+        assert not safety.is_safe(interior, 1)
+        assert interior not in safety.stuck_nodes(1)
+
+    def test_pocket_nodes_stay_type3_safe(self):
+        positions, g, safety = self._pocket_grid()
+        for xy in (Point(50.0, 50.0), Point(40.0, 40.0)):
+            u = positions.index(xy)
+            assert safety.is_safe(u, 3)
+
+    def test_beyond_wall_ends_stays_type1_safe(self):
+        positions, g, safety = self._pocket_grid()
+        past_wall = positions.index(Point(50.0, 10.0))
+        assert safety.is_safe(past_wall, 1)
+        far_corner = positions.index(Point(90.0, 90.0))
+        assert safety.is_safe(far_corner, 3)
+
+
+class TestFixedPointInvariants:
+    @given(position_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_definition1_consistency(self, positions):
+        g, safety = labeled_random_graph(positions)
+        for u in g.node_ids:
+            pu = g.position(u)
+            for zone_type in ZONE_TYPES:
+                if g.is_edge_node(u):
+                    assert safety.is_safe(u, zone_type)
+                    continue
+                has_safe_successor = any(
+                    safety.is_safe(v, zone_type)
+                    for v in g.neighbors(u)
+                    if forwarding_zone_contains(
+                        pu, zone_type, g.position(v)
+                    )
+                )
+                assert safety.is_safe(u, zone_type) == has_safe_successor
+
+    @given(position_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic(self, positions):
+        g, safety_a = labeled_random_graph(positions)
+        safety_b = compute_safety(g)
+        assert safety_a.statuses == safety_b.statuses
+
+    @given(position_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_unsafe_areas_partition_unsafe_nodes(self, positions):
+        g, safety = labeled_random_graph(positions)
+        for zone_type in ZONE_TYPES:
+            unsafe = safety.unsafe_nodes(zone_type)
+            areas = safety.unsafe_areas(zone_type)
+            seen = set()
+            for area in areas:
+                assert not (seen & area)
+                seen |= area
+            assert seen == unsafe
+
+    @given(position_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_stuck_nodes_are_unsafe(self, positions):
+        g, safety = labeled_random_graph(positions)
+        for zone_type in ZONE_TYPES:
+            assert safety.stuck_nodes(zone_type) <= safety.unsafe_nodes(
+                zone_type
+            )
+
+
+class TestSafetyQueries:
+    def test_safe_fraction_by_type(self):
+        g = build_unit_disk_graph(
+            [Point(0, 0), Point(1, 1)], radius=5, edge_ids=[0]
+        )
+        safety = compute_safety(g)
+        # Node 0 pinned safe; node 1 unsafe in every type (its only
+        # neighbour supports type 3 though: node 0 is in Q3(1) and safe).
+        assert safety.is_safe(1, 3)
+        assert not safety.is_safe(1, 1)
+        assert safety.safe_fraction(3) == 1.0
+        assert safety.safe_fraction(1) == 0.5
+
+    def test_is_safe_any(self):
+        g = build_unit_disk_graph(
+            [Point(0, 0), Point(1, 1)], radius=5, edge_ids=[0]
+        )
+        safety = compute_safety(g)
+        assert safety.is_safe_any(1)
+        assert not safety.is_fully_unsafe(1)

@@ -1,0 +1,221 @@
+"""Tests for estimated shape information (Algorithm 2 / Theorem 2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ZONE_TYPES,
+    compute_safety,
+    compute_shapes,
+)
+from repro.geometry import Point
+from repro.network import EdgeDetector, build_unit_disk_graph
+
+coords = st.floats(min_value=0, max_value=120, allow_nan=False)
+position_lists = st.lists(
+    st.builds(Point, coords, coords),
+    min_size=1,
+    max_size=40,
+    unique_by=lambda p: (round(p.x, 2), round(p.y, 2)),
+)
+
+
+def shapes_for(positions, radius=25.0, edge_ids=None):
+    g = build_unit_disk_graph(positions, radius)
+    if edge_ids is None:
+        g = EdgeDetector(strategy="convex").apply(g)
+    else:
+        g = g.with_edge_nodes(edge_ids)
+    safety = compute_safety(g)
+    return g, safety, compute_shapes(safety)
+
+
+class TestBaseCases:
+    def test_stuck_node_points_to_itself(self):
+        # A lone pair: node 1 has an empty quadrant I, so its type-1
+        # shape collapses to itself (u^(1) = u^(2) = u).
+        g, safety, shapes = shapes_for(
+            [Point(0, 0), Point(1, 1)], radius=5, edge_ids=[]
+        )
+        info = shapes.shape(1, 1)
+        assert info is not None
+        assert info.first_far == 1
+        assert info.last_far == 1
+        assert info.rect.is_degenerate()
+
+    def test_safe_node_has_no_shape(self):
+        g, safety, shapes = shapes_for(
+            [Point(0, 0), Point(1, 1)], radius=5, edge_ids=[0]
+        )
+        # Node 1 is type-3 safe (node 0 is its safe SW neighbour).
+        assert shapes.shape(1, 3) is None
+        assert shapes.estimated_area(1, 3) is None
+
+
+class TestChainPropagation:
+    def build_fork(self):
+        """A type-1 unsafe fork rooted at u = node 0.
+
+        East-hugging chain: u -> b1 -> b2 (far x = 4);
+        north-hugging chain: u -> c1 -> c2 (far y = 4).
+        """
+        positions = [
+            Point(0.0, 0.0),  # 0: u
+            Point(2.0, 0.5),  # 1: b1
+            Point(4.0, 0.6),  # 2: b2
+            Point(0.5, 2.0),  # 3: c1
+            Point(0.6, 4.0),  # 4: c2
+        ]
+        return shapes_for(positions, radius=3.0, edge_ids=[])
+
+    def test_all_fork_nodes_type1_unsafe(self):
+        g, safety, shapes = self.build_fork()
+        for u in g.node_ids:
+            assert not safety.is_safe(u, 1)
+
+    def test_far_nodes_propagate_along_chains(self):
+        g, safety, shapes = self.build_fork()
+        info = shapes.shape(0, 1)
+        assert info.first_far == 2  # east chain ends at b2
+        assert info.last_far == 4  # north chain ends at c2
+
+    def test_estimated_rect_spans_both_chains(self):
+        g, safety, shapes = self.build_fork()
+        rect = shapes.estimated_area(0, 1)
+        assert rect.x_min == 0.0 and rect.y_min == 0.0
+        assert rect.x_max == pytest.approx(4.0)  # x of b2
+        assert rect.y_max == pytest.approx(4.0)  # y of c2
+
+    def test_far_corner_matches_rect(self):
+        g, safety, shapes = self.build_fork()
+        corner = shapes.far_corner(0, 1)
+        assert corner == Point(4.0, 4.0)
+
+    def test_intermediate_nodes_have_own_records(self):
+        g, safety, shapes = self.build_fork()
+        b1 = shapes.shape(1, 1)
+        assert b1.first_far == 2 and b1.last_far == 2
+        c1 = shapes.shape(3, 1)
+        assert c1.first_far == 4 and c1.last_far == 4
+
+    def test_greedy_region_of_fork(self):
+        g, safety, shapes = self.build_fork()
+        assert shapes.greedy_region(0, 1) == {0, 1, 2, 3, 4}
+        assert shapes.greedy_region(1, 1) == {1, 2}
+
+    def test_greedy_region_of_safe_node_empty(self):
+        g, safety, shapes = shapes_for(
+            [Point(0, 0), Point(1, 1)], radius=5, edge_ids=[0]
+        )
+        assert shapes.greedy_region(1, 3) == set()
+
+
+class TestOtherQuadrants:
+    def test_type3_chain(self):
+        # Mirror of the fork toward the south-west.
+        positions = [
+            Point(10.0, 10.0),  # 0: u
+            Point(8.0, 9.5),    # 1: west-hugging
+            Point(6.0, 9.4),    # 2
+            Point(9.5, 8.0),    # 3: south-hugging
+            Point(9.4, 6.0),    # 4
+        ]
+        g, safety, shapes = shapes_for(positions, radius=3.0, edge_ids=[])
+        info = shapes.shape(0, 3)
+        # CCW scan of Q3 starts at the west axis: the west-hugging
+        # chain is hit first (x extent), the south-hugging last (y).
+        assert info.first_far == 2
+        assert info.last_far == 4
+        rect = info.rect
+        assert rect.x_min == pytest.approx(6.0)
+        assert rect.y_min == pytest.approx(6.0)
+        assert rect.x_max == 10.0 and rect.y_max == 10.0
+
+    def test_type2_swaps_axes(self):
+        # Q2's CCW scan starts at the north axis, so the *first* chain
+        # hugs the vertical edge and supplies the y extent.
+        positions = [
+            Point(10.0, 0.0),   # 0: u
+            Point(9.5, 2.0),    # 1: north-hugging
+            Point(9.4, 4.0),    # 2
+            Point(8.0, 0.5),    # 3: west-hugging
+            Point(6.0, 0.6),    # 4
+        ]
+        g, safety, shapes = shapes_for(positions, radius=3.0, edge_ids=[])
+        info = shapes.shape(0, 2)
+        assert info.first_far == 2  # vertical chain end
+        assert info.last_far == 4  # horizontal chain end
+        rect = info.rect
+        assert rect.x_min == pytest.approx(6.0)  # from last chain
+        assert rect.y_max == pytest.approx(4.0)  # from first chain
+
+
+class TestInvariants:
+    @given(position_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_every_unsafe_node_has_shape(self, positions):
+        g, safety, shapes = shapes_for(positions)
+        for zone_type in ZONE_TYPES:
+            for u in safety.unsafe_nodes(zone_type):
+                info = shapes.shape(u, zone_type)
+                assert info is not None
+                assert info.rect.contains(g.position(u), tol=1e-9)
+
+    @given(position_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_far_nodes_inside_greedy_region(self, positions):
+        g, safety, shapes = shapes_for(positions)
+        for zone_type in ZONE_TYPES:
+            for u in safety.unsafe_nodes(zone_type):
+                info = shapes.shape(u, zone_type)
+                region = shapes.greedy_region(u, zone_type)
+                assert info.first_far in region
+                assert info.last_far in region
+
+    @given(position_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_greedy_region_nodes_all_unsafe(self, positions):
+        g, safety, shapes = shapes_for(positions)
+        for zone_type in ZONE_TYPES:
+            for u in safety.unsafe_nodes(zone_type):
+                region = shapes.greedy_region(u, zone_type)
+                assert region <= safety.unsafe_nodes(zone_type)
+
+    @given(position_lists)
+    @settings(max_examples=15, deadline=None)
+    def test_estimate_mostly_covers_greedy_region(self, positions):
+        """Theorem 2 empirically: E_i(u) estimates G_i(u)'s extent.
+
+        The rectangle is an *estimate* (the paper's own wording); exact
+        containment can fail when a non-extreme chain bulges past the
+        extreme chains' endpoints.  We require the estimate to be
+        right for the large majority of (node, type) pairs.
+        """
+        g, safety, shapes = shapes_for(positions)
+        checked = violations = 0
+        for zone_type in ZONE_TYPES:
+            for u in safety.unsafe_nodes(zone_type):
+                rect = shapes.estimated_area(u, zone_type)
+                region = shapes.greedy_region(u, zone_type)
+                checked += 1
+                if not all(
+                    rect.contains(g.position(w), tol=1e-6) for w in region
+                ):
+                    violations += 1
+        if checked:
+            assert violations / checked <= 0.35
+
+
+class TestDeterminism:
+    def test_same_input_same_shapes(self):
+        rng = random.Random(5)
+        positions = [
+            Point(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(60)
+        ]
+        g1, _, shapes1 = shapes_for(positions)
+        g2, _, shapes2 = shapes_for(positions)
+        for zone_type in ZONE_TYPES:
+            assert shapes1.shapes[zone_type] == shapes2.shapes[zone_type]

@@ -1,0 +1,111 @@
+"""Tests for the exact shape mode (future-work: accurate area info)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ZONE_TYPES,
+    InformationModel,
+    compute_safety,
+    compute_shapes,
+)
+from repro.geometry import Point
+from repro.network import EdgeDetector, build_unit_disk_graph
+
+coords = st.floats(min_value=0, max_value=120, allow_nan=False)
+position_lists = st.lists(
+    st.builds(Point, coords, coords),
+    min_size=1,
+    max_size=35,
+    unique_by=lambda p: (round(p.x, 2), round(p.y, 2)),
+)
+
+
+def both_modes(positions, radius=25.0):
+    g = build_unit_disk_graph(positions, radius)
+    g = EdgeDetector(strategy="convex").apply(g)
+    safety = compute_safety(g)
+    return (
+        g,
+        safety,
+        compute_shapes(safety, mode="chain"),
+        compute_shapes(safety, mode="exact"),
+    )
+
+
+class TestExactMode:
+    def test_invalid_mode_rejected(self):
+        g = build_unit_disk_graph([Point(0, 0)], radius=5)
+        safety = compute_safety(g)
+        with pytest.raises(ValueError):
+            compute_shapes(safety, mode="fuzzy")
+
+    @given(position_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_exact_contains_greedy_region(self, positions):
+        """Theorem 2's containment holds *by construction* in exact
+        mode — the whole point of the future-work item."""
+        g, safety, _, exact = both_modes(positions)
+        for zone_type in ZONE_TYPES:
+            for u in safety.unsafe_nodes(zone_type):
+                rect = exact.estimated_area(u, zone_type)
+                region = exact.greedy_region(u, zone_type)
+                for w in region:
+                    assert rect.contains(g.position(w), tol=1e-9)
+
+    @given(position_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_exact_never_smaller_than_region_extent(self, positions):
+        g, safety, chain, exact = both_modes(positions)
+        for zone_type in ZONE_TYPES:
+            for u in safety.unsafe_nodes(zone_type):
+                exact_rect = exact.estimated_area(u, zone_type)
+                region = exact.greedy_region(u, zone_type)
+                xs = [g.position(w).x for w in region]
+                ys = [g.position(w).y for w in region]
+                assert exact_rect.x_min == pytest.approx(min(xs))
+                assert exact_rect.x_max == pytest.approx(max(xs))
+                assert exact_rect.y_min == pytest.approx(min(ys))
+                assert exact_rect.y_max == pytest.approx(max(ys))
+
+    def test_chain_vs_exact_on_fork(self):
+        # The fork from the chain tests: both modes agree there,
+        # because the extreme chains span the whole region.
+        positions = [
+            Point(0.0, 0.0),
+            Point(2.0, 0.5),
+            Point(4.0, 0.6),
+            Point(0.5, 2.0),
+            Point(0.6, 4.0),
+        ]
+        g = build_unit_disk_graph(positions, radius=3.0)
+        safety = compute_safety(g)
+        chain = compute_shapes(safety, mode="chain")
+        exact = compute_shapes(safety, mode="exact")
+        assert chain.estimated_area(0, 1) == exact.estimated_area(0, 1)
+
+    def test_model_facade_accepts_mode(self):
+        positions = [Point(0, 0), Point(1, 1)]
+        g = build_unit_disk_graph(positions, radius=5)
+        model = InformationModel.build(g, shape_mode="exact")
+        assert model.estimated_area(0, 1) is not None
+
+
+class TestFarCornerConsistency:
+    @given(position_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_far_corner_is_quadrant_corner_of_rect(self, positions):
+        g, safety, chain, exact = both_modes(positions)
+        for shapes in (chain, exact):
+            for zone_type in ZONE_TYPES:
+                for u in safety.unsafe_nodes(zone_type):
+                    corner = shapes.far_corner(u, zone_type)
+                    rect = shapes.estimated_area(u, zone_type)
+                    assert corner is not None
+                    assert rect.contains(corner, tol=1e-9)
+                    # The corner is diagonally opposite the anchor.
+                    pu = g.position(u)
+                    assert abs(corner.x - pu.x) == pytest.approx(
+                        rect.width, abs=1e-6
+                    ) or rect.width == 0

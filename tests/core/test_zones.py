@@ -1,0 +1,139 @@
+"""Tests for request zones / forwarding zones (LAR scheme 1)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    ZONE_TYPES,
+    forwarding_zone_contains,
+    opposite_zone_type,
+    quadrant_start_angle,
+    request_zone,
+    zone_type_of,
+)
+from repro.geometry import Point
+
+finite = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+points = st.builds(Point, finite, finite)
+
+O = Point(0, 0)
+
+
+class TestZoneType:
+    def test_quadrant_interiors(self):
+        assert zone_type_of(O, Point(1, 1)) == 1
+        assert zone_type_of(O, Point(-1, 1)) == 2
+        assert zone_type_of(O, Point(-1, -1)) == 3
+        assert zone_type_of(O, Point(1, -1)) == 4
+
+    def test_boundary_ties(self):
+        assert zone_type_of(O, Point(1, 0)) == 1  # due east
+        assert zone_type_of(O, Point(0, 1)) == 2  # due north
+        assert zone_type_of(O, Point(-1, 0)) == 3  # due west
+        assert zone_type_of(O, Point(0, -1)) == 4  # due south
+
+    def test_coincident_rejected(self):
+        with pytest.raises(ValueError):
+            zone_type_of(O, O)
+
+    @given(points, points)
+    def test_type_always_defined_and_consistent(self, u, d):
+        if u == d:
+            return
+        k = zone_type_of(u, d)
+        assert k in ZONE_TYPES
+        # d must lie inside the quadrant of its own type.
+        assert forwarding_zone_contains(u, k, d)
+
+    @given(points, points)
+    def test_reverse_type_is_opposite(self, u, d):
+        if u.x == d.x or u.y == d.y:
+            return  # boundary ties break the symmetry by convention
+        assert zone_type_of(d, u) == opposite_zone_type(zone_type_of(u, d))
+
+
+class TestOppositeZone:
+    def test_mapping(self):
+        assert opposite_zone_type(1) == 3
+        assert opposite_zone_type(2) == 4
+        assert opposite_zone_type(3) == 1
+        assert opposite_zone_type(4) == 2
+
+    def test_involution(self):
+        for k in ZONE_TYPES:
+            assert opposite_zone_type(opposite_zone_type(k)) == k
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            opposite_zone_type(0)
+        with pytest.raises(ValueError):
+            opposite_zone_type(5)
+
+
+class TestForwardingZone:
+    def test_closed_boundaries_overlap(self):
+        east = Point(5, 0)
+        assert forwarding_zone_contains(O, 1, east)
+        assert forwarding_zone_contains(O, 4, east)
+        assert not forwarding_zone_contains(O, 2, east)
+        assert not forwarding_zone_contains(O, 3, east)
+
+    def test_self_not_contained(self):
+        for k in ZONE_TYPES:
+            assert not forwarding_zone_contains(O, k, O)
+
+    def test_invalid_type(self):
+        with pytest.raises(ValueError):
+            forwarding_zone_contains(O, 0, Point(1, 1))
+
+    @given(points, points)
+    def test_every_point_in_some_zone(self, u, p):
+        if u == p:
+            return
+        assert any(
+            forwarding_zone_contains(u, k, p) for k in ZONE_TYPES
+        )
+
+    @given(points, points)
+    def test_opposite_zones_disjoint(self, u, p):
+        if u == p:
+            return
+        for k in ZONE_TYPES:
+            in_k = forwarding_zone_contains(u, k, p)
+            in_opp = forwarding_zone_contains(u, opposite_zone_type(k), p)
+            if in_k and in_opp:
+                # Only possible if p coincides with u, excluded above.
+                pytest.fail("point in both a zone and its opposite")
+
+
+class TestRequestZone:
+    def test_corners(self):
+        z = request_zone(Point(1, 5), Point(4, 2))
+        assert z.x_min == 1 and z.x_max == 4
+        assert z.y_min == 2 and z.y_max == 5
+
+    @given(points, points)
+    def test_zone_inside_quadrant(self, u, d):
+        if u == d:
+            return
+        k = zone_type_of(u, d)
+        z = request_zone(u, d)
+        for corner in z.corners():
+            if corner == u:
+                continue
+            assert forwarding_zone_contains(u, k, corner)
+
+
+class TestStartAngle:
+    def test_values(self):
+        assert quadrant_start_angle(1) == 0.0
+        assert quadrant_start_angle(2) == pytest.approx(math.pi / 2)
+        assert quadrant_start_angle(3) == pytest.approx(math.pi)
+        assert quadrant_start_angle(4) == pytest.approx(3 * math.pi / 2)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            quadrant_start_angle(7)

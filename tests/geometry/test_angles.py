@@ -1,0 +1,170 @@
+"""Unit and property tests for repro.geometry.angles."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point
+from repro.geometry.angles import (
+    angle_of,
+    ccw_angle_distance,
+    cw_angle_distance,
+    first_hit_ccw,
+    first_hit_cw,
+    is_ccw_turn,
+    normalize_angle,
+    orientation,
+    sort_ccw,
+)
+
+angles = st.floats(
+    min_value=-1000.0, max_value=1000.0, allow_nan=False, allow_infinity=False
+)
+finite = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, finite, finite)
+
+
+class TestNormalize:
+    def test_identity_in_range(self):
+        assert normalize_angle(1.0) == pytest.approx(1.0)
+
+    def test_negative_wraps(self):
+        assert normalize_angle(-math.pi / 2) == pytest.approx(3 * math.pi / 2)
+
+    def test_large_values_wrap(self):
+        assert normalize_angle(5 * math.tau + 0.25) == pytest.approx(0.25)
+
+    @given(angles)
+    def test_always_in_range(self, theta):
+        n = normalize_angle(theta)
+        assert 0.0 <= n < math.tau
+
+    @given(angles)
+    def test_idempotent(self, theta):
+        n = normalize_angle(theta)
+        assert normalize_angle(n) == pytest.approx(n)
+
+
+class TestAngleDistances:
+    def test_ccw_quarter_turn(self):
+        assert ccw_angle_distance(0.0, math.pi / 2) == pytest.approx(math.pi / 2)
+
+    def test_ccw_wraps(self):
+        assert ccw_angle_distance(math.pi / 2, 0.0) == pytest.approx(
+            3 * math.pi / 2
+        )
+
+    def test_cw_quarter_turn(self):
+        assert cw_angle_distance(math.pi / 2, 0.0) == pytest.approx(math.pi / 2)
+
+    @given(angles, angles)
+    def test_ccw_plus_cw_is_full_turn_or_zero(self, a, b):
+        ccw = ccw_angle_distance(a, b)
+        cw = cw_angle_distance(a, b)
+        total = ccw + cw
+        assert total == pytest.approx(0.0, abs=1e-7) or total == pytest.approx(
+            math.tau, abs=1e-7
+        )
+
+    @given(angles, angles)
+    def test_distances_in_range(self, a, b):
+        assert 0.0 <= ccw_angle_distance(a, b) < math.tau
+        assert 0.0 <= cw_angle_distance(a, b) < math.tau
+
+
+class TestOrientation:
+    def test_left_turn(self):
+        assert orientation(Point(0, 0), Point(1, 0), Point(1, 1)) == 1
+        assert is_ccw_turn(Point(0, 0), Point(1, 0), Point(1, 1))
+
+    def test_right_turn(self):
+        assert orientation(Point(0, 0), Point(1, 0), Point(1, -1)) == -1
+        assert not is_ccw_turn(Point(0, 0), Point(1, 0), Point(1, -1))
+
+    def test_collinear(self):
+        assert orientation(Point(0, 0), Point(1, 1), Point(2, 2)) == 0
+
+    @given(points, points, points)
+    def test_antisymmetry_under_swap(self, a, b, c):
+        assert orientation(a, b, c) == -orientation(a, c, b)
+
+
+class TestSweeps:
+    def setup_method(self):
+        self.origin = Point(0, 0)
+        # Candidates at the four cardinal directions.
+        self.east = Point(1, 0)
+        self.north = Point(0, 1)
+        self.west = Point(-1, 0)
+        self.south = Point(0, -1)
+        self.all = [self.east, self.north, self.west, self.south]
+
+    @staticmethod
+    def _pos(p):
+        return p
+
+    def test_ccw_from_just_past_east_finds_north(self):
+        hit = first_hit_ccw(self.origin, 0.1, self.all, self._pos)
+        assert hit == self.north
+
+    def test_ccw_from_east_inclusive_finds_east(self):
+        hit = first_hit_ccw(self.origin, 0.0, self.all, self._pos)
+        assert hit == self.east
+
+    def test_ccw_from_east_exclusive_skips_east(self):
+        hit = first_hit_ccw(self.origin, 0.0, self.all, self._pos, exclusive=True)
+        assert hit == self.north
+
+    def test_cw_from_just_past_east_finds_south(self):
+        # Just past east going CW means the sweep starts slightly CCW of
+        # east; rotating clockwise the first candidate is east itself.
+        hit = first_hit_cw(self.origin, 0.1, self.all, self._pos)
+        assert hit == self.east
+        hit = first_hit_cw(self.origin, -0.1, self.all, self._pos)
+        assert hit == self.south
+
+    def test_empty_candidates(self):
+        assert first_hit_ccw(self.origin, 0.0, [], self._pos) is None
+        assert first_hit_cw(self.origin, 0.0, [], self._pos) is None
+
+    def test_candidate_at_origin_ignored(self):
+        assert first_hit_ccw(self.origin, 0.0, [self.origin], self._pos) is None
+
+    def test_angle_tie_broken_by_distance(self):
+        near = Point(1, 1)
+        far = Point(2, 2)
+        hit = first_hit_ccw(self.origin, 0.0, [far, near], self._pos)
+        assert hit == near
+
+    def test_sort_ccw_order(self):
+        ordered = sort_ccw(self.origin, 0.0, self.all, self._pos)
+        assert ordered == [self.east, self.north, self.west, self.south]
+
+    def test_sort_ccw_with_rotated_reference(self):
+        ordered = sort_ccw(self.origin, math.pi, self.all, self._pos)
+        assert ordered == [self.west, self.south, self.east, self.north]
+
+    @given(
+        st.lists(
+            st.builds(
+                Point,
+                st.floats(min_value=-100, max_value=100, allow_nan=False),
+                st.floats(min_value=-100, max_value=100, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        angles,
+    )
+    def test_first_hit_matches_sort_head(self, candidates, reference):
+        origin = Point(0, 0)
+        candidates = [c for c in candidates if c != origin]
+        if not candidates:
+            return
+        by_sweep = first_hit_ccw(origin, reference, candidates, self._pos)
+        by_sort = sort_ccw(origin, reference, candidates, self._pos)[0]
+        assert by_sweep == by_sort

@@ -1,0 +1,139 @@
+"""Unit and property tests for repro.geometry.hull."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, alpha_shape_boundary, convex_hull
+from repro.geometry.hull import hull_indices
+
+finite = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, finite, finite)
+
+
+def _is_ccw_convex(poly):
+    """Every consecutive triple turns left or is collinear."""
+    n = len(poly)
+    if n < 3:
+        return True
+    for i in range(n):
+        a, b, c = poly[i], poly[(i + 1) % n], poly[(i + 2) % n]
+        cross = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+        if cross < -1e-9:
+            return False
+    return True
+
+
+class TestConvexHull:
+    def test_square(self):
+        pts = [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1), Point(0.5, 0.5)]
+        hull = convex_hull(pts)
+        assert set(hull) == {Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)}
+
+    def test_collinear_boundary_points_kept(self):
+        pts = [
+            Point(0, 0),
+            Point(1, 0),
+            Point(2, 0),
+            Point(2, 2),
+            Point(0, 2),
+            Point(1, 1),
+        ]
+        hull = convex_hull(pts)
+        # (1, 0) lies on the bottom edge and must be kept as an edge node.
+        assert Point(1, 0) in hull
+        assert Point(1, 1) not in hull
+
+    def test_two_points(self):
+        pts = [Point(0, 0), Point(1, 1)]
+        assert set(convex_hull(pts)) == set(pts)
+
+    def test_single_point(self):
+        assert convex_hull([Point(3, 3)]) == [Point(3, 3)]
+
+    def test_duplicates_collapsed(self):
+        pts = [Point(0, 0), Point(0, 0), Point(1, 0), Point(0, 1)]
+        indices = hull_indices(pts)
+        assert len(indices) == len(set(indices))
+        assert len(indices) == 3
+
+    @given(st.lists(points, min_size=3, max_size=40))
+    def test_hull_is_ccw_convex(self, pts):
+        hull = convex_hull(pts)
+        assert _is_ccw_convex(hull)
+
+    @given(st.lists(points, min_size=1, max_size=40))
+    def test_extremes_on_hull(self, pts):
+        hull = set(convex_hull(pts))
+        assert min(pts, key=lambda p: (p.x, p.y)) in hull
+        assert max(pts, key=lambda p: (p.x, p.y)) in hull
+
+    @given(st.lists(points, min_size=1, max_size=30))
+    def test_hull_indices_valid(self, pts):
+        for i in hull_indices(pts):
+            assert 0 <= i < len(pts)
+
+
+class TestAlphaShape:
+    def _grid(self, n, spacing=1.0):
+        return [
+            Point(i * spacing, j * spacing) for i in range(n) for j in range(n)
+        ]
+
+    def test_grid_boundary_detected(self):
+        pts = self._grid(6)
+        boundary = alpha_shape_boundary(pts, alpha=1.5)
+        expected = {
+            i * 6 + j
+            for i in range(6)
+            for j in range(6)
+            if i in (0, 5) or j in (0, 5)
+        }
+        assert boundary == expected
+
+    def test_interior_not_boundary(self):
+        pts = self._grid(5)
+        boundary = alpha_shape_boundary(pts, alpha=1.5)
+        center_index = 2 * 5 + 2
+        assert center_index not in boundary
+
+    def test_small_input_falls_back_to_hull(self):
+        pts = [Point(0, 0), Point(1, 0), Point(0, 1)]
+        assert alpha_shape_boundary(pts, alpha=1.0) == set(hull_indices(pts))
+
+    def test_collinear_input_falls_back_to_hull(self):
+        pts = [Point(float(i), 0.0) for i in range(6)]
+        boundary = alpha_shape_boundary(pts, alpha=1.0)
+        assert boundary == set(hull_indices(pts))
+
+    def test_tiny_alpha_marks_everything_boundary(self):
+        pts = self._grid(4)
+        boundary = alpha_shape_boundary(pts, alpha=0.01)
+        assert boundary == set(range(len(pts)))
+
+    def test_invalid_alpha(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            alpha_shape_boundary([Point(0, 0)], alpha=0.0)
+
+    def test_concave_deployment(self):
+        # A C-shaped region: the inner notch edge must be boundary.
+        pts = []
+        for i in range(10):
+            for j in range(10):
+                if 3 <= i <= 9 and 3 <= j <= 6:
+                    continue  # notch carved out of the right side
+                pts.append(Point(float(i), float(j)))
+        boundary = alpha_shape_boundary(pts, alpha=1.5)
+        notch_edge = pts.index(Point(3.0, 2.0))
+        assert notch_edge in boundary
+
+    @given(st.integers(min_value=3, max_value=7))
+    def test_hull_subset_of_alpha_boundary(self, n):
+        pts = self._grid(n)
+        boundary = alpha_shape_boundary(pts, alpha=1.5)
+        assert set(hull_indices(pts)) <= boundary

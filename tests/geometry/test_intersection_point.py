@@ -1,0 +1,84 @@
+"""Tests for proper_intersection_point (used by face-change tests)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Segment
+from repro.geometry.segment import proper_intersection_point
+
+finite = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+points = st.builds(Point, finite, finite)
+
+
+class TestProperIntersectionPoint:
+    def test_plain_crossing(self):
+        p = proper_intersection_point(
+            Point(0, 0), Point(2, 2), Point(0, 2), Point(2, 0)
+        )
+        assert p == Point(1, 1)
+
+    def test_disjoint(self):
+        assert (
+            proper_intersection_point(
+                Point(0, 0), Point(1, 0), Point(0, 1), Point(1, 1)
+            )
+            is None
+        )
+
+    def test_endpoint_touch_not_proper(self):
+        assert (
+            proper_intersection_point(
+                Point(0, 0), Point(1, 1), Point(1, 1), Point(2, 0)
+            )
+            is None
+        )
+
+    def test_collinear_overlap_not_proper(self):
+        assert (
+            proper_intersection_point(
+                Point(0, 0), Point(3, 0), Point(1, 0), Point(4, 0)
+            )
+            is None
+        )
+
+    def test_t_junction_not_proper(self):
+        assert (
+            proper_intersection_point(
+                Point(0, 0), Point(2, 0), Point(1, -1), Point(1, 0)
+            )
+            is None
+        )
+
+    def test_asymmetric_crossing_point(self):
+        p = proper_intersection_point(
+            Point(0, 0), Point(4, 0), Point(1, -1), Point(1, 3)
+        )
+        assert p == Point(1, 0)
+
+    @given(points, points, points, points)
+    def test_point_lies_on_both_segments(self, a, b, c, d):
+        p = proper_intersection_point(a, b, c, d)
+        if p is None:
+            return
+        assert Segment(a, b).distance_to_point(p) < 1e-6
+        assert Segment(c, d).distance_to_point(p) < 1e-6
+
+    @given(points, points, points, points)
+    def test_consistent_with_proper_predicate(self, a, b, c, d):
+        p = proper_intersection_point(a, b, c, d)
+        if Segment(a, b).properly_intersects(Segment(c, d)):
+            # The predicate and the constructor may disagree only
+            # within numerical tolerance of degeneracy; when the
+            # predicate is confidently true, a point must exist.
+            cross = (b - a).cross(d - c)
+            if abs(cross) > 1e-6:
+                assert p is not None
+
+    @given(points, points, points, points)
+    def test_symmetry(self, a, b, c, d):
+        p1 = proper_intersection_point(a, b, c, d)
+        p2 = proper_intersection_point(c, d, a, b)
+        if p1 is None or p2 is None:
+            return
+        assert p1.distance_to(p2) < 1e-6

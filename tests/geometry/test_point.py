@@ -1,0 +1,112 @@
+"""Unit and property tests for repro.geometry.point."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, distance, midpoint
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, finite, finite)
+
+
+class TestBasics:
+    def test_unpacking(self):
+        x, y = Point(3.0, 4.0)
+        assert (x, y) == (3.0, 4.0)
+
+    def test_as_tuple(self):
+        assert Point(1.5, -2.5).as_tuple() == (1.5, -2.5)
+
+    def test_equality_and_hash(self):
+        assert Point(1, 2) == Point(1, 2)
+        assert hash(Point(1, 2)) == hash(Point(1, 2))
+        assert Point(1, 2) != Point(2, 1)
+
+    def test_immutability(self):
+        p = Point(0, 0)
+        with pytest.raises(AttributeError):
+            p.x = 5.0  # type: ignore[misc]
+
+    def test_arithmetic(self):
+        a = Point(1, 2)
+        b = Point(3, 5)
+        assert a + b == Point(4, 7)
+        assert b - a == Point(2, 3)
+        assert a * 2 == Point(2, 4)
+        assert 2 * a == Point(2, 4)
+        assert -a == Point(-1, -2)
+
+    def test_dot_and_cross(self):
+        assert Point(1, 0).dot(Point(0, 1)) == 0.0
+        assert Point(2, 3).dot(Point(4, 5)) == 23.0
+        assert Point(1, 0).cross(Point(0, 1)) == 1.0
+        assert Point(0, 1).cross(Point(1, 0)) == -1.0
+
+    def test_norm(self):
+        assert Point(3, 4).norm() == pytest.approx(5.0)
+        assert Point(3, 4).norm_squared() == pytest.approx(25.0)
+
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+        assert distance(Point(0, 0), Point(3, 4)) == pytest.approx(5.0)
+        assert Point(0, 0).distance_squared_to(Point(3, 4)) == pytest.approx(25.0)
+
+    def test_angle_to_cardinal_directions(self):
+        origin = Point(0, 0)
+        assert origin.angle_to(Point(1, 0)) == pytest.approx(0.0)
+        assert origin.angle_to(Point(0, 1)) == pytest.approx(math.pi / 2)
+        assert origin.angle_to(Point(-1, 0)) == pytest.approx(math.pi)
+        assert origin.angle_to(Point(0, -1)) == pytest.approx(3 * math.pi / 2)
+
+    def test_midpoint(self):
+        assert midpoint(Point(0, 0), Point(2, 4)) == Point(1, 2)
+
+    def test_is_finite(self):
+        assert Point(1, 2).is_finite()
+        assert not Point(math.inf, 0).is_finite()
+        assert not Point(0, math.nan).is_finite()
+
+
+class TestProperties:
+    @given(points, points)
+    def test_distance_symmetry(self, a, b):
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+    @given(points)
+    def test_distance_to_self_is_zero(self, p):
+        assert p.distance_to(p) == 0.0
+
+    @given(points, points)
+    def test_distance_squared_consistent(self, a, b):
+        assert a.distance_squared_to(b) == pytest.approx(
+            a.distance_to(b) ** 2, rel=1e-9, abs=1e-9
+        )
+
+    @given(points, points)
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(points, points)
+    def test_cross_antisymmetry(self, a, b):
+        assert a.cross(b) == pytest.approx(-b.cross(a))
+
+    @given(points, points)
+    def test_angle_to_in_range(self, a, b):
+        if a == b:
+            return
+        angle = a.angle_to(b)
+        assert 0.0 <= angle < math.tau
+
+    @given(points, points)
+    def test_midpoint_equidistant(self, a, b):
+        m = midpoint(a, b)
+        assert m.distance_to(a) == pytest.approx(m.distance_to(b), abs=1e-6)

@@ -1,0 +1,153 @@
+"""Unit and property tests for repro.geometry.rect."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+
+finite = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, finite, finite)
+rects = st.builds(Rect.from_corners, points, points)
+
+
+class TestConstruction:
+    def test_from_corners_normalises(self):
+        r = Rect.from_corners(Point(5, 1), Point(2, 7))
+        assert (r.x_min, r.y_min, r.x_max, r.y_max) == (2, 1, 5, 7)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(5, 0, 1, 1)
+        with pytest.raises(ValueError):
+            Rect(0, 5, 1, 1)
+
+    def test_from_center(self):
+        r = Rect.from_center(Point(10, 10), 2, 3)
+        assert (r.x_min, r.y_min, r.x_max, r.y_max) == (8, 7, 12, 13)
+
+    def test_from_center_negative_extent_rejected(self):
+        with pytest.raises(ValueError):
+            Rect.from_center(Point(0, 0), -1, 1)
+
+    def test_degenerate_rect_allowed(self):
+        r = Rect.from_corners(Point(1, 1), Point(1, 5))
+        assert r.width == 0
+        assert r.is_degenerate()
+
+
+class TestQueries:
+    def test_dimensions(self):
+        r = Rect(0, 0, 4, 3)
+        assert r.width == 4
+        assert r.height == 3
+        assert r.area == 12
+        assert r.perimeter == 14
+        assert r.center == Point(2, 1.5)
+        assert r.diagonal() == pytest.approx(5.0)
+
+    def test_contains_closed_boundary(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains(Point(0, 0))
+        assert r.contains(Point(10, 10))
+        assert r.contains(Point(5, 5))
+        assert not r.contains(Point(10.001, 5))
+        assert r.contains(Point(10.001, 5), tol=0.01)
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(1, 1, 9, 9))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(1, 1, 11, 9))
+
+    def test_intersects_and_intersection(self):
+        a = Rect(0, 0, 5, 5)
+        b = Rect(3, 3, 8, 8)
+        c = Rect(6, 6, 7, 7)
+        assert a.intersects(b)
+        assert a.intersection(b) == Rect(3, 3, 5, 5)
+        assert not a.intersects(c)
+        assert a.intersection(c) is None
+
+    def test_touching_rects_intersect(self):
+        a = Rect(0, 0, 5, 5)
+        b = Rect(5, 0, 10, 5)
+        assert a.intersects(b)
+        assert a.intersection(b).area == 0
+
+    def test_union_bounds(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(5, 5, 6, 7)
+        assert a.union_bounds(b) == Rect(0, 0, 6, 7)
+
+    def test_expanded(self):
+        r = Rect(2, 2, 4, 4).expanded(1)
+        assert r == Rect(1, 1, 5, 5)
+
+    def test_expanded_negative_collapses_to_center(self):
+        r = Rect(0, 0, 2, 2).expanded(-5)
+        assert r.is_degenerate()
+        assert r.center == Point(1, 1)
+
+    def test_clamp_and_distance(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.clamp(Point(-5, 5)) == Point(0, 5)
+        assert r.clamp(Point(5, 5)) == Point(5, 5)
+        assert r.distance_to_point(Point(13, 14)) == pytest.approx(5.0)
+        assert r.distance_to_point(Point(5, 5)) == 0.0
+
+    def test_corners_ccw(self):
+        corners = Rect(0, 0, 2, 1).corners()
+        assert corners == (Point(0, 0), Point(2, 0), Point(2, 1), Point(0, 1))
+
+    def test_sample_grid(self):
+        pts = Rect(0, 0, 10, 10).sample_grid(2, 2)
+        assert len(pts) == 4
+        assert all(Rect(0, 0, 10, 10).contains(p) for p in pts)
+        with pytest.raises(ValueError):
+            Rect(0, 0, 1, 1).sample_grid(0, 1)
+
+
+class TestProperties:
+    @given(points, points)
+    def test_from_corners_contains_both(self, a, b):
+        r = Rect.from_corners(a, b)
+        assert r.contains(a)
+        assert r.contains(b)
+
+    @given(rects, rects)
+    def test_intersection_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+        assert a.intersection(b) == b.intersection(a)
+
+    @given(rects, rects)
+    def test_intersection_contained_in_both(self, a, b):
+        inter = a.intersection(b)
+        if inter is not None:
+            assert a.contains_rect(inter)
+            assert b.contains_rect(inter)
+
+    @given(rects, rects)
+    def test_union_contains_both(self, a, b):
+        u = a.union_bounds(b)
+        assert u.contains_rect(a)
+        assert u.contains_rect(b)
+
+    @given(rects, points)
+    def test_clamp_is_inside(self, r, p):
+        assert r.contains(r.clamp(p), tol=1e-9)
+
+    @given(rects, st.floats(min_value=0, max_value=100))
+    def test_expanded_contains_original(self, r, margin):
+        assert r.expanded(margin).contains_rect(r)
+
+    @given(rects, points)
+    def test_distance_zero_iff_contained(self, r, p):
+        inside = r.contains(p)
+        dist = r.distance_to_point(p)
+        if inside:
+            assert dist == 0.0
+        else:
+            assert dist > 0.0

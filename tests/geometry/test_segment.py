@@ -1,0 +1,122 @@
+"""Unit and property tests for repro.geometry.segment."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Segment, segments_intersect
+
+finite = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, finite, finite)
+
+
+class TestIntersection:
+    def test_plain_crossing(self):
+        assert segments_intersect(
+            Point(0, 0), Point(2, 2), Point(0, 2), Point(2, 0)
+        )
+
+    def test_disjoint(self):
+        assert not segments_intersect(
+            Point(0, 0), Point(1, 0), Point(0, 1), Point(1, 1)
+        )
+
+    def test_shared_endpoint_counts_as_closed_intersection(self):
+        assert segments_intersect(
+            Point(0, 0), Point(1, 1), Point(1, 1), Point(2, 0)
+        )
+
+    def test_t_junction(self):
+        assert segments_intersect(
+            Point(0, 0), Point(2, 0), Point(1, -1), Point(1, 0)
+        )
+
+    def test_collinear_overlap(self):
+        assert segments_intersect(
+            Point(0, 0), Point(3, 0), Point(1, 0), Point(4, 0)
+        )
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect(
+            Point(0, 0), Point(1, 0), Point(2, 0), Point(3, 0)
+        )
+
+    def test_zero_length_segment_on_other(self):
+        assert segments_intersect(
+            Point(1, 1), Point(1, 1), Point(0, 0), Point(2, 2)
+        )
+
+    def test_zero_length_segment_off_other(self):
+        assert not segments_intersect(
+            Point(5, 5), Point(5, 5), Point(0, 0), Point(2, 2)
+        )
+
+
+class TestProperIntersection:
+    def test_crossing_is_proper(self):
+        s1 = Segment(Point(0, 0), Point(2, 2))
+        s2 = Segment(Point(0, 2), Point(2, 0))
+        assert s1.properly_intersects(s2)
+
+    def test_shared_endpoint_is_not_proper(self):
+        s1 = Segment(Point(0, 0), Point(1, 1))
+        s2 = Segment(Point(1, 1), Point(2, 0))
+        assert not s1.properly_intersects(s2)
+        assert s1.intersects(s2)
+
+    def test_touching_is_not_proper(self):
+        s1 = Segment(Point(0, 0), Point(2, 0))
+        s2 = Segment(Point(1, -1), Point(1, 0))
+        assert not s1.properly_intersects(s2)
+
+
+class TestDistance:
+    def test_distance_to_point_interior(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        assert s.distance_to_point(Point(5, 3)) == pytest.approx(3.0)
+
+    def test_distance_to_point_beyond_ends(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        assert s.distance_to_point(Point(13, 4)) == pytest.approx(5.0)
+        assert s.distance_to_point(Point(-3, 4)) == pytest.approx(5.0)
+
+    def test_distance_degenerate_segment(self):
+        s = Segment(Point(1, 1), Point(1, 1))
+        assert s.distance_to_point(Point(4, 5)) == pytest.approx(5.0)
+
+    def test_length_and_midpoint(self):
+        s = Segment(Point(0, 0), Point(3, 4))
+        assert s.length == pytest.approx(5.0)
+        assert s.midpoint == Point(1.5, 2.0)
+
+
+class TestProperties:
+    @given(points, points, points, points)
+    def test_intersection_symmetric(self, a, b, c, d):
+        assert segments_intersect(a, b, c, d) == segments_intersect(c, d, a, b)
+
+    @given(points, points)
+    def test_segment_intersects_itself(self, a, b):
+        assert segments_intersect(a, b, a, b)
+
+    @given(points, points, points)
+    def test_shared_endpoint_always_intersects(self, a, b, c):
+        assert segments_intersect(a, b, b, c)
+
+    @given(points, points, points, points)
+    def test_proper_implies_closed(self, a, b, c, d):
+        s1, s2 = Segment(a, b), Segment(c, d)
+        if s1.properly_intersects(s2):
+            assert s1.intersects(s2)
+
+    @given(points, points, points)
+    def test_distance_nonnegative(self, a, b, p):
+        assert Segment(a, b).distance_to_point(p) >= 0.0
+
+    @given(points, points)
+    def test_distance_to_endpoints_zero(self, a, b):
+        s = Segment(a, b)
+        assert s.distance_to_point(a) == pytest.approx(0.0, abs=1e-9)
+        assert s.distance_to_point(b) == pytest.approx(0.0, abs=1e-9)

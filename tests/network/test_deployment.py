@@ -1,0 +1,192 @@
+"""Tests for deployment models and obstacles."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+from repro.network import (
+    CompositeObstacle,
+    DiscObstacle,
+    GridDeployment,
+    PoissonDiskDeployment,
+    RectObstacle,
+    UniformDeployment,
+    deploy_forbidden_area_model,
+    deploy_uniform_model,
+    random_obstacle_field,
+)
+
+AREA = Rect(0, 0, 200, 200)
+
+
+class TestObstacles:
+    def test_rect_obstacle(self):
+        ob = RectObstacle(Rect(10, 10, 20, 20))
+        assert ob.contains(Point(15, 15))
+        assert not ob.contains(Point(25, 15))
+        assert ob.bounding_rect() == Rect(10, 10, 20, 20)
+
+    def test_disc_obstacle(self):
+        ob = DiscObstacle(Point(50, 50), 10)
+        assert ob.contains(Point(55, 50))
+        assert ob.contains(Point(60, 50))  # boundary inclusive
+        assert not ob.contains(Point(61, 50))
+        assert ob.bounding_rect() == Rect(40, 40, 60, 60)
+
+    def test_disc_invalid_radius(self):
+        with pytest.raises(ValueError):
+            DiscObstacle(Point(0, 0), 0)
+
+    def test_composite(self):
+        ob = CompositeObstacle(
+            [RectObstacle(Rect(0, 0, 10, 10)), RectObstacle(Rect(5, 5, 20, 20))]
+        )
+        assert ob.contains(Point(2, 2))
+        assert ob.contains(Point(15, 15))
+        assert not ob.contains(Point(30, 30))
+        assert ob.bounding_rect() == Rect(0, 0, 20, 20)
+
+    def test_composite_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeObstacle([])
+
+    def test_random_field_counts_and_bounds(self):
+        rng = random.Random(7)
+        field = random_obstacle_field(AREA, 5, rng)
+        assert len(field) == 5
+        for ob in field:
+            bounds = ob.bounding_rect()
+            assert AREA.expanded(1e-9).contains_rect(bounds)
+
+    def test_random_field_validation(self):
+        rng = random.Random(7)
+        with pytest.raises(ValueError):
+            random_obstacle_field(AREA, -1, rng)
+        with pytest.raises(ValueError):
+            random_obstacle_field(AREA, 1, rng, min_size=0)
+        with pytest.raises(ValueError):
+            random_obstacle_field(AREA, 1, rng, min_size=10, max_size=5)
+        with pytest.raises(ValueError):
+            random_obstacle_field(AREA, 1, rng, shapes=("hexagon",))
+        with pytest.raises(ValueError):
+            random_obstacle_field(AREA, 1, rng, shapes=())
+
+    def test_random_field_deterministic(self):
+        a = random_obstacle_field(AREA, 4, random.Random(3))
+        b = random_obstacle_field(AREA, 4, random.Random(3))
+        assert [o.bounding_rect() for o in a] == [o.bounding_rect() for o in b]
+
+
+class TestUniformDeployment:
+    def test_count_and_bounds(self):
+        dep = UniformDeployment(AREA)
+        pts = dep.sample(100, random.Random(1))
+        assert len(pts) == 100
+        assert all(AREA.contains(p) for p in pts)
+
+    def test_zero_count(self):
+        assert UniformDeployment(AREA).sample(0, random.Random(1)) == []
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            UniformDeployment(AREA).sample(-1, random.Random(1))
+
+    def test_obstacles_avoided(self):
+        ob = RectObstacle(Rect(0, 0, 150, 150))
+        dep = UniformDeployment(AREA, (ob,))
+        pts = dep.sample(50, random.Random(1))
+        assert all(not ob.contains(p) for p in pts)
+
+    def test_impossible_deployment_raises(self):
+        ob = RectObstacle(AREA)  # covers everything
+        dep = UniformDeployment(AREA, (ob,))
+        with pytest.raises(RuntimeError):
+            dep.sample(1, random.Random(1))
+
+    def test_deterministic_with_seed(self):
+        dep = UniformDeployment(AREA)
+        assert dep.sample(20, random.Random(5)) == dep.sample(
+            20, random.Random(5)
+        )
+
+
+class TestGridDeployment:
+    def test_exact_grid(self):
+        dep = GridDeployment(AREA, jitter=0.0)
+        pts = dep.sample(16, random.Random(1))
+        assert len(pts) == 16
+        assert len(set(pts)) == 16
+        assert all(AREA.contains(p) for p in pts)
+
+    def test_jitter_bounds_validated(self):
+        with pytest.raises(ValueError):
+            GridDeployment(AREA, jitter=1.5)
+
+    def test_jittered_points_in_area(self):
+        dep = GridDeployment(AREA, jitter=0.5)
+        pts = dep.sample(50, random.Random(2))
+        assert all(AREA.contains(p) for p in pts)
+
+    def test_obstacle_sites_dropped(self):
+        ob = RectObstacle(Rect(0, 0, 100, 200))
+        dep = GridDeployment(AREA, jitter=0.0, obstacles=(ob,))
+        pts = dep.sample(16, random.Random(1))
+        assert all(not ob.contains(p) for p in pts)
+        assert len(pts) < 16
+
+    def test_zero_count(self):
+        assert GridDeployment(AREA).sample(0, random.Random(1)) == []
+
+
+class TestPoissonDiskDeployment:
+    def test_min_separation_respected(self):
+        dep = PoissonDiskDeployment(AREA, min_separation=15)
+        pts = dep.sample(60, random.Random(3))
+        for i in range(len(pts)):
+            for j in range(i + 1, len(pts)):
+                assert pts[i].distance_to(pts[j]) > 15 - 1e-9
+
+    def test_invalid_separation(self):
+        with pytest.raises(ValueError):
+            PoissonDiskDeployment(AREA, min_separation=0)
+
+    def test_saturates_gracefully(self):
+        # Separation too large for the area: returns fewer points
+        # instead of hanging.
+        dep = PoissonDiskDeployment(Rect(0, 0, 30, 30), min_separation=25)
+        pts = dep.sample(50, random.Random(4))
+        assert 1 <= len(pts) < 50
+
+
+class TestModelHelpers:
+    def test_ia_model(self):
+        result = deploy_uniform_model(150, AREA, random.Random(11))
+        assert result.model == "IA"
+        assert len(result) == 150
+        assert result.obstacles == ()
+        assert all(AREA.contains(p) for p in result.positions)
+
+    def test_fa_model(self):
+        result = deploy_forbidden_area_model(
+            150, AREA, random.Random(11), obstacle_count=4
+        )
+        assert result.model == "FA"
+        assert len(result.obstacles) == 4
+        for p in result.positions:
+            assert all(not ob.contains(p) for ob in result.obstacles)
+
+    def test_fa_model_deterministic(self):
+        a = deploy_forbidden_area_model(80, AREA, random.Random(9))
+        b = deploy_forbidden_area_model(80, AREA, random.Random(9))
+        assert a.positions == b.positions
+
+    @given(st.integers(min_value=0, max_value=5))
+    @settings(max_examples=10, deadline=None)
+    def test_fa_obstacle_count_honoured(self, count):
+        result = deploy_forbidden_area_model(
+            30, AREA, random.Random(2), obstacle_count=count
+        )
+        assert len(result.obstacles) == count

@@ -1,0 +1,150 @@
+"""Tests for edge-node detection and failure injection."""
+
+import random
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.network import (
+    EdgeDetector,
+    build_unit_disk_graph,
+    fail_nodes,
+    fail_region,
+)
+from repro.network.failures import fail_random
+
+AREA = Rect(0, 0, 100, 100)
+
+
+def grid_network(n=6, spacing=10.0, radius=15.0):
+    pts = [
+        Point(i * spacing, j * spacing) for j in range(n) for i in range(n)
+    ]
+    return build_unit_disk_graph(pts, radius)
+
+
+class TestEdgeDetector:
+    def test_convex_hull_corners(self):
+        g = grid_network(4)
+        edge_ids = EdgeDetector(strategy="convex").detect(g)
+        # All 12 outline nodes of a 4x4 grid lie on hull edges
+        # (collinear points are kept).
+        expected = {
+            j * 4 + i
+            for j in range(4)
+            for i in range(4)
+            if i in (0, 3) or j in (0, 3)
+        }
+        assert edge_ids == expected
+
+    def test_alpha_matches_outline_on_grid(self):
+        g = grid_network(5, spacing=10, radius=15)
+        edge_ids = EdgeDetector(strategy="alpha").detect(g)
+        expected = {
+            j * 5 + i
+            for j in range(5)
+            for i in range(5)
+            if i in (0, 4) or j in (0, 4)
+        }
+        assert edge_ids == expected
+
+    def test_alpha_detects_concave_outline(self):
+        # Carve a notch into the east side of a grid; the notch rim
+        # should be boundary under alpha but not under convex.
+        pts = []
+        for j in range(8):
+            for i in range(8):
+                if i >= 5 and 2 <= j <= 5:
+                    continue
+                pts.append(Point(i * 10.0, j * 10.0))
+        g = build_unit_disk_graph(pts, radius=15)
+        alpha_ids = EdgeDetector(strategy="alpha").detect(g)
+        convex_ids = EdgeDetector(strategy="convex").detect(g)
+        rim = pts.index(Point(40.0, 30.0))
+        assert rim in alpha_ids
+        assert rim not in convex_ids
+
+    def test_margin_strategy(self):
+        g = grid_network(6, spacing=10, radius=10)
+        edge_ids = EdgeDetector(strategy="margin", margin=1.0).detect(
+            g, area=Rect(0, 0, 50, 50)
+        )
+        assert 0 in edge_ids  # corner node
+        center = 2 * 6 + 2
+        assert center not in edge_ids
+
+    def test_margin_requires_area(self):
+        g = grid_network(3)
+        with pytest.raises(ValueError):
+            EdgeDetector(strategy="margin").detect(g)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeDetector(strategy="bogus")
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            EdgeDetector(alpha_scale=0)
+        with pytest.raises(ValueError):
+            EdgeDetector(margin=-1)
+
+    def test_apply_sets_flags(self):
+        g = grid_network(3, spacing=10, radius=15)
+        g2 = EdgeDetector(strategy="convex").apply(g)
+        assert g2.is_edge_node(0)
+        assert not g2.is_edge_node(4)  # center of 3x3
+        assert not g.is_edge_node(0)  # original untouched
+
+    def test_empty_graph(self):
+        g = build_unit_disk_graph([], radius=10)
+        assert EdgeDetector().detect(g) == set()
+
+
+class TestFailures:
+    def test_fail_nodes(self):
+        g = grid_network(3)
+        g2 = fail_nodes(g, [4])
+        assert 4 not in g2
+        assert len(g2) == 8
+
+    def test_fail_unknown_node(self):
+        g = grid_network(2)
+        with pytest.raises(KeyError):
+            fail_nodes(g, [99])
+
+    def test_fail_random_fraction(self):
+        g = grid_network(5)
+        g2, failed = fail_random(g, 0.2, random.Random(1))
+        assert len(failed) == round(0.2 * 25)
+        assert len(g2) == 25 - len(failed)
+
+    def test_fail_random_protect(self):
+        g = grid_network(3)
+        g2, failed = fail_random(g, 1.0, random.Random(1), protect=[0, 8])
+        assert failed == set(g.node_ids) - {0, 8}
+        assert set(g2.node_ids) == {0, 8}
+
+    def test_fail_random_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            fail_random(grid_network(2), 1.5, random.Random(1))
+
+    def test_fail_rect_region(self):
+        g = grid_network(3, spacing=10)
+        g2, failed = fail_region(g, Rect(5, 5, 25, 25))
+        assert failed == {4, 5, 7, 8}
+        assert len(g2) == 5
+
+    def test_fail_disc_region(self):
+        g = grid_network(3, spacing=10)
+        g2, failed = fail_region(g, (Point(10, 10), 5.0))
+        assert failed == {4}
+
+    def test_fail_region_protect(self):
+        g = grid_network(3, spacing=10)
+        _, failed = fail_region(g, Rect(0, 0, 30, 30), protect=[0])
+        assert 0 not in failed
+
+    def test_fail_disc_invalid_radius(self):
+        g = grid_network(2)
+        with pytest.raises(ValueError):
+            fail_region(g, (Point(0, 0), 0.0))

@@ -1,0 +1,192 @@
+"""Tests for the WASN unit-disk graph."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point
+from repro.network import Node, WasnGraph, build_unit_disk_graph
+
+coords = st.floats(min_value=0, max_value=200, allow_nan=False)
+position_lists = st.lists(
+    st.builds(Point, coords, coords), min_size=0, max_size=50
+)
+
+
+def line_graph(n, spacing=10.0, radius=10.0):
+    """n nodes on a line, each connected to its immediate neighbours."""
+    return build_unit_disk_graph(
+        [Point(i * spacing, 0.0) for i in range(n)], radius
+    )
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = build_unit_disk_graph([], radius=10)
+        assert len(g) == 0
+        assert g.edge_count() == 0
+        assert g.is_connected()
+
+    def test_pair_within_range(self):
+        g = build_unit_disk_graph([Point(0, 0), Point(5, 0)], radius=10)
+        assert g.has_edge(0, 1)
+        assert g.neighbors(0) == (1,)
+
+    def test_pair_exactly_at_range(self):
+        g = build_unit_disk_graph([Point(0, 0), Point(10, 0)], radius=10)
+        assert g.has_edge(0, 1)
+
+    def test_pair_out_of_range(self):
+        g = build_unit_disk_graph([Point(0, 0), Point(10.5, 0)], radius=10)
+        assert not g.has_edge(0, 1)
+        assert g.neighbors(0) == ()
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            build_unit_disk_graph([], radius=0)
+
+    def test_edge_ids_set_flags(self):
+        g = build_unit_disk_graph(
+            [Point(0, 0), Point(5, 0)], radius=10, edge_ids=[1]
+        )
+        assert not g.is_edge_node(0)
+        assert g.is_edge_node(1)
+
+    @given(position_lists)
+    @settings(max_examples=50)
+    def test_matches_bruteforce(self, positions):
+        radius = 30.0
+        g = build_unit_disk_graph(positions, radius)
+        for i in range(len(positions)):
+            expected = {
+                j
+                for j in range(len(positions))
+                if j != i
+                and abs(positions[i].distance_to(positions[j]) - radius)
+                > 1e-6  # skip boundary jitter
+                and positions[i].distance_to(positions[j]) < radius
+            }
+            got = set(g.neighbors(i))
+            assert expected <= got
+            for j in got - expected:
+                assert positions[i].distance_to(positions[j]) <= radius + 1e-6
+
+
+class TestValidation:
+    def test_duplicate_node_id(self):
+        nodes = [Node(0, Point(0, 0)), Node(0, Point(1, 1))]
+        with pytest.raises(ValueError):
+            WasnGraph(nodes, {0: ()}, radius=10)
+
+    def test_asymmetric_adjacency_rejected(self):
+        nodes = [Node(0, Point(0, 0)), Node(1, Point(1, 0))]
+        with pytest.raises(ValueError):
+            WasnGraph(nodes, {0: (1,), 1: ()}, radius=10)
+
+    def test_self_loop_rejected(self):
+        nodes = [Node(0, Point(0, 0))]
+        with pytest.raises(ValueError):
+            WasnGraph(nodes, {0: (0,)}, radius=10)
+
+    def test_unknown_neighbor_rejected(self):
+        nodes = [Node(0, Point(0, 0))]
+        with pytest.raises(ValueError):
+            WasnGraph(nodes, {0: (9,)}, radius=10)
+
+    def test_missing_adjacency_rejected(self):
+        nodes = [Node(0, Point(0, 0)), Node(1, Point(1, 0))]
+        with pytest.raises(ValueError):
+            WasnGraph(nodes, {0: ()}, radius=10)
+
+    def test_duplicate_edge_rejected(self):
+        nodes = [Node(0, Point(0, 0)), Node(1, Point(1, 0))]
+        with pytest.raises(ValueError):
+            WasnGraph(nodes, {0: (1, 1), 1: (0,)}, radius=10)
+
+
+class TestQueries:
+    def test_distance(self):
+        g = build_unit_disk_graph([Point(0, 0), Point(3, 4)], radius=10)
+        assert g.distance(0, 1) == pytest.approx(5.0)
+
+    def test_degree_and_average(self):
+        g = line_graph(3)
+        assert g.degree(0) == 1
+        assert g.degree(1) == 2
+        assert g.average_degree() == pytest.approx(4 / 3)
+
+    def test_edges_each_once_sorted(self):
+        g = line_graph(4)
+        assert list(g.edges()) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_node_iteration_sorted(self):
+        g = line_graph(3)
+        assert [n.id for n in g.nodes()] == [0, 1, 2]
+
+
+class TestConnectivity:
+    def test_connected_line(self):
+        g = line_graph(5)
+        assert g.is_connected()
+        assert g.connected_components() == [{0, 1, 2, 3, 4}]
+
+    def test_two_components(self):
+        g = build_unit_disk_graph(
+            [Point(0, 0), Point(5, 0), Point(100, 0)], radius=10
+        )
+        comps = g.connected_components()
+        assert comps == [{0, 1}, {2}]
+        assert not g.is_connected()
+        assert g.same_component(0, 1)
+        assert not g.same_component(0, 2)
+
+    def test_hop_distance(self):
+        g = line_graph(5)
+        assert g.hop_distance(0, 4) == 4
+        assert g.hop_distance(2, 2) == 0
+
+    def test_hop_distance_disconnected(self):
+        g = build_unit_disk_graph([Point(0, 0), Point(100, 0)], radius=10)
+        assert g.hop_distance(0, 1) is None
+
+    @given(position_lists)
+    @settings(max_examples=30)
+    def test_components_partition_nodes(self, positions):
+        g = build_unit_disk_graph(positions, radius=25)
+        comps = g.connected_components()
+        all_nodes = set()
+        for comp in comps:
+            assert not (all_nodes & comp)
+            all_nodes |= comp
+        assert all_nodes == set(g.node_ids)
+
+
+class TestDerivedGraphs:
+    def test_without_nodes(self):
+        g = line_graph(5)
+        g2 = g.without_nodes([2])
+        assert 2 not in g2
+        assert len(g2) == 4
+        assert not g2.has_edge(1, 2)
+        assert not g2.same_component(1, 3)
+        # original untouched
+        assert 2 in g
+        assert g.has_edge(1, 2)
+
+    def test_with_edge_nodes(self):
+        g = line_graph(3)
+        g2 = g.with_edge_nodes([0, 2])
+        assert g2.is_edge_node(0)
+        assert not g2.is_edge_node(1)
+        assert g2.is_edge_node(2)
+        assert not g.is_edge_node(0)
+
+    def test_to_networkx(self):
+        g = line_graph(3)
+        nxg = g.to_networkx()
+        assert nxg.number_of_nodes() == 3
+        assert nxg.number_of_edges() == 2
+        assert nxg.edges[0, 1]["weight"] == pytest.approx(10.0)
+        assert nxg.nodes[0]["pos"] == (0.0, 0.0)

@@ -1,0 +1,130 @@
+"""Tests for the random-waypoint mobility model."""
+
+import random
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.network import RandomWaypointMobility, RectObstacle
+
+AREA = Rect(0, 0, 100, 100)
+
+
+def make(count=20, seed=1, **kwargs):
+    return RandomWaypointMobility(
+        AREA, count, random.Random(seed), **kwargs
+    )
+
+
+class TestConstruction:
+    def test_initial_positions_inside_area(self):
+        sim = make(50)
+        assert len(sim.positions()) == 50
+        assert all(AREA.contains(p) for p in sim.positions())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make(count=-1)
+        with pytest.raises(ValueError):
+            make(speed=(0.0, 5.0))
+        with pytest.raises(ValueError):
+            make(speed=(5.0, 1.0))
+        with pytest.raises(ValueError):
+            make(pause=-1.0)
+
+    def test_obstacles_avoided_initially(self):
+        obstacle = RectObstacle(Rect(20, 20, 80, 80))
+        sim = make(30, obstacles=(obstacle,))
+        assert all(not obstacle.contains(p) for p in sim.positions())
+
+    def test_deterministic(self):
+        a, b = make(seed=9), make(seed=9)
+        a.advance(10)
+        b.advance(10)
+        assert a.positions() == b.positions()
+
+
+class TestMotion:
+    def test_nodes_move(self):
+        sim = make(20)
+        before = sim.positions()
+        sim.advance(5.0)
+        after = sim.positions()
+        moved = sum(1 for p, q in zip(before, after) if p != q)
+        assert moved == 20
+
+    def test_zero_dt_is_identity(self):
+        sim = make(10)
+        before = sim.positions()
+        sim.advance(0.0)
+        assert sim.positions() == before
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ValueError):
+            make(5).advance(-1.0)
+
+    def test_positions_stay_in_area(self):
+        sim = make(25, seed=3)
+        for _ in range(40):
+            sim.advance(2.5)
+            assert all(AREA.contains(p, tol=1e-9) for p in sim.positions())
+
+    def test_speed_bounds_respected(self):
+        sim = make(20, seed=5, speed=(2.0, 4.0), pause=0.0)
+        before = sim.positions()
+        dt = 1.0
+        sim.advance(dt)
+        for p, q in zip(before, sim.positions()):
+            # Waypoint turns can shorten the net displacement but never
+            # lengthen it beyond max speed x dt.
+            assert p.distance_to(q) <= 4.0 * dt + 1e-9
+
+    def test_long_pause_freezes_walkers_at_waypoints(self):
+        # Speed >= 2 m/s across a 100 m area: every walker reaches its
+        # first waypoint within ~71 s and then dwells for 1000 s, so
+        # between t = 500 and t = 501 nobody moves.
+        sim = make(15, seed=7, speed=(2.0, 4.0), pause=1000.0)
+        sim.advance(500.0)
+        frozen = sim.positions()
+        sim.advance(1.0)
+        assert sim.positions() == frozen
+
+    def test_obstacles_never_entered(self):
+        obstacle = RectObstacle(Rect(40, 0, 60, 100))
+        sim = make(20, seed=11, obstacles=(obstacle,))
+        for _ in range(50):
+            sim.advance(2.0)
+            assert all(
+                not obstacle.contains(p) for p in sim.positions()
+            ), "walker entered the forbidden area"
+
+
+class TestTopologyStream:
+    def test_stream_length_and_types(self):
+        sim = make(30, seed=2)
+        graphs = list(sim.topology_stream(radius=25.0, dt=5.0, epochs=4))
+        assert len(graphs) == 4
+        assert all(len(g) == 30 for g in graphs)
+
+    def test_stream_changes_topology(self):
+        sim = make(40, seed=2)
+        graphs = list(sim.topology_stream(radius=20.0, dt=20.0, epochs=3))
+        edge_sets = [set(g.edges()) for g in graphs]
+        assert edge_sets[0] != edge_sets[-1]
+
+    def test_invalid_epochs(self):
+        sim = make(5)
+        with pytest.raises(ValueError):
+            list(sim.topology_stream(radius=10, dt=1, epochs=0))
+
+    def test_relabeling_across_stream(self):
+        """The dynamic-hole scenario end to end: labels evolve as the
+        topology drifts, and the construction stays valid each epoch."""
+        from repro.core import compute_safety
+        from repro.network import EdgeDetector
+
+        sim = make(60, seed=13)
+        for g in sim.topology_stream(radius=25.0, dt=15.0, epochs=3):
+            labeled = EdgeDetector(strategy="convex").apply(g)
+            safety = compute_safety(labeled)
+            assert len(safety.statuses) == 60

@@ -1,0 +1,154 @@
+"""Tests for Gabriel / RNG planarization."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Segment
+from repro.network import (
+    build_unit_disk_graph,
+    gabriel_graph,
+    relative_neighborhood_graph,
+)
+
+coords = st.floats(min_value=0, max_value=100, allow_nan=False)
+position_lists = st.lists(
+    st.builds(Point, coords, coords),
+    min_size=2,
+    max_size=25,
+    unique_by=lambda p: (round(p.x, 3), round(p.y, 3)),
+)
+
+
+def _edges_of(adj):
+    return {(u, v) for u, vs in adj.items() for v in vs if u < v}
+
+
+def _connected(adj, nodes):
+    if not nodes:
+        return True
+    seen = {nodes[0]}
+    frontier = [nodes[0]]
+    while frontier:
+        u = frontier.pop()
+        for v in adj[u]:
+            if v not in seen:
+                seen.add(v)
+                frontier.append(v)
+    return len(seen) == len(nodes)
+
+
+class TestGabriel:
+    def test_triangle_keeps_short_edges(self):
+        # Right triangle: the hypotenuse's Gabriel disc contains the
+        # right-angle vertex, so only the legs survive.
+        g = build_unit_disk_graph(
+            [Point(0, 0), Point(6, 0), Point(0, 6)], radius=10
+        )
+        adj = gabriel_graph(g)
+        assert _edges_of(adj) == {(0, 1), (0, 2)}
+
+    def test_square_drops_diagonals(self):
+        g = build_unit_disk_graph(
+            [Point(0, 0), Point(5, 0), Point(5, 5), Point(0, 5)], radius=10
+        )
+        adj = gabriel_graph(g)
+        assert _edges_of(adj) == {(0, 1), (1, 2), (2, 3), (0, 3)}
+
+    def test_pair_kept(self):
+        g = build_unit_disk_graph([Point(0, 0), Point(5, 0)], radius=10)
+        assert _edges_of(gabriel_graph(g)) == {(0, 1)}
+
+    def test_symmetric_adjacency(self):
+        rng = random.Random(0)
+        pts = [Point(rng.uniform(0, 60), rng.uniform(0, 60)) for _ in range(40)]
+        g = build_unit_disk_graph(pts, radius=20)
+        adj = gabriel_graph(g)
+        for u, vs in adj.items():
+            for v in vs:
+                assert u in adj[v]
+
+    @given(position_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_subgraph_of_udg(self, positions):
+        g = build_unit_disk_graph(positions, radius=30)
+        adj = gabriel_graph(g)
+        for u, v in _edges_of(adj):
+            assert g.has_edge(u, v)
+
+    @given(position_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_preserves_connectivity(self, positions):
+        g = build_unit_disk_graph(positions, radius=30)
+        adj = gabriel_graph(g)
+        for component in g.connected_components():
+            nodes = sorted(component)
+            sub = {u: [v for v in adj[u] if v in component] for u in nodes}
+            assert _connected(sub, nodes)
+
+    @given(position_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_planarity_no_proper_crossings(self, positions):
+        g = build_unit_disk_graph(positions, radius=30)
+        adj = gabriel_graph(g)
+        edges = list(_edges_of(adj))
+        segments = [
+            Segment(g.position(u), g.position(v)) for u, v in edges
+        ]
+        for i in range(len(segments)):
+            for j in range(i + 1, len(segments)):
+                shared = set(edges[i]) & set(edges[j])
+                if shared:
+                    continue
+                assert not segments[i].properly_intersects(segments[j]), (
+                    f"edges {edges[i]} and {edges[j]} cross"
+                )
+
+
+class TestRng:
+    def test_rng_subset_of_gabriel(self):
+        rng = random.Random(1)
+        pts = [Point(rng.uniform(0, 80), rng.uniform(0, 80)) for _ in range(60)]
+        g = build_unit_disk_graph(pts, radius=25)
+        gg_edges = _edges_of(gabriel_graph(g))
+        rng_edges = _edges_of(relative_neighborhood_graph(g))
+        assert rng_edges <= gg_edges
+
+    def test_equilateral_triangle_boundary_kept(self):
+        # In an exact equilateral triangle each vertex is *not* strictly
+        # inside the lune of the opposite edge, so all edges survive.
+        import math
+
+        g = build_unit_disk_graph(
+            [Point(0, 0), Point(6, 0), Point(3, 3 * math.sqrt(3))], radius=10
+        )
+        adj = relative_neighborhood_graph(g)
+        assert _edges_of(adj) == {(0, 1), (0, 2), (1, 2)}
+
+    def test_witness_removes_long_edge(self):
+        # Node 2 sits strictly closer to both 0 and 1 than |01|.
+        g = build_unit_disk_graph(
+            [Point(0, 0), Point(8, 0), Point(4, 1)], radius=10
+        )
+        adj = relative_neighborhood_graph(g)
+        assert (0, 1) not in _edges_of(adj)
+
+    @given(position_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_preserves_connectivity(self, positions):
+        g = build_unit_disk_graph(positions, radius=30)
+        adj = relative_neighborhood_graph(g)
+        for component in g.connected_components():
+            nodes = sorted(component)
+            sub = {u: [v for v in adj[u] if v in component] for u in nodes}
+            assert _connected(sub, nodes)
+
+    @given(position_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_rng_always_inside_gabriel(self, positions):
+        g = build_unit_disk_graph(positions, radius=30)
+        assert _edges_of(relative_neighborhood_graph(g)) <= _edges_of(
+            gabriel_graph(g)
+        )

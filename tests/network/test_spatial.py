@@ -1,0 +1,159 @@
+"""Tests for the spatial hash grid."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point
+from repro.network import SpatialGrid
+
+coords = st.floats(min_value=-500, max_value=500, allow_nan=False)
+point_lists = st.lists(
+    st.builds(Point, coords, coords), min_size=0, max_size=60
+)
+
+
+class TestBasics:
+    def test_insert_and_len(self):
+        grid = SpatialGrid(cell_size=10)
+        grid.insert(0, Point(1, 1))
+        grid.insert(1, Point(2, 2))
+        assert len(grid) == 2
+        assert 0 in grid
+        assert 2 not in grid
+
+    def test_duplicate_key_rejected(self):
+        grid = SpatialGrid(cell_size=10)
+        grid.insert(0, Point(1, 1))
+        with pytest.raises(KeyError):
+            grid.insert(0, Point(5, 5))
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError):
+            SpatialGrid(cell_size=0)
+
+    def test_remove(self):
+        grid = SpatialGrid(cell_size=10)
+        grid.insert(0, Point(1, 1))
+        grid.remove(0)
+        assert len(grid) == 0
+        assert list(grid.neighbors_within(Point(1, 1), 5)) == []
+
+    def test_position_lookup(self):
+        grid = SpatialGrid(cell_size=10)
+        grid.insert(7, Point(3, 4))
+        assert grid.position(7) == Point(3, 4)
+
+    def test_bulk_insert(self):
+        grid = SpatialGrid(cell_size=10)
+        grid.bulk_insert([(0, Point(0, 0)), (1, Point(1, 1))])
+        assert len(grid) == 2
+
+
+class TestRangeQueries:
+    def test_neighbors_within_basic(self):
+        grid = SpatialGrid(cell_size=5)
+        grid.insert(0, Point(0, 0))
+        grid.insert(1, Point(3, 0))
+        grid.insert(2, Point(8, 0))
+        hits = set(grid.neighbors_within(Point(0, 0), 5))
+        assert hits == {0, 1}
+
+    def test_exclude(self):
+        grid = SpatialGrid(cell_size=5)
+        grid.insert(0, Point(0, 0))
+        grid.insert(1, Point(1, 0))
+        hits = set(grid.neighbors_within(Point(0, 0), 5, exclude=0))
+        assert hits == {1}
+
+    def test_boundary_inclusive(self):
+        grid = SpatialGrid(cell_size=5)
+        grid.insert(0, Point(5, 0))
+        assert set(grid.neighbors_within(Point(0, 0), 5)) == {0}
+
+    def test_nonpositive_radius_yields_nothing(self):
+        grid = SpatialGrid(cell_size=5)
+        grid.insert(0, Point(0, 0))
+        assert list(grid.neighbors_within(Point(0, 0), 0)) == []
+
+    @given(point_lists, st.floats(min_value=0.1, max_value=100))
+    @settings(max_examples=60)
+    def test_matches_bruteforce(self, points, radius):
+        grid = SpatialGrid(cell_size=7.3)
+        for i, p in enumerate(points):
+            grid.insert(i, p)
+        center = Point(1.0, -2.0)
+        expected = {
+            i for i, p in enumerate(points) if p.distance_to(center) <= radius
+        }
+        got = set(grid.neighbors_within(center, radius))
+        # Allow boundary jitter: points within 1e-9 of the radius may
+        # legitimately differ from the exact comparison.
+        sym = expected ^ got
+        for i in sym:
+            assert abs(points[i].distance_to(center) - radius) < 1e-6
+
+    @given(point_lists)
+    @settings(max_examples=60)
+    def test_all_pairs_matches_bruteforce(self, points):
+        radius = 25.0
+        grid = SpatialGrid(cell_size=radius)
+        for i, p in enumerate(points):
+            grid.insert(i, p)
+        expected = {
+            (i, j)
+            for i in range(len(points))
+            for j in range(i + 1, len(points))
+            if points[i].distance_to(points[j]) <= radius
+        }
+        got = set(grid.all_pairs_within(radius))
+        sym = expected ^ got
+        for i, j in sym:
+            assert abs(points[i].distance_to(points[j]) - radius) < 1e-6
+
+    def test_all_pairs_no_duplicates(self):
+        rng = random.Random(42)
+        points = [
+            Point(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(80)
+        ]
+        grid = SpatialGrid(cell_size=20)
+        grid.bulk_insert(enumerate(points))
+        pairs = list(grid.all_pairs_within(20))
+        assert len(pairs) == len(set(pairs))
+
+
+class TestNearest:
+    def test_empty_grid(self):
+        grid = SpatialGrid(cell_size=5)
+        assert grid.nearest(Point(0, 0)) is None
+
+    def test_single_point(self):
+        grid = SpatialGrid(cell_size=5)
+        grid.insert(3, Point(100, 100))
+        assert grid.nearest(Point(0, 0)) == 3
+
+    def test_nearest_with_exclude(self):
+        grid = SpatialGrid(cell_size=5)
+        grid.insert(0, Point(0, 0))
+        grid.insert(1, Point(10, 0))
+        assert grid.nearest(Point(1, 0), exclude=0) == 1
+
+    def test_exclude_only_point(self):
+        grid = SpatialGrid(cell_size=5)
+        grid.insert(0, Point(0, 0))
+        assert grid.nearest(Point(0, 0), exclude=0) is None
+
+    @given(point_lists)
+    @settings(max_examples=60)
+    def test_matches_bruteforce(self, points):
+        if not points:
+            return
+        grid = SpatialGrid(cell_size=9.1)
+        for i, p in enumerate(points):
+            grid.insert(i, p)
+        center = Point(3.0, 4.0)
+        got = grid.nearest(center)
+        best = min(p.distance_to(center) for p in points)
+        assert points[got].distance_to(center) == pytest.approx(best, abs=1e-9)

@@ -1,0 +1,114 @@
+"""Tests for the synchronous engine and hello protocol."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.network import build_unit_disk_graph
+from repro.protocols import Broadcast, ProtocolNode, SyncEngine, run_hello
+
+
+def line_graph(n=4, spacing=10.0):
+    return build_unit_disk_graph(
+        [Point(i * spacing, 0) for i in range(n)], radius=12
+    )
+
+
+class _Flood(ProtocolNode):
+    """Re-broadcasts the smallest value it has seen (max-consensus)."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.best = node_id
+
+    def on_start(self):
+        return self.best
+
+    def on_round(self, inbox):
+        improved = False
+        for b in inbox:
+            if b.payload < self.best:
+                self.best = b.payload
+                improved = True
+        return self.best if improved else None
+
+
+class _Silent(ProtocolNode):
+    def on_start(self):
+        return None
+
+    def on_round(self, inbox):  # pragma: no cover - never called
+        return None
+
+
+class TestEngine:
+    def test_flood_converges_to_minimum(self):
+        g = line_graph(6)
+        engine = SyncEngine(g, _Flood)
+        stats = engine.run()
+        assert stats.quiesced
+        for node in engine.nodes():
+            assert node.best == 0
+
+    def test_rounds_match_diameter(self):
+        g = line_graph(6)
+        engine = SyncEngine(g, _Flood)
+        stats = engine.run()
+        # The minimum travels one hop per round; the line has
+        # diameter 5, plus a final silent round to quiesce.
+        assert stats.rounds == 6
+
+    def test_silent_protocol_quiesces_immediately(self):
+        g = line_graph(3)
+        stats = SyncEngine(g, _Silent).run()
+        assert stats.quiesced
+        assert stats.rounds == 0
+        assert stats.transmissions == 0
+
+    def test_round_limit(self):
+        g = line_graph(6)
+        engine = SyncEngine(g, _Flood)
+        stats = engine.run(max_rounds=2)
+        assert not stats.quiesced
+        assert stats.rounds == 2
+
+    def test_invalid_round_limit(self):
+        g = line_graph(2)
+        with pytest.raises(ValueError):
+            SyncEngine(g, _Flood).run(max_rounds=0)
+
+    def test_transmission_accounting(self):
+        g = line_graph(3)
+        stats = SyncEngine(g, _Flood).run()
+        # Round 0: 3 broadcasts. Round 1: nodes 1 and 2 improve (hear
+        # 0 and 1 resp.) => 2 broadcasts. Round 2: node 2 improves
+        # (hears 0 via 1) => 1. Round 3: silence.
+        assert stats.transmissions == 6
+
+    def test_stats_str(self):
+        g = line_graph(2)
+        stats = SyncEngine(g, _Flood).run()
+        assert "rounds" in str(stats)
+        assert "quiesced" in str(stats)
+
+
+class TestHello:
+    def test_discovers_exact_adjacency(self):
+        g = line_graph(5)
+        engine, stats = run_hello(g)
+        for u in g.node_ids:
+            node = engine.node(u)
+            assert set(node.neighbor_positions) == set(g.neighbors(u))
+
+    def test_positions_correct(self):
+        g = line_graph(4)
+        engine, _ = run_hello(g)
+        node = engine.node(1)
+        assert node.neighbor_positions[0] == g.position(0)
+        assert node.neighbor_positions[2] == g.position(2)
+
+    def test_cost_is_one_broadcast_per_node(self):
+        g = line_graph(5)
+        _, stats = run_hello(g)
+        assert stats.transmissions == 5
+        assert stats.receptions == 2 * g.edge_count()
+        assert stats.quiesced

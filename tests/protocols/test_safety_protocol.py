@@ -1,0 +1,108 @@
+"""Distributed Algorithm 2 must agree with the centralized reference."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ZONE_TYPES, compute_safety, compute_shapes
+from repro.geometry import Point
+from repro.network import EdgeDetector, build_unit_disk_graph
+from repro.protocols import run_safety_protocol
+
+coords = st.floats(min_value=0, max_value=120, allow_nan=False)
+position_lists = st.lists(
+    st.builds(Point, coords, coords),
+    min_size=1,
+    max_size=35,
+    unique_by=lambda p: (round(p.x, 2), round(p.y, 2)),
+)
+
+
+def build(positions, radius=25.0, edge_ids=None):
+    g = build_unit_disk_graph(positions, radius)
+    if edge_ids is None:
+        g = EdgeDetector(strategy="convex").apply(g)
+    else:
+        g = g.with_edge_nodes(edge_ids)
+    return g
+
+
+class TestAgainstCentralized:
+    @given(position_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_statuses_match(self, positions):
+        g = build(positions)
+        reference = compute_safety(g)
+        engine, stats = run_safety_protocol(g)
+        assert stats.quiesced
+        for u in g.node_ids:
+            assert engine.node(u).status_tuple() == reference.tuple_of(u), u
+
+    @given(position_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_shapes_match(self, positions):
+        g = build(positions)
+        reference = compute_shapes(compute_safety(g))
+        engine, _ = run_safety_protocol(g)
+        for u in g.node_ids:
+            node = engine.node(u)
+            for zone_type in ZONE_TYPES:
+                expected = reference.estimated_area(u, zone_type)
+                got = node.estimated_rect(zone_type)
+                if expected is None:
+                    assert got is None, (u, zone_type)
+                else:
+                    assert got is not None, (u, zone_type)
+                    assert got.x_min == pytest.approx(expected.x_min)
+                    assert got.y_min == pytest.approx(expected.y_min)
+                    assert got.x_max == pytest.approx(expected.x_max)
+                    assert got.y_max == pytest.approx(expected.y_max)
+
+    def test_larger_random_network(self):
+        rng = random.Random(17)
+        positions = [
+            Point(rng.uniform(0, 200), rng.uniform(0, 200))
+            for _ in range(250)
+        ]
+        g = build(positions, radius=20.0)
+        reference = compute_safety(g)
+        engine, stats = run_safety_protocol(g)
+        assert stats.quiesced
+        mismatches = [
+            u
+            for u in g.node_ids
+            if engine.node(u).status_tuple() != reference.tuple_of(u)
+        ]
+        assert mismatches == []
+
+
+class TestProtocolBehaviour:
+    def test_edge_nodes_never_flip(self):
+        g = build([Point(0, 0), Point(1, 1)], edge_ids=[0])
+        engine, _ = run_safety_protocol(g)
+        assert engine.node(0).status_tuple() == (True, True, True, True)
+
+    def test_isolated_pair_all_unsafe(self):
+        g = build([Point(0, 0), Point(1, 1)], edge_ids=[])
+        engine, _ = run_safety_protocol(g)
+        assert engine.node(0).status_tuple() == (False, False, False, False)
+
+    def test_cost_scales_with_changes(self):
+        # A fully-safe network (hole-free grid with hull pinning)
+        # broadcasts exactly once per node: the initial hello.
+        positions = [
+            Point(i * 10.0, j * 10.0) for j in range(6) for i in range(6)
+        ]
+        g = build(positions, radius=15.0)
+        _, stats = run_safety_protocol(g)
+        assert stats.transmissions == len(positions)
+
+    def test_round_count_reflects_cascade(self):
+        # A diagonal chain of unsafe nodes: the status cascades one hop
+        # per round toward the south-west.
+        positions = [Point(float(i), float(i)) for i in range(6)]
+        g = build(positions, radius=2.0, edge_ids=[])
+        _, stats = run_safety_protocol(g)
+        assert stats.rounds >= 5

@@ -1,0 +1,115 @@
+"""Tests for the router base machinery and result records."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.network import build_unit_disk_graph
+from repro.routing import (
+    GreedyRouter,
+    Phase,
+    RouteResult,
+    RoutingError,
+)
+
+
+def tiny_graph():
+    return build_unit_disk_graph(
+        [Point(0, 0), Point(10, 0), Point(20, 0)], radius=12
+    )
+
+
+class TestRouteValidation:
+    def test_unknown_nodes_rejected(self):
+        router = GreedyRouter(tiny_graph())
+        with pytest.raises(RoutingError):
+            router.route(0, 99)
+        with pytest.raises(RoutingError):
+            router.route(99, 0)
+
+    def test_source_equals_destination_rejected(self):
+        router = GreedyRouter(tiny_graph())
+        with pytest.raises(RoutingError):
+            router.route(1, 1)
+
+    def test_invalid_ttl(self):
+        with pytest.raises(ValueError):
+            GreedyRouter(tiny_graph(), ttl=0)
+
+    def test_default_ttl_floor(self):
+        router = GreedyRouter(tiny_graph())
+        assert router.ttl >= 64
+
+
+class TestRouteResult:
+    def test_hops_and_phase_counts(self):
+        result = RouteResult(
+            router="GF",
+            source=0,
+            destination=2,
+            delivered=True,
+            path=(0, 1, 2),
+            phases=(Phase.GREEDY, Phase.PERIMETER),
+            length=20.0,
+        )
+        assert result.hops == 2
+        assert result.phase_hops() == {"greedy": 1, "perimeter": 1}
+
+    def test_phase_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RouteResult(
+                router="GF",
+                source=0,
+                destination=2,
+                delivered=True,
+                path=(0, 1, 2),
+                phases=(Phase.GREEDY,),
+                length=20.0,
+            )
+
+    def test_delivered_must_end_at_destination(self):
+        with pytest.raises(ValueError):
+            RouteResult(
+                router="GF",
+                source=0,
+                destination=2,
+                delivered=True,
+                path=(0, 1),
+                phases=(Phase.GREEDY,),
+                length=10.0,
+            )
+
+    def test_failed_route_is_fine_anywhere(self):
+        result = RouteResult(
+            router="GF",
+            source=0,
+            destination=2,
+            delivered=False,
+            path=(0, 1),
+            phases=(Phase.GREEDY,),
+            length=10.0,
+            failure_reason="ttl_exceeded",
+        )
+        assert result.hops == 1
+        assert not result.delivered
+
+
+class TestBasicDelivery:
+    def test_line_delivery(self):
+        router = GreedyRouter(tiny_graph())
+        result = router.route(0, 2)
+        assert result.delivered
+        assert result.path == (0, 1, 2)
+        assert result.length == pytest.approx(20.0)
+        assert result.phases == (Phase.GREEDY, Phase.GREEDY)
+
+    def test_single_hop(self):
+        router = GreedyRouter(tiny_graph())
+        result = router.route(0, 1)
+        assert result.delivered
+        assert result.path == (0, 1)
+
+    def test_disconnected_pair_fails(self):
+        g = build_unit_disk_graph([Point(0, 0), Point(100, 0)], radius=10)
+        result = GreedyRouter(g).route(0, 1)
+        assert not result.delivered
+        assert result.failure_reason is not None

@@ -1,0 +1,56 @@
+"""Tests for the future-work extensions (Section 6).
+
+* ``adaptive_greedy`` — "increase the routing adaptivity so that fewer
+  perimeter routing phases are needed";
+* ``shape_mode="exact"`` — "more accurate information for unsafe areas
+  so that shorter paths can be achieved".
+"""
+
+import random
+
+from repro.core import InformationModel
+from repro.routing import Slgf2Router, path_is_valid
+
+
+class TestAdaptiveGreedy:
+    def test_fewer_or_equal_detour_phases(self, random_net):
+        g, _, model = random_net
+        plain = Slgf2Router(model)
+        adaptive = Slgf2Router(model, adaptive_greedy=True)
+        rng = random.Random(19)
+        ids = g.node_ids
+        plain_detours = adaptive_detours = 0
+        for _ in range(100):
+            s, d = rng.sample(ids, 2)
+            a = plain.route(s, d)
+            b = adaptive.route(s, d)
+            assert path_is_valid(a, g) and path_is_valid(b, g)
+            plain_detours += a.perimeter_entries + a.backup_entries
+            adaptive_detours += b.perimeter_entries + b.backup_entries
+        assert adaptive_detours <= plain_detours
+
+    def test_still_delivers(self, obstacle_net):
+        g, _, model = obstacle_net
+        router = Slgf2Router(model, adaptive_greedy=True)
+        rng = random.Random(23)
+        ids = g.node_ids
+        delivered = sum(
+            router.route(*rng.sample(ids, 2)).delivered for _ in range(60)
+        )
+        assert delivered >= 58
+
+
+class TestExactShapesRouting:
+    def test_exact_model_routes_validly(self, obstacle_net):
+        g, _, _ = obstacle_net
+        exact_model = InformationModel.build(g, shape_mode="exact")
+        router = Slgf2Router(exact_model)
+        rng = random.Random(29)
+        ids = g.node_ids
+        delivered = 0
+        for _ in range(60):
+            s, d = rng.sample(ids, 2)
+            result = router.route(s, d)
+            assert path_is_valid(result, g)
+            delivered += result.delivered
+        assert delivered >= 57

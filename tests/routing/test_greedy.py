@@ -1,0 +1,133 @@
+"""Tests for GF (greedy + perimeter recovery)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.geometry import Point
+from repro.network import build_unit_disk_graph
+from repro.routing import GreedyRouter, Phase, path_is_valid
+
+
+class TestGreedyPhase:
+    def test_straight_line_on_grid(self, grid):
+        g, positions, _ = grid
+        router = GreedyRouter(g)
+        a = positions.index(Point(0.0, 30.0))
+        b = positions.index(Point(70.0, 30.0))
+        result = router.route(a, b)
+        assert result.delivered
+        # Pure greedy across a hole-free grid: no perimeter hops.
+        assert all(phase == Phase.GREEDY for phase in result.phases)
+        assert result.perimeter_entries == 0
+        assert result.hops == 7
+
+    def test_all_grid_pairs_delivered(self, grid):
+        g, positions, _ = grid
+        router = GreedyRouter(g)
+        rng = random.Random(1)
+        pairs = rng.sample(
+            list(itertools.permutations(range(len(positions)), 2)), 150
+        )
+        for s, d in pairs:
+            result = router.route(s, d)
+            assert result.delivered, (s, d, result.failure_reason)
+            assert path_is_valid(result, g)
+
+    def test_greedy_strictly_decreases_distance(self, grid):
+        g, positions, _ = grid
+        router = GreedyRouter(g)
+        result = router.route(0, len(positions) - 1)
+        pd = g.position(result.destination)
+        dists = [g.position(u).distance_to(pd) for u in result.path]
+        assert all(a > b for a, b in zip(dists, dists[1:]))
+
+
+class TestPerimeterRecovery:
+    def test_pocket_forces_perimeter(self, pocket_grid):
+        g, positions, _ = pocket_grid
+        router = GreedyRouter(g)
+        s = positions.index(Point(40.0, 40.0))  # inside the pocket
+        d = positions.index(Point(110.0, 110.0))  # beyond the wall
+        result = router.route(s, d)
+        assert result.delivered
+        assert result.perimeter_entries >= 1
+        assert Phase.PERIMETER in result.phases
+        assert path_is_valid(result, g)
+
+    def test_detour_longer_than_straight_line(self, pocket_grid):
+        g, positions, _ = pocket_grid
+        router = GreedyRouter(g)
+        s = positions.index(Point(40.0, 40.0))
+        d = positions.index(Point(110.0, 110.0))
+        result = router.route(s, d)
+        euclid = g.position(s).distance_to(g.position(d))
+        assert result.length > euclid
+
+    def test_unreachable_destination_detected(self):
+        # Destination on an island: perimeter tour must terminate with
+        # a failure rather than a TTL burn.
+        positions = [Point(0, 0), Point(10, 0), Point(10, 10), Point(0, 10)]
+        positions.append(Point(100, 100))  # island
+        g = build_unit_disk_graph(positions, radius=15)
+        router = GreedyRouter(g)
+        result = router.route(0, 4)
+        assert not result.delivered
+        assert result.failure_reason in ("unreachable", "ttl_exceeded")
+
+    def test_rng_planarization_also_delivers(self, pocket_grid):
+        g, positions, _ = pocket_grid
+        router = GreedyRouter(g, planarization="rng")
+        s = positions.index(Point(40.0, 40.0))
+        d = positions.index(Point(110.0, 110.0))
+        result = router.route(s, d)
+        assert result.delivered
+
+    def test_unknown_planarization_rejected(self, grid):
+        g, _, _ = grid
+        with pytest.raises(ValueError):
+            GreedyRouter(g, planarization="delaunay")
+
+    def test_unknown_recovery_rejected(self, grid):
+        g, _, _ = grid
+        with pytest.raises(ValueError):
+            GreedyRouter(g, recovery="teleport")
+
+    def test_boundhole_recovery_requires_boundaries(self, grid):
+        g, _, _ = grid
+        with pytest.raises(ValueError):
+            GreedyRouter(g, recovery="boundhole")
+
+
+class TestRandomNetworks:
+    def test_connected_random_delivery(self, random_net):
+        g, positions, _ = random_net
+        router = GreedyRouter(g)
+        rng = random.Random(7)
+        ids = g.node_ids
+        delivered = 0
+        total = 120
+        for _ in range(total):
+            s, d = rng.sample(ids, 2)
+            result = router.route(s, d)
+            assert path_is_valid(result, g)
+            delivered += result.delivered
+        # GPSR-style recovery is not delivery-guaranteed on the raw
+        # unit-disk graph, but on a connected network it should succeed
+        # almost always.
+        assert delivered / total >= 0.95
+
+    def test_obstacle_network_delivery(self, obstacle_net):
+        g, positions, _ = obstacle_net
+        router = GreedyRouter(g)
+        rng = random.Random(11)
+        ids = g.node_ids
+        delivered = 0
+        total = 120
+        for _ in range(total):
+            s, d = rng.sample(ids, 2)
+            result = router.route(s, d)
+            assert path_is_valid(result, g)
+            delivered += result.delivered
+        assert delivered / total >= 0.9

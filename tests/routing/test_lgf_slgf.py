@@ -1,0 +1,173 @@
+"""Tests for LGF (Algorithm 1) and SLGF."""
+
+import random
+
+import pytest
+
+from repro.core import request_zone, zone_type_of
+from repro.geometry import Point
+from repro.routing import LgfRouter, Phase, SlgfRouter, path_is_valid
+
+
+class TestLgfForwarding:
+    def test_zone_limited_hops(self, grid):
+        g, positions, _ = grid
+        router = LgfRouter(g)
+        s = positions.index(Point(0.0, 0.0))
+        d = positions.index(Point(70.0, 70.0))
+        result = router.route(s, d)
+        assert result.delivered
+        # Every greedy hop stays inside the request zone of its node.
+        pd = g.position(d)
+        for (a, b), phase in zip(
+            zip(result.path, result.path[1:]), result.phases
+        ):
+            if phase != Phase.GREEDY or b == d:
+                continue
+            zone = request_zone(g.position(a), pd)
+            assert zone.contains(g.position(b))
+
+    def test_grid_diagonal_is_straightforward(self, grid):
+        g, positions, _ = grid
+        router = LgfRouter(g)
+        s = positions.index(Point(0.0, 0.0))
+        d = positions.index(Point(70.0, 70.0))
+        result = router.route(s, d)
+        assert result.hops == 7  # pure diagonal walk
+        assert result.perimeter_entries == 0
+
+    def test_invalid_scope_rejected(self, grid):
+        g, _, _ = grid
+        with pytest.raises(ValueError):
+            LgfRouter(g, candidate_scope="cone")
+
+    def test_quadrant_scope_delivers(self, grid):
+        g, positions, _ = grid
+        router = LgfRouter(g, candidate_scope="quadrant")
+        result = router.route(0, len(positions) - 1)
+        assert result.delivered
+
+
+class TestLgfPerimeter:
+    def test_pocket_triggers_perimeter(self, pocket_grid):
+        g, positions, _ = pocket_grid
+        router = LgfRouter(g)
+        s = positions.index(Point(40.0, 40.0))
+        d = positions.index(Point(110.0, 110.0))
+        result = router.route(s, d)
+        assert result.delivered
+        assert result.perimeter_entries >= 1
+        assert path_is_valid(result, g)
+
+    def test_lgf_worse_than_gf_on_average(self, random_net):
+        """LGF's limited adaptivity costs hops vs GF (Section 5:
+        "LGF routing may experience more perimeter routing phases
+        than GF routing") — an aggregate claim over many pairs."""
+        from repro.routing import GreedyRouter
+
+        g, _, _ = random_net
+        lgf = LgfRouter(g)
+        gf = GreedyRouter(g)
+        rng = random.Random(31)
+        ids = g.node_ids
+        lgf_hops = gf_hops = 0
+        lgf_peri = gf_peri = 0
+        for _ in range(80):
+            s, d = rng.sample(ids, 2)
+            a, b = lgf.route(s, d), gf.route(s, d)
+            if a.delivered and b.delivered:
+                lgf_hops += a.hops
+                gf_hops += b.hops
+            lgf_peri += a.perimeter_entries
+            gf_peri += b.perimeter_entries
+        assert lgf_hops >= gf_hops
+        assert lgf_peri >= gf_peri
+
+    def test_unreachable_terminates(self):
+        from repro.network import build_unit_disk_graph
+
+        positions = [Point(0, 0), Point(10, 0), Point(100, 100)]
+        g = build_unit_disk_graph(positions, radius=15)
+        result = LgfRouter(g).route(0, 2)
+        assert not result.delivered
+        assert result.failure_reason == "unreachable"
+
+    def test_random_network_delivery(self, random_net):
+        g, _, _ = random_net
+        router = LgfRouter(g)
+        rng = random.Random(3)
+        ids = g.node_ids
+        delivered = 0
+        for _ in range(100):
+            s, d = rng.sample(ids, 2)
+            result = router.route(s, d)
+            assert path_is_valid(result, g)
+            delivered += result.delivered
+        # The backtracking perimeter makes LGF slow but reliable on a
+        # connected network.
+        assert delivered >= 98
+
+
+class TestSlgf:
+    def test_prefers_safe_hops_on_grid(self, grid):
+        g, positions, model = grid
+        router = SlgfRouter(model)
+        s = positions.index(Point(0.0, 0.0))
+        d = positions.index(Point(70.0, 70.0))
+        result = router.route(s, d)
+        assert result.delivered
+        # Hole-free grid: everything is safe, all hops labeled SAFE.
+        assert all(phase == Phase.SAFE for phase in result.phases)
+
+    def test_avoids_pocket_entirely(self, pocket_grid):
+        """Safety information predicts the pocket: a route whose source
+        is outside the pocket never steps on a type-1-unsafe node when
+        heading NE past the wall."""
+        g, positions, model = pocket_grid
+        router = SlgfRouter(model)
+        s = positions.index(Point(10.0, 10.0))
+        d = positions.index(Point(110.0, 110.0))
+        result = router.route(s, d)
+        assert result.delivered
+        assert result.perimeter_entries == 0
+        unsafe_1 = model.safety.unsafe_nodes(1)
+        assert not (set(result.path) & unsafe_1)
+
+    def test_unsafe_source_still_delivers(self, pocket_grid):
+        g, positions, model = pocket_grid
+        router = SlgfRouter(model)
+        s = positions.index(Point(50.0, 50.0))  # pocket corner (stuck)
+        d = positions.index(Point(110.0, 110.0))
+        result = router.route(s, d)
+        assert result.delivered
+        assert path_is_valid(result, g)
+
+    def test_fewer_or_equal_perimeter_entries_than_lgf(self, pocket_grid):
+        g, positions, model = pocket_grid
+        slgf = SlgfRouter(model)
+        lgf = LgfRouter(g)
+        total_slgf = total_lgf = 0
+        rng = random.Random(5)
+        ids = g.node_ids
+        for _ in range(60):
+            s, d = rng.sample(ids, 2)
+            total_slgf += slgf.route(s, d).perimeter_entries
+            total_lgf += lgf.route(s, d).perimeter_entries
+        assert total_slgf <= total_lgf
+
+    def test_random_network_delivery(self, random_net):
+        g, _, model = random_net
+        router = SlgfRouter(model)
+        rng = random.Random(9)
+        ids = g.node_ids
+        delivered = 0
+        for _ in range(100):
+            s, d = rng.sample(ids, 2)
+            result = router.route(s, d)
+            assert path_is_valid(result, g)
+            delivered += result.delivered
+        assert delivered >= 98
+
+    def test_model_property(self, grid):
+        _, _, model = grid
+        assert SlgfRouter(model).model is model

@@ -1,0 +1,134 @@
+"""Edge-case tests for the recovery machinery.
+
+Covers the fallback paths that the happy-path suites rarely touch:
+stale BOUNDHOLE boundaries after failures, SLGF2's DFS perimeter
+hitting its bound, and the face walk's unreachable detection across
+both hands.
+"""
+
+import pytest
+
+from repro.core import InformationModel
+from repro.core.regions import Hand
+from repro.geometry import Point
+from repro.network import build_unit_disk_graph, fail_nodes
+from repro.protocols import build_hole_boundaries
+from repro.routing import GreedyRouter, Slgf2Router, path_is_valid
+
+
+def pocket_graph():
+    removed = {(6, j) for j in range(2, 7)} | {(i, 6) for i in range(2, 7)}
+    positions = [
+        Point(i * 10.0, j * 10.0)
+        for j in range(12)
+        for i in range(12)
+        if (i, j) not in removed
+    ]
+    return build_unit_disk_graph(positions, radius=15.0), positions
+
+
+class TestStaleBoundaries:
+    def test_boundhole_falls_back_to_face_after_failures(self):
+        """Boundary info computed before failures references dead
+        nodes; the router must detect the gap and face-route instead of
+        crashing or looping."""
+        g, positions = pocket_graph()
+        boundaries = build_hole_boundaries(g)
+        # Kill a handful of nodes that sit on some boundary.
+        on_boundary = sorted(boundaries.nodes_on_boundaries())[:4]
+        survivors = fail_nodes(g, on_boundary)
+        router = GreedyRouter(
+            survivors, recovery="boundhole", hole_boundaries=boundaries
+        )
+        s = survivors.node_ids[0]
+        d = survivors.node_ids[-1]
+        if not survivors.same_component(s, d):
+            pytest.skip("failures partitioned the fixture")
+        result = router.route(s, d)
+        assert path_is_valid(result, survivors)
+
+    def test_node_not_on_any_boundary_uses_face(self):
+        g, positions = pocket_graph()
+
+        class Empty:
+            def boundary_of(self, node):
+                return None
+
+        router = GreedyRouter(
+            g, recovery="boundhole", hole_boundaries=Empty()
+        )
+        s = positions.index(Point(40.0, 40.0))
+        d = positions.index(Point(110.0, 110.0))
+        result = router.route(s, d)
+        assert result.delivered
+
+
+class TestFaceWalkHands:
+    def test_both_hands_deliver_on_pocket(self):
+        g, positions = pocket_graph()
+        model = InformationModel.build(g)
+        s = positions.index(Point(50.0, 50.0))  # the stuck corner
+        d = positions.index(Point(110.0, 110.0))
+        for hand_mode in ("right", "either"):
+            router = Slgf2Router(
+                model, use_backup=False, perimeter_hand=hand_mode
+            )
+            result = router.route(s, d)
+            assert result.delivered, hand_mode
+
+    def test_unreachable_detected_without_ttl_burn(self):
+        # A clique plus an isolated far node: the face walk must report
+        # unreachability after one face tour, far below the TTL.
+        positions = [
+            Point(0, 0),
+            Point(10, 0),
+            Point(5, 8),
+            Point(500, 500),
+        ]
+        g = build_unit_disk_graph(positions, radius=15)
+        model = InformationModel.build(g)
+        router = Slgf2Router(model)
+        result = router.route(0, 3)
+        assert not result.delivered
+        assert result.hops < router.ttl
+
+
+class TestBoundedDfsPerimeter:
+    def test_bound_escape_counted(self):
+        """When the estimated rectangles under-cover the detour, the
+        bounded DFS must escape the bound (and count it) rather than
+        fail."""
+        g, positions = pocket_graph()
+        model = InformationModel.build(g)
+        router = Slgf2Router(
+            model,
+            use_backup=False,
+            perimeter_mode="dfs-bounded",
+            bound_margin_factor=0.0,
+        )
+        s = positions.index(Point(40.0, 40.0))
+        d = positions.index(Point(110.0, 110.0))
+        result = router.route(s, d)
+        assert result.delivered
+        # With a zero margin the rim detour inevitably leaves the
+        # rectangle at some point; escapes are counted, never negative.
+        assert result.bound_escapes >= 0
+
+    def test_dfs_perimeter_backtracks_in_dead_end(self):
+        # A comb shape: the DFS walks into a tooth, exhausts it, and
+        # must backtrack out.
+        positions = [
+            Point(0, 0),
+            Point(10, 0),
+            Point(20, 0),
+            Point(30, 0),
+            Point(10, 10),  # tooth (dead end upward)
+            Point(30, 30),  # destination island connected via (30,0)
+            Point(30, 15),
+        ]
+        g = build_unit_disk_graph(positions, radius=16)
+        model = InformationModel.build(g)
+        router = Slgf2Router(model, use_backup=False, perimeter_mode="dfs")
+        result = router.route(0, 5)
+        assert result.delivered
+        assert path_is_valid(result, g)

@@ -1,0 +1,218 @@
+"""Tests for SLGF2 (Algorithm 3)."""
+
+import random
+
+import pytest
+
+from repro.geometry import Point
+from repro.routing import (
+    GreedyRouter,
+    LgfRouter,
+    Phase,
+    SlgfRouter,
+    Slgf2Router,
+    path_is_valid,
+)
+
+
+class TestSafeForwarding:
+    def test_hole_free_grid_all_safe_hops(self, grid):
+        g, positions, model = grid
+        router = Slgf2Router(model)
+        s = positions.index(Point(0.0, 0.0))
+        d = positions.index(Point(70.0, 70.0))
+        result = router.route(s, d)
+        assert result.delivered
+        assert all(phase == Phase.SAFE for phase in result.phases)
+        assert result.hops == 7
+
+    def test_avoids_pocket(self, pocket_grid):
+        g, positions, model = pocket_grid
+        router = Slgf2Router(model)
+        s = positions.index(Point(10.0, 10.0))
+        d = positions.index(Point(110.0, 110.0))
+        result = router.route(s, d)
+        assert result.delivered
+        assert result.perimeter_entries == 0
+        assert not (set(result.path) & model.safety.unsafe_nodes(1))
+
+
+class TestBackupPath:
+    def test_unsafe_source_uses_backup_not_perimeter(self, pocket_grid):
+        """Contribution (b): an unsafe source connects to a safe
+        forwarding path via backup hops instead of perimeter routing."""
+        g, positions, model = pocket_grid
+        router = Slgf2Router(model)
+        s = positions.index(Point(40.0, 40.0))  # pocket interior, unsafe
+        d = positions.index(Point(110.0, 110.0))
+        result = router.route(s, d)
+        assert result.delivered
+        assert result.backup_entries >= 1
+        assert result.perimeter_entries == 0
+
+    def test_backup_disabled_falls_to_perimeter(self, pocket_grid):
+        g, positions, model = pocket_grid
+        router = Slgf2Router(model, use_backup=False)
+        s = positions.index(Point(40.0, 40.0))
+        d = positions.index(Point(110.0, 110.0))
+        result = router.route(s, d)
+        assert result.delivered
+        assert result.perimeter_entries >= 1
+
+    def test_backup_beats_perimeter_on_hops(self, pocket_grid):
+        g, positions, model = pocket_grid
+        s = positions.index(Point(40.0, 40.0))
+        d = positions.index(Point(110.0, 110.0))
+        with_backup = Slgf2Router(model).route(s, d)
+        without_backup = Slgf2Router(model, use_backup=False).route(s, d)
+        assert with_backup.hops <= without_backup.hops
+
+
+class TestDelivery:
+    def test_random_network(self, random_net):
+        g, _, model = random_net
+        router = Slgf2Router(model)
+        rng = random.Random(13)
+        ids = g.node_ids
+        delivered = 0
+        for _ in range(120):
+            s, d = rng.sample(ids, 2)
+            result = router.route(s, d)
+            assert path_is_valid(result, g)
+            delivered += result.delivered
+        assert delivered >= 118
+
+    def test_obstacle_network(self, obstacle_net):
+        g, _, model = obstacle_net
+        router = Slgf2Router(model)
+        rng = random.Random(17)
+        ids = g.node_ids
+        delivered = 0
+        for _ in range(120):
+            s, d = rng.sample(ids, 2)
+            result = router.route(s, d)
+            assert path_is_valid(result, g)
+            delivered += result.delivered
+        assert delivered >= 114
+
+    def test_unreachable_terminates(self):
+        from repro.network import build_unit_disk_graph
+        from repro.core import InformationModel
+
+        positions = [Point(0, 0), Point(10, 0), Point(100, 100)]
+        g = build_unit_disk_graph(positions, radius=15)
+        model = InformationModel.build(g)
+        result = Slgf2Router(model).route(0, 2)
+        assert not result.delivered
+
+
+class TestPaperOrdering:
+    """Section 5's qualitative ordering on a paper-density random
+    network (the setting the paper's curves are drawn in).
+
+    Expected: SLGF2 < SLGF < LGF on total hops and length, and SLGF2's
+    worst case (max hops) far below LGF/SLGF's — "reducing a great
+    number of detours in its perimeter routing phase".
+    """
+
+    @pytest.fixture(scope="class")
+    def ordering_results(self, random_net):
+        g, positions, model = random_net
+        routers = {
+            "GF": GreedyRouter(g),
+            "LGF": LgfRouter(g, candidate_scope="quadrant"),
+            "SLGF": SlgfRouter(model, candidate_scope="quadrant"),
+            "SLGF2": Slgf2Router(model),
+        }
+        rng = random.Random(23)
+        ids = g.node_ids
+        pairs = [tuple(rng.sample(ids, 2)) for _ in range(250)]
+        totals = {}
+        for name, router in routers.items():
+            results = [router.route(s, d) for s, d in pairs]
+            delivered = [r for r in results if r.delivered]
+            assert len(delivered) >= 245, name
+            totals[name] = {
+                "hops": sum(r.hops for r in delivered) / len(delivered),
+                "max_hops": max(r.hops for r in delivered),
+                "length": sum(r.length for r in delivered) / len(delivered),
+            }
+        return totals
+
+    def test_family_ordering_on_hops(self, ordering_results):
+        # SLGF2 beats SLGF cleanly; SLGF vs LGF is a statistical claim
+        # on a single network sample, so a 10% tolerance absorbs the
+        # pair-sampling noise (the full benchmark sweep averages over
+        # 100 networks, as the paper does).
+        assert (
+            ordering_results["SLGF2"]["hops"]
+            <= ordering_results["SLGF"]["hops"]
+        )
+        assert (
+            ordering_results["SLGF"]["hops"]
+            <= 1.10 * ordering_results["LGF"]["hops"]
+        )
+
+    def test_family_ordering_on_length(self, ordering_results):
+        assert (
+            ordering_results["SLGF2"]["length"]
+            <= ordering_results["SLGF"]["length"]
+        )
+        assert (
+            ordering_results["SLGF"]["length"]
+            <= 1.10 * ordering_results["LGF"]["length"]
+        )
+
+    def test_slgf2_tames_worst_case(self, ordering_results):
+        assert (
+            ordering_results["SLGF2"]["max_hops"]
+            <= ordering_results["SLGF"]["max_hops"]
+        )
+        assert (
+            ordering_results["SLGF2"]["max_hops"]
+            <= ordering_results["LGF"]["max_hops"]
+        )
+
+
+class TestAblationFlags:
+    def test_invalid_margin_rejected(self, grid):
+        _, _, model = grid
+        with pytest.raises(ValueError):
+            Slgf2Router(model, bound_margin_factor=-1)
+
+    def test_superseding_off_still_delivers(self, pocket_grid):
+        g, positions, model = pocket_grid
+        router = Slgf2Router(model, use_superseding=False)
+        s = positions.index(Point(40.0, 40.0))
+        d = positions.index(Point(110.0, 110.0))
+        assert router.route(s, d).delivered
+
+    def test_all_perimeter_modes_deliver(self, pocket_grid):
+        g, positions, model = pocket_grid
+        s = positions.index(Point(40.0, 40.0))
+        d = positions.index(Point(110.0, 110.0))
+        for mode in ("face", "dfs", "dfs-bounded"):
+            router = Slgf2Router(model, use_backup=False, perimeter_mode=mode)
+            assert router.route(s, d).delivered, mode
+
+    def test_invalid_modes_rejected(self, grid):
+        _, _, model = grid
+        with pytest.raises(ValueError):
+            Slgf2Router(model, perimeter_mode="teleport")
+        with pytest.raises(ValueError):
+            Slgf2Router(model, candidate_scope="cone")
+        with pytest.raises(ValueError):
+            Slgf2Router(model, perimeter_hand="both")
+
+    def test_either_hand_perimeter_delivers(self, random_net):
+        g, _, model = random_net
+        router = Slgf2Router(model, perimeter_hand="either")
+        rng = random.Random(3)
+        ids = g.node_ids
+        for _ in range(25):
+            s, d = rng.sample(ids, 2)
+            assert router.route(s, d).delivered
+
+    def test_model_property(self, grid):
+        _, _, model = grid
+        assert Slgf2Router(model).model is model

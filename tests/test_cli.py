@@ -1,0 +1,44 @@
+"""Smoke tests for the repro-wasn command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_help(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "repro-wasn" in out
+        assert "--full" in out
+
+    def test_invalid_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--figures", "fig9"])
+
+    def test_quick_single_panel(self, capsys, monkeypatch, tmp_path):
+        # Shrink the quick config further for test speed.
+        import repro.cli as cli
+        from repro.experiments import ExperimentConfig
+
+        tiny = ExperimentConfig(
+            node_counts=(300,), networks_per_point=1, routes_per_network=3
+        )
+        monkeypatch.setattr(cli, "QUICK_CONFIG", tiny)
+        code = main(
+            [
+                "--figures",
+                "fig6",
+                "--models",
+                "IA",
+                "--csv-dir",
+                str(tmp_path),
+                "--no-chart",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FIG6" in out
+        assert (tmp_path / "fig6_ia.csv").exists()

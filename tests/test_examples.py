@@ -1,0 +1,78 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the documentation users actually execute; a broken one is
+a bug.  Each is imported as a module and its ``main`` invoked with a
+fast seed, with stdout captured (content spot-checked, not snapshotted).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"examples.{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        _load("quickstart").main(seed=2)
+        out = capsys.readouterr().out
+        assert "SLGF2" in out
+        assert "routing node" in out
+
+    def test_streaming_service(self, capsys):
+        _load("streaming_service").main(seed=3)
+        out = capsys.readouterr().out
+        assert "stream:" in out
+        assert "energy" in out
+
+    def test_hole_field_study(self, capsys):
+        _load("hole_field_study").main(seed=1)
+        out = capsys.readouterr().out
+        assert "type-1 unsafe nodes" in out
+        assert "#" in out  # obstacle rendered
+
+    def test_dynamic_failures(self, capsys):
+        _load("dynamic_failures").main(seed=2)
+        out = capsys.readouterr().out
+        assert "jamming" in out
+        assert "SLGF2" in out
+
+    def test_mobile_network(self, capsys):
+        _load("mobile_network").main(seed=4)
+        out = capsys.readouterr().out
+        assert "flips" in out
+        assert "epoch" in out
+
+    def test_multi_flow_interference(self, capsys):
+        _load("multi_flow_interference").main(seed=6)
+        out = capsys.readouterr().out
+        assert "conflicts" in out
+        assert "SLGF2" in out
+
+    def test_construction_cost_exists_and_imports(self):
+        module = _load("construction_cost")
+        assert hasattr(module, "main")
+
+    def test_full_evaluation_imports(self):
+        module = _load("full_evaluation")
+        assert hasattr(module, "main")
+
+    def test_every_example_has_docstring(self):
+        for path in sorted(EXAMPLES_DIR.glob("*.py")):
+            spec = importlib.util.spec_from_file_location(
+                f"examples.{path.stem}", path
+            )
+            module = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(module)
+            assert module.__doc__, path.name

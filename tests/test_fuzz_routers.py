@@ -1,0 +1,91 @@
+"""Property-based fuzzing of the full router stack.
+
+Hypothesis generates arbitrary small deployments (including degenerate
+shapes: collinear nodes, clusters, near-duplicates); every router must
+terminate, produce structurally valid paths, agree with connectivity
+(no delivery across components), and the LGF-family must deliver on
+every connected pair (their backtracking perimeter guarantees it).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import InformationModel
+from repro.network import EdgeDetector, build_unit_disk_graph
+from repro.geometry import Point
+from repro.protocols import build_hole_boundaries
+from repro.routing import (
+    GreedyRouter,
+    LgfRouter,
+    SlgfRouter,
+    Slgf2Router,
+    path_is_valid,
+)
+
+coords = st.floats(min_value=0, max_value=100, allow_nan=False)
+deployments = st.lists(
+    st.builds(Point, coords, coords),
+    min_size=2,
+    max_size=25,
+    unique_by=lambda p: (round(p.x, 1), round(p.y, 1)),
+)
+
+
+def _build(positions):
+    g = build_unit_disk_graph(positions, radius=30.0)
+    g = EdgeDetector(strategy="convex").apply(g)
+    model = InformationModel.build(g)
+    boundaries = build_hole_boundaries(g)
+    return g, [
+        GreedyRouter(g),
+        GreedyRouter(g, recovery="boundhole", hole_boundaries=boundaries),
+        GreedyRouter(g, planarization="rng"),
+        LgfRouter(g),
+        LgfRouter(g, candidate_scope="quadrant"),
+        SlgfRouter(model),
+        Slgf2Router(model),
+        Slgf2Router(model, perimeter_mode="dfs"),
+        Slgf2Router(model, perimeter_mode="dfs-bounded"),
+        Slgf2Router(model, perimeter_hand="either"),
+        Slgf2Router(model, adaptive_greedy=True),
+    ]
+
+
+class TestFuzz:
+    @given(deployments, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_all_routers_structurally_sound(self, positions, pair_seed):
+        import random
+
+        g, routers = _build(positions)
+        rng = random.Random(pair_seed)
+        s, d = rng.sample(g.node_ids, 2)
+        connected = g.same_component(s, d)
+        for router in routers:
+            result = router.route(s, d)
+            assert path_is_valid(result, g), (router.name, s, d)
+            assert result.hops <= router.ttl
+            if not connected:
+                assert not result.delivered, (router.name, s, d)
+
+    @given(deployments, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_lgf_family_delivers_on_connected_pairs(
+        self, positions, pair_seed
+    ):
+        import random
+
+        g = build_unit_disk_graph(positions, radius=30.0)
+        g = EdgeDetector(strategy="convex").apply(g)
+        model = InformationModel.build(g)
+        rng = random.Random(pair_seed)
+        s, d = rng.sample(g.node_ids, 2)
+        if not g.same_component(s, d):
+            return
+        for router in (
+            LgfRouter(g),
+            SlgfRouter(model),
+            Slgf2Router(model, perimeter_mode="dfs"),
+        ):
+            result = router.route(s, d)
+            assert result.delivered, (router.name, s, d, result.failure_reason)

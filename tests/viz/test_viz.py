@@ -1,0 +1,101 @@
+"""Tests for ASCII charts and network maps."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.network import RectObstacle, build_unit_disk_graph
+from repro.viz import line_chart, network_map
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        chart = line_chart(
+            {"A": [1.0, 2.0, 3.0], "B": [3.0, 2.0, 1.0]},
+            x_values=[10, 20, 30],
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "o=A" in chart
+        assert "x=B" in chart
+        assert "10" in chart and "30" in chart
+
+    def test_flat_series(self):
+        chart = line_chart({"A": [5.0, 5.0, 5.0]})
+        assert "o=A" in chart  # no division by zero
+
+    def test_single_point_series(self):
+        chart = line_chart({"A": [2.0]})
+        assert "o=A" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"A": [1.0], "B": [1.0, 2.0]})
+        with pytest.raises(ValueError):
+            line_chart({"A": []})
+        with pytest.raises(ValueError):
+            line_chart({"A": [1.0, 2.0]}, x_values=[1])
+        with pytest.raises(ValueError):
+            line_chart({"A": [1.0]}, width=2)
+
+    def test_extremes_labelled(self):
+        chart = line_chart({"A": [0.0, 10.0]})
+        assert "10" in chart
+        assert "0" in chart
+
+    def test_canvas_dimensions(self):
+        chart = line_chart({"A": [1.0, 2.0]}, width=20, height=5)
+        chart_lines = [l for l in chart.splitlines() if "|" in l]
+        assert len(chart_lines) == 5
+
+
+class TestNetworkMap:
+    def _graph(self):
+        positions = [Point(0, 0), Point(100, 100), Point(200, 200)]
+        return build_unit_disk_graph(positions, radius=150)
+
+    def test_basic_map(self):
+        g = self._graph()
+        art = network_map(g, Rect(0, 0, 200, 200), width=20, height=10)
+        assert art.count(".") == 3
+        assert art.splitlines()[0].startswith("+")
+
+    def test_path_and_endpoints(self):
+        g = self._graph()
+        art = network_map(
+            g, Rect(0, 0, 200, 200), width=20, height=10, path=[0, 1, 2]
+        )
+        assert "S" in art
+        assert "D" in art
+        assert "*" in art
+
+    def test_highlight(self):
+        g = self._graph()
+        art = network_map(
+            g, Rect(0, 0, 200, 200), width=20, height=10, highlight=[1]
+        )
+        assert "u" in art
+
+    def test_obstacles(self):
+        g = self._graph()
+        art = network_map(
+            g,
+            Rect(0, 0, 200, 200),
+            width=20,
+            height=10,
+            obstacles=[RectObstacle(Rect(80, 80, 120, 120))],
+        )
+        assert "#" in art
+
+    def test_north_is_up(self):
+        g = build_unit_disk_graph([Point(0, 190)], radius=10)
+        art = network_map(g, Rect(0, 0, 200, 200), width=20, height=10)
+        body = art.splitlines()[1:-1]  # strip borders
+        north_half = body[: len(body) // 2]
+        assert any("." in line for line in north_half)
+
+    def test_size_validation(self):
+        g = self._graph()
+        with pytest.raises(ValueError):
+            network_map(g, Rect(0, 0, 1, 1), width=2, height=2)
