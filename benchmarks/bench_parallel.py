@@ -1,0 +1,88 @@
+"""Serial vs. parallel vs. warm-cache sweep execution.
+
+The engine's contract is threefold, and this bench measures all of it
+on a Fig. 5-sized (densities 400-800) but quick-scaled sweep:
+
+* **Correctness** — parallel execution and cache replay must be
+  bit-identical to the serial run (asserted unconditionally);
+* **Parallel speedup** — ``--jobs 4`` should cut wall-clock by >= 2x;
+  asserted when the host actually has >= 4 CPUs, reported otherwise;
+* **Cache speedup** — a warm re-run must complete in < 10% of the
+  cold serial time (asserted unconditionally; replay is pure JSON
+  loading).
+
+Timings land in ``benchmarks/results/parallel.txt``.  Scale up with
+``REPRO_FULL=1`` for a paper-sized measurement.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.experiments import (
+    ExperimentConfig,
+    ResultCache,
+    run_sweeps,
+)
+
+# Fig. 5's density axis at reduced replication: enough work per unit
+# for process dispatch to amortise, small enough to stay a quick bench.
+_BENCH = ExperimentConfig(
+    node_counts=(400, 500, 600, 700, 800),
+    networks_per_point=2,
+    routes_per_network=5,
+)
+_MODELS = ("IA", "FA")
+_JOBS = 4
+
+
+def _run(
+    config: ExperimentConfig, jobs: int, cache: ResultCache
+) -> tuple[float, dict]:
+    start = time.perf_counter()
+    sweeps = run_sweeps(config, _MODELS, jobs=jobs, cache=cache)
+    return time.perf_counter() - start, sweeps
+
+
+def test_parallel_and_cache(results_dir, tmp_path):
+    """One cold serial run, one cold parallel run, one warm replay."""
+    full = os.environ.get("REPRO_FULL", "") == "1"
+    config = ExperimentConfig() if full else _BENCH
+
+    serial_s, serial = _run(config, jobs=1, cache=ResultCache.disabled())
+    cache = ResultCache(tmp_path / "cache")
+    parallel_s, parallel = _run(config, jobs=_JOBS, cache=cache)
+    warm_s, warm = _run(config, jobs=1, cache=cache)
+
+    # Bit-identical results regardless of execution strategy.
+    for model in _MODELS:
+        assert parallel[model].points == serial[model].points
+        assert warm[model].points == serial[model].points
+
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    warm_frac = warm_s / serial_s if serial_s else 0.0
+    cpus = os.cpu_count() or 1
+    report = "\n".join(
+        [
+            f"sweep: {len(config.node_counts)} densities x "
+            f"{len(_MODELS)} models x {config.networks_per_point} networks "
+            f"x {config.routes_per_network} routes ({cpus} CPUs)",
+            f"serial (jobs=1, no cache):   {serial_s:8.2f} s",
+            f"parallel (jobs={_JOBS}, cold):    {parallel_s:8.2f} s  "
+            f"({speedup:.2f}x)",
+            f"warm cache (jobs=1):         {warm_s:8.2f} s  "
+            f"({warm_frac:.1%} of serial)",
+            f"cache: {cache.stats()}",
+        ]
+    )
+    (results_dir / "parallel.txt").write_text(report + "\n")
+    print()
+    print(report)
+
+    # Replay must be near-free: pure JSON loads, no routing at all.
+    assert warm_frac < 0.10
+    # The >= 2x parallel target only holds where 4 workers can
+    # actually run concurrently.
+    if cpus >= 4:
+        assert speedup >= 2.0

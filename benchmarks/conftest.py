@@ -6,6 +6,15 @@ configuration, and switch to the paper-scale sweep when ``REPRO_FULL=1``
 is set.  Regenerated tables/CSVs are written under
 ``benchmarks/results/`` so a benchmark run leaves the paper's numbers
 on disk.
+
+The shared sweeps deliberately go through the default result cache
+(``.repro_cache/``): running ``bench_fig5.py`` then ``bench_fig6.py``
+in separate pytest invocations computes the sweep once, which at
+paper scale is the difference between minutes and milliseconds.  The
+cache key includes a digest of the package source, so it can never
+serve results from edited code; set ``REPRO_CACHE=0`` to force fresh
+computation (as CI does).  Note the *timed* portions of the benches
+never touch this cache — only the session fixtures do.
 """
 
 from __future__ import annotations

@@ -5,11 +5,16 @@ Drives the experiment harness over both deployment models and prints
 the three figure tables per model (plus ASCII charts), optionally at
 the paper's full scale:
 
-    python examples/full_evaluation.py            # quick sweep (~2 min)
-    python examples/full_evaluation.py --full     # paper scale (longer)
-    python examples/full_evaluation.py --csv out/ # also write CSVs
+    python examples/full_evaluation.py              # quick sweep
+    python examples/full_evaluation.py --full       # paper scale
+    python examples/full_evaluation.py --jobs 8     # 8 worker processes
+    python examples/full_evaluation.py --csv out/   # also write CSVs
 
-Equivalent CLI: ``repro-wasn [--full] [--csv-dir out/]``.
+Points are cached under ``.repro_cache/`` so a re-run (or a run after
+an interrupted one) only computes what is missing; pass ``--no-cache``
+to force recomputation.
+
+Equivalent CLI: ``repro-wasn [--full] [--jobs N] [--csv-dir out/]``.
 """
 
 import argparse
@@ -19,9 +24,12 @@ from pathlib import Path
 from repro.experiments import (
     PAPER_CONFIG,
     QUICK_CONFIG,
-    figure_table,
+    ResultCache,
+    all_figures,
+    default_cache,
     format_table,
-    run_sweep,
+    resolve_jobs,
+    run_sweeps,
     to_chart,
     to_csv,
 )
@@ -31,8 +39,22 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--full", action="store_true", help="paper scale")
     parser.add_argument("--csv", type=Path, default=None, help="CSV dir")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (0 = one per CPU; default $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="ignore the result cache"
+    )
     args = parser.parse_args()
     config = PAPER_CONFIG if args.full else QUICK_CONFIG
+    cache = ResultCache.disabled() if args.no_cache else default_cache()
+    try:
+        jobs = resolve_jobs(args.jobs)
+    except ValueError as error:
+        parser.error(str(error))
 
     print(
         f"sweep: n in {config.node_counts}, "
@@ -40,12 +62,16 @@ def main() -> None:
         f"{config.routes_per_network} routes per point\n",
         file=sys.stderr,
     )
+    sweeps = run_sweeps(
+        config,
+        ("IA", "FA"),
+        progress=lambda s: print(s, file=sys.stderr),
+        jobs=jobs,
+        cache=cache,
+    )
     for model in ("IA", "FA"):
-        sweep = run_sweep(
-            config, model, progress=lambda s: print(s, file=sys.stderr)
-        )
-        for figure_id in ("fig5", "fig6", "fig7"):
-            table = figure_table(sweep, figure_id)
+        sweep = sweeps[model]
+        for figure_id, table in all_figures(sweep).items():
             print()
             print(format_table(table))
             print()
@@ -55,6 +81,8 @@ def main() -> None:
                     table, args.csv / f"{figure_id}_{model.lower()}.csv"
                 )
                 print(f"[csv] {path}", file=sys.stderr)
+    if cache is not None and cache.enabled:
+        print(f"[cache] {cache.stats()} ({cache.root})", file=sys.stderr)
 
 
 if __name__ == "__main__":

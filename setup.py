@@ -1,12 +1,47 @@
-"""Setuptools shim.
+"""Packaging for the repro-wasn distribution.
 
-All project metadata lives in ``pyproject.toml``.  This file exists only
-so that ``pip install -e .`` works on offline environments whose pip
-cannot build PEP 517 editable wheels (no ``wheel`` package available):
-``pip install -e . --no-build-isolation --no-use-pep517`` takes the
-legacy ``setup.py develop`` path through this shim.
+Kept as a plain ``setup.py`` (no ``pyproject.toml``) so that
+``pip install -e . --no-build-isolation --no-use-pep517`` works on
+offline environments whose pip cannot build PEP 517 editable wheels
+(no ``wheel`` package available) — the legacy ``setup.py develop``
+path needs nothing beyond setuptools itself.
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+ROOT = Path(__file__).resolve().parent
+
+
+def _version() -> str:
+    init = (ROOT / "src" / "repro" / "__init__.py").read_text(
+        encoding="utf-8"
+    )
+    match = re.search(r'^__version__ = "([^"]+)"', init, re.MULTILINE)
+    if match is None:
+        raise RuntimeError("cannot find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
+setup(
+    name="repro-wasn",
+    version=_version(),
+    description=(
+        "Reproduction of 'A Straightforward Path Routing in Wireless "
+        "Ad Hoc Sensor Networks' (ICDCS Workshops 2009)"
+    ),
+    long_description=(ROOT / "README.md").read_text(encoding="utf-8"),
+    long_description_content_type="text/markdown",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    entry_points={"console_scripts": ["repro-wasn=repro.cli:main"]},
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3 :: Only",
+        "Topic :: System :: Networking",
+        "Topic :: Scientific/Engineering",
+    ],
+)

@@ -6,6 +6,13 @@ figure tables::
     repro-wasn --quick                 # reduced sweep, tables to stdout
     repro-wasn --full --csv-dir out/   # paper-scale sweep + CSV files
     repro-wasn --figures fig6 --models FA
+    repro-wasn --full --jobs 8         # 8 worker processes
+    repro-wasn --full                  # second run: served from cache
+
+Sweep points are cached under ``.repro_cache/`` (override with
+``--cache-dir`` or ``REPRO_CACHE_DIR``; disable with ``--no-cache`` or
+``REPRO_CACHE=0``), so re-running a sweep only computes missing
+points.  Worker count defaults to ``REPRO_JOBS`` (or 1).
 
 The same functionality is available programmatically via
 :mod:`repro.experiments`.
@@ -20,11 +27,15 @@ from pathlib import Path
 from repro.experiments import (
     PAPER_CONFIG,
     QUICK_CONFIG,
+    ResultCache,
+    default_cache,
     figure_table,
     format_table,
-    run_sweep,
+    resolve_jobs,
+    run_sweeps,
     to_chart,
     to_csv,
+    to_json,
 )
 
 __all__ = ["main"]
@@ -65,10 +76,38 @@ def _parser() -> argparse.ArgumentParser:
         help="deployment models (panels) to evaluate",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for the sweep (0 = one per CPU; "
+            "default: $REPRO_JOBS or 1)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every point, ignoring the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR "
+        "or .repro_cache/)",
+    )
+    parser.add_argument(
         "--csv-dir",
         type=Path,
         default=None,
         help="also write each panel as CSV into this directory",
+    )
+    parser.add_argument(
+        "--json-dir",
+        type=Path,
+        default=None,
+        help="also write each panel as JSON into this directory",
     )
     parser.add_argument(
         "--no-chart",
@@ -78,15 +117,34 @@ def _parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _resolve_cache(args: argparse.Namespace) -> ResultCache | None:
+    if args.no_cache:
+        return ResultCache.disabled()
+    if args.cache_dir is not None:
+        return ResultCache(args.cache_dir)
+    return default_cache()
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point: run sweeps and print/persist the figure panels."""
-    args = _parser().parse_args(argv)
+    parser = _parser()
+    args = parser.parse_args(argv)
     config = PAPER_CONFIG if args.full else QUICK_CONFIG
+    cache = _resolve_cache(args)
+    try:
+        jobs = resolve_jobs(args.jobs)
+    except ValueError as error:
+        parser.error(str(error))  # exits 2 with usage, no traceback
 
+    sweeps = run_sweeps(
+        config,
+        args.models,
+        progress=lambda line: print(line, file=sys.stderr),
+        jobs=jobs,
+        cache=cache,
+    )
     for model in args.models:
-        sweep = run_sweep(
-            config, model, progress=lambda line: print(line, file=sys.stderr)
-        )
+        sweep = sweeps[model]
         for figure_id in args.figures:
             table = figure_table(sweep, figure_id)
             print()
@@ -99,6 +157,13 @@ def main(argv: list[str] | None = None) -> int:
                     table, args.csv_dir / f"{figure_id}_{model.lower()}.csv"
                 )
                 print(f"[csv] {path}", file=sys.stderr)
+            if args.json_dir is not None:
+                path = to_json(
+                    table, args.json_dir / f"{figure_id}_{model.lower()}.json"
+                )
+                print(f"[json] {path}", file=sys.stderr)
+    if cache is not None and cache.enabled:
+        print(f"[cache] {cache.stats()} ({cache.root})", file=sys.stderr)
     return 0
 
 

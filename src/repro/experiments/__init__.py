@@ -3,34 +3,54 @@
 Pipeline: :mod:`~repro.experiments.config` fixes the parameters,
 :mod:`~repro.experiments.workload` generates networks and s-d pairs,
 :mod:`~repro.experiments.runner` routes and aggregates one figure
-point, :mod:`~repro.experiments.sweep` runs the density sweep, and
+point, :mod:`~repro.experiments.engine` dispatches points as parallel
+work units through the :mod:`~repro.experiments.cache` result cache,
+:mod:`~repro.experiments.sweep` runs the density sweep, and
 :mod:`~repro.experiments.figures` / :mod:`~repro.experiments.report`
 project and render the paper's Figs. 5-7.
 """
 
+from repro.experiments.cache import (
+    ResultCache,
+    default_cache,
+    factory_fingerprint,
+    point_from_dict,
+    point_key,
+    point_to_dict,
+)
 from repro.experiments.config import (
     PAPER_CONFIG,
     QUICK_CONFIG,
     ExperimentConfig,
     active_config,
+    default_jobs,
+)
+from repro.experiments.engine import (
+    ExperimentEngine,
+    WorkUnit,
+    plan_units,
+    resolve_jobs,
 )
 from repro.experiments.figures import (
     FIGURES,
     FigureTable,
+    all_figures,
     fig5,
     fig6,
     fig7,
     figure_table,
 )
-from repro.experiments.report import format_table, to_chart, to_csv
+from repro.experiments.report import format_table, to_chart, to_csv, to_json
 from repro.experiments.runner import (
     ROUTER_ORDER,
     PointResult,
+    RouteTally,
     RouterPointMetrics,
     default_routers,
+    evaluate_network,
     evaluate_point,
 )
-from repro.experiments.sweep import SweepResult, run_sweep
+from repro.experiments.sweep import SweepResult, run_sweep, run_sweeps
 from repro.experiments.workload import (
     NetworkInstance,
     build_network,
@@ -40,25 +60,41 @@ from repro.experiments.workload import (
 __all__ = [
     "FIGURES",
     "ExperimentConfig",
+    "ExperimentEngine",
     "FigureTable",
     "NetworkInstance",
     "PAPER_CONFIG",
     "PointResult",
     "QUICK_CONFIG",
     "ROUTER_ORDER",
+    "ResultCache",
+    "RouteTally",
     "RouterPointMetrics",
     "SweepResult",
+    "WorkUnit",
     "active_config",
+    "all_figures",
     "build_network",
+    "default_cache",
+    "default_jobs",
     "default_routers",
+    "evaluate_network",
     "evaluate_point",
+    "factory_fingerprint",
     "fig5",
     "fig6",
     "fig7",
     "figure_table",
     "format_table",
+    "plan_units",
+    "point_from_dict",
+    "point_key",
+    "point_to_dict",
+    "resolve_jobs",
     "run_sweep",
+    "run_sweeps",
     "sample_pairs",
     "to_chart",
     "to_csv",
+    "to_json",
 ]

@@ -1,0 +1,336 @@
+"""Content-addressed on-disk cache for figure points.
+
+A figure point — one :class:`~repro.experiments.runner.PointResult` —
+is fully determined by the experiment configuration, the deployment
+model, the node count and the router factory: every RNG stream inside
+:func:`~repro.experiments.runner.evaluate_point` is derived from those
+values alone.  That makes points safe to memoise on disk: the cache
+key is a SHA-256 digest over a canonical JSON encoding of exactly the
+inputs that influence the computation, and the value is the point
+serialised as JSON.
+
+Layout: ``<root>/<key[:2]>/<key>.json`` (sharded by digest prefix so a
+paper-scale run does not pile thousands of files into one directory).
+The root defaults to ``.repro_cache/`` under the current directory and
+can be moved with ``REPRO_CACHE_DIR``; setting ``REPRO_CACHE=0``
+disables caching entirely.
+
+The digest deliberately *excludes* ``node_counts``: a point cached
+while sweeping 400..600 is reused verbatim when a later sweep covers
+400..800.  It *includes* a digest of the package's own source code,
+so editing any routing/model module invalidates every point computed
+by the old code — the cache can never serve stale figures.
+
+Router factories are identified by qualified name plus — for
+factories defined outside this package — a digest of their defining
+module's source.  Lambdas, closures and partials have no reliable
+identity (two different lambdas share the name ``<lambda>``), so
+:func:`factory_fingerprint` returns ``None`` for them and the engine
+computes such units without caching.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro import __version__
+from repro.analysis.stats import Summary
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import PointResult, RouterPointMetrics
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "ResultCache",
+    "default_cache",
+    "default_cache_root",
+    "factory_fingerprint",
+    "point_from_dict",
+    "point_key",
+    "point_to_dict",
+]
+
+# Bump when the serialised form or the semantics of a cached point
+# change; old entries then simply stop matching.
+CACHE_SCHEMA = 1
+
+
+def default_cache_root() -> Path:
+    """Cache directory: ``$REPRO_CACHE_DIR`` or ``./.repro_cache``."""
+    custom = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    return Path(custom) if custom else Path(".repro_cache")
+
+
+def default_cache() -> "ResultCache | None":
+    """The cache sweeps use unless told otherwise.
+
+    ``REPRO_CACHE=0`` turns caching off globally; anything else yields
+    a cache rooted at :func:`default_cache_root`.
+    """
+    if os.environ.get("REPRO_CACHE", "") == "0":
+        return None
+    return ResultCache(default_cache_root())
+
+
+def _config_fingerprint(config: ExperimentConfig) -> dict:
+    """The config fields that influence a single point's value.
+
+    ``node_counts`` is intentionally absent — the point's own node
+    count is keyed separately, so sweeps with different x-axes share
+    cached points.
+    """
+    return {
+        "area": [
+            config.area.x_min,
+            config.area.y_min,
+            config.area.x_max,
+            config.area.y_max,
+        ],
+        "radius": config.radius,
+        "networks_per_point": config.networks_per_point,
+        "routes_per_network": config.routes_per_network,
+        "seed": config.seed,
+        "obstacle_count": config.obstacle_count,
+        "min_obstacle_size": config.min_obstacle_size,
+        "max_obstacle_size": config.max_obstacle_size,
+    }
+
+
+_code_digest_cache: str | None = None
+
+
+def _code_digest() -> str:
+    """Digest of every source file in the ``repro`` package.
+
+    Computed once per process.  Any edit to routing, model or
+    experiment code changes the digest and therefore every cache key
+    — cached figures always come from exactly the code that is
+    running.  Falls back to the bare package version if the source
+    tree is unreadable (e.g. a zipped install).
+    """
+    global _code_digest_cache
+    if _code_digest_cache is None:
+        hasher = hashlib.sha256(__version__.encode("utf-8"))
+        try:
+            package_root = _package_root()
+            for source in sorted(package_root.rglob("*.py")):
+                relative = source.relative_to(package_root).as_posix()
+                hasher.update(relative.encode("utf-8"))
+                hasher.update(source.read_bytes())
+        except OSError:
+            # A partial digest would be nondeterministic across
+            # processes; reset to the version-only fallback instead.
+            hasher = hashlib.sha256(__version__.encode("utf-8"))
+        _code_digest_cache = hasher.hexdigest()
+    return _code_digest_cache
+
+
+def _package_root() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def factory_fingerprint(router_factory: Callable) -> str | None:
+    """Stable identity of a router factory, or ``None`` if it has none.
+
+    Only module-level functions are nameable across runs; lambdas,
+    closures (qualnames containing ``<lambda>``/``<locals>``) and
+    callables without a qualified name (e.g. ``functools.partial``)
+    would collide under a shared name, so they are not cacheable.
+
+    Factories defined *outside* the ``repro`` package additionally get
+    a digest of their defining module's source folded in — editing a
+    user-supplied factory (or the routers it builds in that module)
+    invalidates its cached points just like editing package code does.
+    An external factory whose source cannot be read is not cacheable.
+    """
+    module = getattr(router_factory, "__module__", None)
+    qualname = getattr(router_factory, "__qualname__", None)
+    if not module or not qualname:
+        return None
+    if "<lambda>" in qualname or "<locals>" in qualname:
+        return None
+    try:
+        source = inspect.getsourcefile(router_factory)
+    except TypeError:
+        return None
+    if source is None:
+        return None
+    path = Path(source).resolve()
+    if path.is_relative_to(_package_root()):
+        # Package code is already covered by the sweep-wide digest.
+        return f"{module}:{qualname}"
+    try:
+        digest = hashlib.sha256(path.read_bytes()).hexdigest()
+    except OSError:
+        return None
+    return f"{module}:{qualname}:{digest}"
+
+
+def point_key(
+    config: ExperimentConfig,
+    deployment_model: str,
+    node_count: int,
+    router_factory: Callable,
+) -> str:
+    """Content hash identifying one figure point's inputs.
+
+    Raises :class:`ValueError` for factories without a stable
+    identity — the engine checks :func:`factory_fingerprint` first
+    and simply skips caching for those.
+    """
+    factory = factory_fingerprint(router_factory)
+    if factory is None:
+        raise ValueError(
+            f"router factory {router_factory!r} has no stable identity "
+            "(lambda/closure/partial); its results cannot be cached"
+        )
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "code": _code_digest(),
+        "config": _config_fingerprint(config),
+        "model": deployment_model,
+        "nodes": node_count,
+        "factory": factory,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _summary_to_dict(summary: Summary) -> dict:
+    return {
+        "count": summary.count,
+        "mean": summary.mean,
+        "std": summary.std,
+        "minimum": summary.minimum,
+        "maximum": summary.maximum,
+        "ci95_half_width": summary.ci95_half_width,
+    }
+
+
+def point_to_dict(point: PointResult) -> dict:
+    """JSON-serialisable form of a point (inverse of ``point_from_dict``)."""
+    return {
+        "deployment_model": point.deployment_model,
+        "node_count": point.node_count,
+        "networks": point.networks,
+        "per_router": {
+            name: {
+                "router": metrics.router,
+                "samples": metrics.samples,
+                "delivered": metrics.delivered,
+                "hops": _summary_to_dict(metrics.hops),
+                "length": _summary_to_dict(metrics.length),
+                "max_hops": metrics.max_hops,
+                "perimeter_entries_per_route": (
+                    metrics.perimeter_entries_per_route
+                ),
+                "backup_entries_per_route": metrics.backup_entries_per_route,
+            }
+            for name, metrics in point.per_router.items()
+        },
+    }
+
+
+def point_from_dict(data: dict) -> PointResult:
+    """Rebuild a point from its serialised form."""
+    per_router = {
+        name: RouterPointMetrics(
+            router=raw["router"],
+            samples=raw["samples"],
+            delivered=raw["delivered"],
+            hops=Summary(**raw["hops"]),
+            length=Summary(**raw["length"]),
+            max_hops=raw["max_hops"],
+            perimeter_entries_per_route=raw["perimeter_entries_per_route"],
+            backup_entries_per_route=raw["backup_entries_per_route"],
+        )
+        for name, raw in data["per_router"].items()
+    }
+    return PointResult(
+        deployment_model=data["deployment_model"],
+        node_count=data["node_count"],
+        networks=data["networks"],
+        per_router=per_router,
+    )
+
+
+@dataclass
+class ResultCache:
+    """Sharded JSON store of figure points, keyed by content hash.
+
+    A corrupt or unreadable entry is treated as a miss (and recomputed
+    over), never as an error — the cache must always be safe to delete
+    or to share between concurrent runs.
+    """
+
+    root: Path = field(default_factory=default_cache_root)
+    enabled: bool = True
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    @classmethod
+    def disabled(cls) -> "ResultCache":
+        """A cache that never loads nor stores (explicit opt-out)."""
+        return cls(enabled=False)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> PointResult | None:
+        """Return the cached point for ``key``, or ``None`` on a miss."""
+        if not self.enabled:
+            return None
+        path = self.path_for(key)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            point = point_from_dict(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return point
+
+    def store(self, key: str, point: PointResult) -> Path | None:
+        """Persist ``point`` under ``key``; returns the written path.
+
+        Caching is an optimisation, never a requirement: a full disk
+        or read-only cache directory must not abort a sweep that has
+        already paid for its points, so write failures are swallowed
+        (the store just doesn't count).
+        """
+        if not self.enabled:
+            return None
+        path = self.path_for(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Write-then-rename so a concurrent reader never sees a
+            # half-written entry (renames within a directory are
+            # atomic).
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(
+                json.dumps(point_to_dict(point), sort_keys=True),
+                encoding="utf-8",
+            )
+            tmp.replace(path)
+        except OSError:
+            return None
+        self.stores += 1
+        return path
+
+    def stats(self) -> str:
+        """One-line hit/miss/store summary for progress output."""
+        return (
+            f"{self.hits} hit(s), {self.misses} miss(es), "
+            f"{self.stores} stored"
+        )

@@ -23,7 +23,13 @@ from dataclasses import dataclass, field
 
 from repro.geometry import Rect
 
-__all__ = ["ExperimentConfig", "PAPER_CONFIG", "QUICK_CONFIG", "active_config"]
+__all__ = [
+    "ExperimentConfig",
+    "PAPER_CONFIG",
+    "QUICK_CONFIG",
+    "active_config",
+    "default_jobs",
+]
 
 
 @dataclass(frozen=True)
@@ -70,3 +76,30 @@ def active_config() -> ExperimentConfig:
     if os.environ.get("REPRO_FULL", "") == "1":
         return PAPER_CONFIG
     return QUICK_CONFIG
+
+
+def default_jobs() -> int:
+    """Worker-process count from ``REPRO_JOBS``.
+
+    Unset or empty means 1 (serial — parallelism is opt-in so small
+    runs never pay process start-up for nothing); ``0`` or ``auto``
+    means one worker per CPU; any other value must be a positive
+    integer.
+    """
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if not raw:
+        return 1
+    if raw.lower() == "auto":
+        return os.cpu_count() or 1
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_JOBS must be a non-negative integer or 'auto', "
+            f"got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(f"REPRO_JOBS must be >= 0, got {value}")
+    if value == 0:
+        return os.cpu_count() or 1
+    return value

@@ -1,0 +1,226 @@
+"""Work-unit execution engine: parallel dispatch with result caching.
+
+The evaluation of Section 5 is embarrassingly parallel: a figure point
+is a pure function of ``(config, deployment model, node count, router
+factory)`` (see :mod:`~repro.experiments.runner`).  This module turns
+that purity into throughput:
+
+* :class:`WorkUnit` names one point; :func:`plan_units` expands a
+  config × deployment-model product into the unit list;
+* :class:`ExperimentEngine` executes unit lists — looking each unit up
+  in a :class:`~repro.experiments.cache.ResultCache` first, then
+  dispatching the missing ones over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` when ``jobs > 1``.
+
+Because per-unit RNG streams are derived from the unit identity alone,
+parallel results are bit-identical to serial ones regardless of worker
+count or completion order; a determinism test in
+``tests/experiments/test_parallel.py`` pins this.
+
+Worker count resolution: explicit ``jobs`` argument, else the
+``REPRO_JOBS`` environment variable (via
+:func:`~repro.experiments.config.default_jobs`), else 1 (serial).
+Unpicklable inputs (e.g. a closure router factory) silently degrade to
+serial execution rather than failing — parallelism is an optimisation,
+never a requirement.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.experiments.cache import (
+    ResultCache,
+    default_cache,
+    factory_fingerprint,
+    point_key,
+)
+from repro.experiments.config import ExperimentConfig, default_jobs
+from repro.experiments.runner import (
+    PointResult,
+    RouterFactory,
+    default_routers,
+    evaluate_point,
+)
+
+__all__ = ["ExperimentEngine", "WorkUnit", "plan_units", "resolve_jobs"]
+
+Progress = Callable[[str], None]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkUnit:
+    """One independently computable figure point."""
+
+    deployment_model: str
+    node_count: int
+
+    def describe(self, config: ExperimentConfig) -> str:
+        return (
+            f"[{self.deployment_model}] n={self.node_count} "
+            f"({config.networks_per_point} networks x "
+            f"{config.routes_per_network} routes)"
+        )
+
+
+def plan_units(
+    config: ExperimentConfig, deployment_models: Sequence[str]
+) -> tuple[WorkUnit, ...]:
+    """Expand a sweep into its unit list, in presentation order."""
+    return tuple(
+        WorkUnit(deployment_model=model, node_count=n)
+        for model in deployment_models
+        for n in config.node_counts
+    )
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Normalise a worker count: arg > ``REPRO_JOBS`` > 1 (serial)."""
+    if jobs is None:
+        return default_jobs()
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _picklable(*objects) -> bool:
+    """Whether the pool can ship these objects to worker processes."""
+    try:
+        pickle.dumps(objects)
+    except Exception:
+        return False
+    return True
+
+
+class ExperimentEngine:
+    """Executes work units: cache lookups, then (parallel) compute.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``None`` defers to ``REPRO_JOBS``, ``0``
+        means one per CPU, ``1`` runs inline.
+    cache:
+        A :class:`ResultCache`; ``None`` selects the default cache
+        (honouring ``REPRO_CACHE`` / ``REPRO_CACHE_DIR``).  Pass
+        ``ResultCache.disabled()`` to force recomputation.
+    progress:
+        Optional line sink (e.g. ``print`` to stderr) for per-unit
+        status.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        cache: ResultCache | None = None,
+        progress: Progress | None = None,
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.cache = default_cache() if cache is None else cache
+        self.progress = progress
+        self.computed_units = 0
+        self.cached_units = 0
+
+    def _report(self, line: str) -> None:
+        if self.progress is not None:
+            self.progress(line)
+
+    def run(
+        self,
+        config: ExperimentConfig,
+        units: Iterable[WorkUnit],
+        router_factory: RouterFactory = default_routers,
+    ) -> dict[WorkUnit, PointResult]:
+        """Produce every unit's point, from cache or by computing."""
+        units = list(units)
+        # Caching needs an enabled cache AND a factory with a stable
+        # identity — anonymous factories would collide under a shared
+        # key, so their units are computed every time.
+        caching = (
+            self.cache is not None
+            and self.cache.enabled
+            and factory_fingerprint(router_factory) is not None
+        )
+        results: dict[WorkUnit, PointResult] = {}
+        missing: list[tuple[WorkUnit, str | None]] = []
+        for unit in units:
+            key = None
+            if caching:
+                key = point_key(
+                    config, unit.deployment_model, unit.node_count,
+                    router_factory,
+                )
+                point = self.cache.load(key)
+                if point is not None:
+                    results[unit] = point
+                    self.cached_units += 1
+                    self._report(f"{unit.describe(config)} [cached]")
+                    continue
+            missing.append((unit, key))
+
+        if missing:
+            computed = self._compute(
+                config, dict(missing), router_factory
+            )
+            for unit, _ in missing:
+                results[unit] = computed[unit]
+                self.computed_units += 1
+        return results
+
+    def _store(self, key: str | None, point: PointResult) -> None:
+        if self.cache is not None and key is not None:
+            self.cache.store(key, point)
+
+    def _compute(
+        self,
+        config: ExperimentConfig,
+        units: dict[WorkUnit, str | None],
+        router_factory: RouterFactory,
+    ) -> dict[WorkUnit, PointResult]:
+        """Compute units, persisting each the moment it completes.
+
+        Storing per completion (not after the batch) is what makes an
+        interrupted run resumable: whatever finished before the
+        Ctrl-C is served from cache next time.
+        """
+        jobs = min(self.jobs, len(units))
+        if jobs > 1 and not _picklable(config, router_factory):
+            self._report("[engine] inputs not picklable; running serially")
+            jobs = 1
+        if jobs <= 1:
+            results = {}
+            for unit, key in units.items():
+                self._report(unit.describe(config))
+                point = evaluate_point(
+                    config, unit.deployment_model, unit.node_count,
+                    router_factory,
+                )
+                self._store(key, point)
+                results[unit] = point
+            return results
+
+        results = {}
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(
+                    evaluate_point,
+                    config,
+                    unit.deployment_model,
+                    unit.node_count,
+                    router_factory,
+                ): unit
+                for unit in units
+            }
+            for future in as_completed(futures):
+                unit = futures[future]
+                point = future.result()
+                self._store(units[unit], point)
+                results[unit] = point
+                self._report(f"{unit.describe(config)} [done]")
+        return results

@@ -20,7 +20,15 @@ from dataclasses import dataclass
 from repro.experiments.runner import ROUTER_ORDER
 from repro.experiments.sweep import SweepResult
 
-__all__ = ["FIGURES", "FigureTable", "figure_table", "fig5", "fig6", "fig7"]
+__all__ = [
+    "FIGURES",
+    "FigureTable",
+    "all_figures",
+    "figure_table",
+    "fig5",
+    "fig6",
+    "fig7",
+]
 
 # figure id -> (metric key, human description)
 FIGURES: dict[str, tuple[str, str]] = {
@@ -79,6 +87,15 @@ def figure_table(sweep: SweepResult, figure_id: str) -> FigureTable:
         routers=routers,
         values={r: sweep.series(r, metric) for r in routers},
     )
+
+
+def all_figures(sweep: SweepResult) -> dict[str, FigureTable]:
+    """Every paper figure's panel for one sweep, keyed by figure id.
+
+    A sweep holds the full per-point results, so projecting all three
+    figures costs nothing beyond the sweep itself.
+    """
+    return {figure_id: figure_table(sweep, figure_id) for figure_id in FIGURES}
 
 
 def fig5(sweep: SweepResult) -> FigureTable:

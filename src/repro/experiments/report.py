@@ -5,18 +5,21 @@ Three output forms per figure panel:
 * an aligned text table (what the benches print, and what
   EXPERIMENTS.md quotes);
 * a CSV file (for anyone who wants to re-plot with real tooling);
-* an ASCII line chart (curve-shape comparison at a glance).
+* an ASCII line chart (curve-shape comparison at a glance);
+* a JSON document (for downstream tooling and archival — the same
+  shape the result cache stores, one level up).
 """
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
 
 from repro.experiments.figures import FigureTable
 from repro.viz.ascii_chart import line_chart
 
-__all__ = ["format_table", "to_csv", "to_chart"]
+__all__ = ["format_table", "to_csv", "to_chart", "to_json"]
 
 
 def format_table(table: FigureTable, digits: int = 2) -> str:
@@ -65,6 +68,23 @@ def to_csv(table: FigureTable, path: str | Path) -> Path:
                 ]
                 + [table.values[r][i] for r in table.routers]
             )
+    return path
+
+
+def to_json(table: FigureTable, path: str | Path) -> Path:
+    """Write the panel as a JSON document; returns the written path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "figure": table.figure_id,
+        "title": table.title,
+        "deployment_model": table.deployment_model,
+        "metric": table.metric,
+        "node_counts": list(table.node_counts),
+        "routers": list(table.routers),
+        "values": {r: table.values[r] for r in table.routers},
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     return path
 
 

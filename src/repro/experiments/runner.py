@@ -3,8 +3,16 @@
 One *point* of a paper figure = one (deployment model, node count)
 pair, evaluated over ``networks_per_point`` random networks with
 ``routes_per_network`` random source-destination pairs each, for every
-routing scheme.  This module produces those points; the sweep and
-figure layers assemble them into the paper's curves.
+routing scheme.  This module produces those points; the engine, sweep
+and figure layers assemble them into the paper's curves.
+
+Every random stream is derived from ``(config.seed, deployment model,
+node count, network index)`` alone — no state is shared between
+networks or points — so a point is a pure function of its inputs.
+That is what lets the engine dispatch points to worker processes and
+cache them on disk while staying bit-identical to a serial run, and
+what lets :class:`RouteTally` split a point into per-network shards
+that merge back deterministically.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from repro.experiments.workload import (
 from repro.routing import (
     GreedyRouter,
     LgfRouter,
+    RouteResult,
     Router,
     SlgfRouter,
     Slgf2Router,
@@ -31,8 +40,10 @@ from repro.routing import (
 __all__ = [
     "ROUTER_ORDER",
     "PointResult",
+    "RouteTally",
     "RouterPointMetrics",
     "default_routers",
+    "evaluate_network",
     "evaluate_point",
 ]
 
@@ -110,12 +121,97 @@ class PointResult:
         raise KeyError(f"unknown metric {name!r}")
 
 
+@dataclass
+class RouteTally:
+    """Raw, mergeable per-router counters for a batch of routes.
+
+    The mutable intermediate between routing and summary statistics:
+    one tally per router per network, merged across a point's networks
+    (and mergeable across arbitrary shards — the unit a future
+    per-network or multi-host dispatcher would ship around).
+    """
+
+    samples: int = 0
+    delivered: int = 0
+    hops: list[float] = field(default_factory=list)
+    lengths: list[float] = field(default_factory=list)
+    max_hops: int = 0
+    perimeter_entries: int = 0
+    backup_entries: int = 0
+
+    def add(self, result: RouteResult) -> None:
+        """Fold one routed packet into the tally."""
+        self.samples += 1
+        self.perimeter_entries += result.perimeter_entries
+        self.backup_entries += result.backup_entries
+        if result.delivered:
+            self.delivered += 1
+            self.hops.append(float(result.hops))
+            self.lengths.append(result.length)
+            self.max_hops = max(self.max_hops, result.hops)
+
+    def merge(self, other: "RouteTally") -> None:
+        """Fold another tally in; order of merges is order of routes."""
+        self.samples += other.samples
+        self.delivered += other.delivered
+        self.hops.extend(other.hops)
+        self.lengths.extend(other.lengths)
+        self.max_hops = max(self.max_hops, other.max_hops)
+        self.perimeter_entries += other.perimeter_entries
+        self.backup_entries += other.backup_entries
+
+    def finish(self, router: str) -> RouterPointMetrics:
+        """Freeze the tally into the summary form the figures consume.
+
+        An empty tally (no routes — e.g. a network too sparse to
+        sample pairs from) yields all-zero metrics rather than a
+        division error.
+        """
+        samples = self.samples or 1  # per-route averages of nothing are 0
+        return RouterPointMetrics(
+            router=router,
+            samples=self.samples,
+            delivered=self.delivered,
+            hops=summarize(self.hops or [0.0]),
+            length=summarize(self.lengths or [0.0]),
+            max_hops=self.max_hops,
+            perimeter_entries_per_route=self.perimeter_entries / samples,
+            backup_entries_per_route=self.backup_entries / samples,
+        )
+
+
 def _network_seed(
     config: ExperimentConfig, deployment_model: str, node_count: int, index: int
 ) -> int:
     """Stable per-network seed: reruns regenerate identical networks."""
     key = f"{config.seed}/{deployment_model}/{node_count}/{index}"
     return random.Random(key).getrandbits(63)
+
+
+def evaluate_network(
+    config: ExperimentConfig,
+    deployment_model: str,
+    node_count: int,
+    index: int,
+    router_factory: RouterFactory = default_routers,
+) -> dict[str, RouteTally]:
+    """Evaluate every router over one generated network.
+
+    Network ``index`` of a point is self-contained: its seed comes from
+    :func:`_network_seed`, so any shard of a point can be recomputed in
+    isolation and merged back in index order.
+    """
+    seed = _network_seed(config, deployment_model, node_count, index)
+    instance = build_network(config, deployment_model, node_count, seed)
+    pair_rng = random.Random(seed + 1)
+    pairs = sample_pairs(instance.graph, config.routes_per_network, pair_rng)
+    routers = router_factory(instance)
+    tallies = {name: RouteTally() for name in routers}
+    for name, router in routers.items():
+        tally = tallies[name]
+        for s, d in pairs:
+            tally.add(router.route(s, d))
+    return tallies
 
 
 def evaluate_point(
@@ -125,65 +221,20 @@ def evaluate_point(
     router_factory: RouterFactory = default_routers,
 ) -> PointResult:
     """Evaluate every router at one (deployment, node count) point."""
-    per_router_hops: dict[str, list[float]] = {}
-    per_router_length: dict[str, list[float]] = {}
-    per_router_delivered: dict[str, int] = {}
-    per_router_samples: dict[str, int] = {}
-    per_router_max: dict[str, int] = {}
-    per_router_perimeter: dict[str, int] = {}
-    per_router_backup: dict[str, int] = {}
-
+    merged: dict[str, RouteTally] = {}
     for index in range(config.networks_per_point):
-        seed = _network_seed(config, deployment_model, node_count, index)
-        instance = build_network(config, deployment_model, node_count, seed)
-        pair_rng = random.Random(seed + 1)
-        pairs = sample_pairs(
-            instance.graph, config.routes_per_network, pair_rng
+        per_router = evaluate_network(
+            config, deployment_model, node_count, index, router_factory
         )
-        routers = router_factory(instance)
-        for name, router in routers.items():
-            hops = per_router_hops.setdefault(name, [])
-            lengths = per_router_length.setdefault(name, [])
-            for s, d in pairs:
-                result = router.route(s, d)
-                per_router_samples[name] = per_router_samples.get(name, 0) + 1
-                per_router_perimeter[name] = (
-                    per_router_perimeter.get(name, 0)
-                    + result.perimeter_entries
-                )
-                per_router_backup[name] = (
-                    per_router_backup.get(name, 0) + result.backup_entries
-                )
-                if result.delivered:
-                    per_router_delivered[name] = (
-                        per_router_delivered.get(name, 0) + 1
-                    )
-                    hops.append(float(result.hops))
-                    lengths.append(result.length)
-                    per_router_max[name] = max(
-                        per_router_max.get(name, 0), result.hops
-                    )
-
-    per_router: dict[str, RouterPointMetrics] = {}
-    for name in per_router_samples:
-        samples = per_router_samples[name]
-        per_router[name] = RouterPointMetrics(
-            router=name,
-            samples=samples,
-            delivered=per_router_delivered.get(name, 0),
-            hops=summarize(per_router_hops[name] or [0.0]),
-            length=summarize(per_router_length[name] or [0.0]),
-            max_hops=per_router_max.get(name, 0),
-            perimeter_entries_per_route=(
-                per_router_perimeter.get(name, 0) / samples
-            ),
-            backup_entries_per_route=(
-                per_router_backup.get(name, 0) / samples
-            ),
-        )
+        for name, tally in per_router.items():
+            merged.setdefault(name, RouteTally()).merge(tally)
     return PointResult(
         deployment_model=deployment_model,
         node_count=node_count,
         networks=config.networks_per_point,
-        per_router=per_router,
+        per_router={
+            name: tally.finish(name)
+            for name, tally in merged.items()
+            if tally.samples
+        },
     )

@@ -5,22 +5,35 @@ varied from 400 to 800 in increments of 50."  A sweep evaluates every
 configured node count under one deployment model and keeps the full
 :class:`~repro.experiments.runner.PointResult` per point, so all three
 figures (and the phase/ablation benches) project from a single run.
+
+Execution is delegated to the
+:class:`~repro.experiments.engine.ExperimentEngine`: points already in
+the result cache are loaded, the rest are computed — in parallel when
+``jobs > 1`` (or ``REPRO_JOBS`` is set).  :func:`run_sweeps` evaluates
+several deployment models through *one* engine so all their points
+share a single worker pool.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Sequence
 
+from repro.experiments.cache import ResultCache
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.engine import (
+    ExperimentEngine,
+    Progress,
+    WorkUnit,
+    plan_units,
+)
 from repro.experiments.runner import (
     PointResult,
     RouterFactory,
     default_routers,
-    evaluate_point,
 )
 
-__all__ = ["SweepResult", "run_sweep"]
+__all__ = ["SweepResult", "run_sweep", "run_sweeps"]
 
 
 @dataclass(frozen=True)
@@ -47,26 +60,60 @@ class SweepResult:
         return [p.metric(router, metric) for p in self.points]
 
 
+def _assemble(
+    config: ExperimentConfig,
+    deployment_model: str,
+    results: dict[WorkUnit, PointResult],
+) -> SweepResult:
+    """Order one model's points by node count, as the figures expect."""
+    points = tuple(
+        results[WorkUnit(deployment_model=deployment_model, node_count=n)]
+        for n in config.node_counts
+    )
+    return SweepResult(
+        deployment_model=deployment_model,
+        config=config,
+        points=points,
+    )
+
+
 def run_sweep(
     config: ExperimentConfig,
     deployment_model: str,
     router_factory: RouterFactory = default_routers,
-    progress: Callable[[str], None] | None = None,
+    progress: Progress | None = None,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
 ) -> SweepResult:
     """Evaluate every node count of ``config`` under one deployment."""
-    points = []
-    for node_count in config.node_counts:
-        if progress is not None:
-            progress(
-                f"[{deployment_model}] n={node_count} "
-                f"({config.networks_per_point} networks x "
-                f"{config.routes_per_network} routes)"
-            )
-        points.append(
-            evaluate_point(config, deployment_model, node_count, router_factory)
-        )
-    return SweepResult(
-        deployment_model=deployment_model,
-        config=config,
-        points=tuple(points),
-    )
+    return run_sweeps(
+        config,
+        (deployment_model,),
+        router_factory=router_factory,
+        progress=progress,
+        jobs=jobs,
+        cache=cache,
+    )[deployment_model]
+
+
+def run_sweeps(
+    config: ExperimentConfig,
+    deployment_models: Sequence[str] = ("IA", "FA"),
+    router_factory: RouterFactory = default_routers,
+    progress: Progress | None = None,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> dict[str, SweepResult]:
+    """Evaluate several deployment models over one shared worker pool.
+
+    All models' figure points form a single unit list, so ``--jobs N``
+    keeps N workers busy across panel boundaries instead of draining
+    per model.
+    """
+    engine = ExperimentEngine(jobs=jobs, cache=cache, progress=progress)
+    units = plan_units(config, deployment_models)
+    results = engine.run(config, units, router_factory)
+    return {
+        model: _assemble(config, model, results)
+        for model in deployment_models
+    }

@@ -1,0 +1,217 @@
+"""The result cache: keying, round-tripping, replay without recompute."""
+
+import json
+
+import pytest
+
+import repro.experiments.engine as engine_module
+from repro.experiments import (
+    ExperimentConfig,
+    ResultCache,
+    default_cache,
+    default_routers,
+    evaluate_point,
+    factory_fingerprint,
+    figure_table,
+    point_from_dict,
+    point_key,
+    point_to_dict,
+    run_sweep,
+)
+from repro.experiments.cache import default_cache_root
+
+TINY = ExperimentConfig(
+    node_counts=(250, 300),
+    networks_per_point=2,
+    routes_per_network=3,
+)
+
+
+class TestKeying:
+    def test_stable(self):
+        a = point_key(TINY, "IA", 250, default_routers)
+        b = point_key(TINY, "IA", 250, default_routers)
+        assert a == b
+        assert len(a) == 64  # sha256 hex
+
+    def test_sensitive_to_inputs(self):
+        base = point_key(TINY, "IA", 250, default_routers)
+        assert point_key(TINY, "FA", 250, default_routers) != base
+        assert point_key(TINY, "IA", 300, default_routers) != base
+        reseeded = ExperimentConfig(
+            node_counts=TINY.node_counts,
+            networks_per_point=TINY.networks_per_point,
+            routes_per_network=TINY.routes_per_network,
+            seed=TINY.seed + 1,
+        )
+        assert point_key(reseeded, "IA", 250, default_routers) != base
+
+    def test_node_counts_axis_excluded(self):
+        """A point cached in one sweep is reusable in any sweep."""
+        wider = ExperimentConfig(
+            node_counts=(250, 300, 350),
+            networks_per_point=TINY.networks_per_point,
+            routes_per_network=TINY.routes_per_network,
+        )
+        assert point_key(TINY, "IA", 250, default_routers) == point_key(
+            wider, "IA", 250, default_routers
+        )
+
+    def test_anonymous_factories_not_keyable(self):
+        """Two lambdas share a name — refusing beats colliding."""
+        import functools
+
+        assert factory_fingerprint(default_routers) is not None
+        assert factory_fingerprint(lambda instance: {}) is None
+        assert (
+            factory_fingerprint(functools.partial(default_routers)) is None
+        )
+
+        def local_factory(instance):
+            return default_routers(instance)
+
+        assert factory_fingerprint(local_factory) is None  # <locals>
+        with pytest.raises(ValueError):
+            point_key(TINY, "IA", 250, lambda instance: {})
+
+    def test_external_factory_source_digested(self, tmp_path):
+        """Editing a user-defined factory module invalidates its keys."""
+        import importlib.util
+
+        module_path = tmp_path / "user_factories.py"
+        body = (
+            "from repro.experiments import default_routers\n"
+            "def my_factory(instance):\n"
+            "    return default_routers(instance)\n"
+        )
+        module_path.write_text(body)
+        spec = importlib.util.spec_from_file_location(
+            "user_factories", module_path
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+
+        before = factory_fingerprint(module.my_factory)
+        assert before is not None
+        module_path.write_text(body + "\n# routing behaviour changed\n")
+        after = factory_fingerprint(module.my_factory)
+        assert after is not None
+        assert before != after  # stale results cannot be served
+
+
+class TestRoundTrip:
+    def test_point_survives_json(self):
+        point = evaluate_point(TINY, "IA", 250)
+        rebuilt = point_from_dict(
+            json.loads(json.dumps(point_to_dict(point)))
+        )
+        assert rebuilt == point
+
+    def test_store_failure_swallowed(self, tmp_path):
+        """An unwritable cache must not abort a paid-for sweep."""
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        cache = ResultCache(blocker / "cache")  # mkdir will fail
+        point = evaluate_point(TINY, "IA", 250)
+        assert cache.store("ab" * 32, point) is None
+        assert cache.stores == 0
+
+    def test_store_load(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = evaluate_point(TINY, "IA", 250)
+        key = point_key(TINY, "IA", 250, default_routers)
+        path = cache.store(key, point)
+        assert path is not None and path.exists()
+        assert cache.load(key) == point
+        assert cache.hits == 1 and cache.stores == 1
+
+
+class TestSweepCaching:
+    def test_warm_cache_skips_recompute(self, tmp_path, monkeypatch):
+        """ISSUE acceptance: warm figures identical, zero recomputation."""
+        cache = ResultCache(tmp_path)
+        calls = []
+        real = engine_module.evaluate_point
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(engine_module, "evaluate_point", counting)
+
+        cold = run_sweep(TINY, "IA", jobs=1, cache=cache)
+        assert len(calls) == len(TINY.node_counts)
+
+        warm = run_sweep(TINY, "IA", jobs=1, cache=cache)
+        assert len(calls) == len(TINY.node_counts)  # no new computation
+        assert warm.points == cold.points
+        for figure_id in ("fig5", "fig6", "fig7"):
+            assert figure_table(warm, figure_id) == figure_table(
+                cold, figure_id
+            )
+
+    def test_corrupt_entry_recomputed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = evaluate_point(TINY, "IA", 250)
+        key = point_key(TINY, "IA", 250, default_routers)
+        cache.store(key, point)
+        cache.path_for(key).write_text("{not json", encoding="utf-8")
+        assert cache.load(key) is None  # miss, not an error
+        # And the engine transparently recomputes through it.
+        sweep = run_sweep(TINY, "IA", jobs=1, cache=cache)
+        assert sweep.points[0] == point
+
+    def test_disabled_cache_writes_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=False)
+        run_sweep(TINY, "IA", jobs=1, cache=cache)
+        assert not list(tmp_path.iterdir())
+        assert cache.hits == cache.misses == cache.stores == 0
+
+    def test_disabled_cache_accepts_anonymous_factory(self, tmp_path):
+        """--no-cache must not trip over unkeyable factories."""
+        import functools
+
+        sweep = run_sweep(
+            TINY,
+            "IA",
+            router_factory=functools.partial(default_routers),
+            jobs=1,
+            cache=ResultCache(tmp_path, enabled=False),
+        )
+        assert sweep.node_counts == TINY.node_counts
+
+    def test_anonymous_factory_computes_without_caching(self, tmp_path):
+        """An enabled cache is silently bypassed, never collided."""
+        cache = ResultCache(tmp_path)
+        first = run_sweep(
+            TINY, "IA",
+            router_factory=lambda inst: default_routers(inst),
+            jobs=1, cache=cache,
+        )
+        assert not list(tmp_path.iterdir())  # nothing stored
+        assert cache.hits == cache.stores == 0
+        reference = run_sweep(
+            TINY, "IA", jobs=1, cache=ResultCache.disabled()
+        )
+        assert first.points == reference.points
+
+
+class TestDefaults:
+    def test_env_disable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert default_cache() is None
+
+    def test_env_cache_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+        assert default_cache_root() == tmp_path / "alt"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert default_cache_root().name == ".repro_cache"
+
+    def test_engine_without_cache_computes(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        sweep = run_sweep(TINY, "IA", jobs=1)  # cache=None -> default (off)
+        assert sweep.node_counts == TINY.node_counts
+
+    def test_validation_errors_still_raise(self):
+        with pytest.raises(KeyError):
+            point_from_dict({"per_router": {"GF": {}}})

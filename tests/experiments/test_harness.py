@@ -7,6 +7,7 @@ import pytest
 from repro.experiments import (
     ExperimentConfig,
     FIGURES,
+    ResultCache,
     build_network,
     evaluate_point,
     figure_table,
@@ -125,7 +126,8 @@ class TestEvaluatePoint:
 class TestSweepAndFigures:
     @pytest.fixture(scope="class")
     def sweep(self):
-        return run_sweep(TINY, "IA")
+        # Tests mean "compute fresh": no on-disk cache side effects.
+        return run_sweep(TINY, "IA", cache=ResultCache.disabled())
 
     def test_sweep_structure(self, sweep):
         assert sweep.node_counts == (300, 400)
@@ -139,6 +141,14 @@ class TestSweepAndFigures:
             assert table.node_counts == (300, 400)
             for router in table.routers:
                 assert len(table.values[router]) == 2
+
+    def test_all_figures(self, sweep):
+        from repro.experiments import all_figures
+
+        tables = all_figures(sweep)
+        assert set(tables) == set(FIGURES)
+        for figure_id, table in tables.items():
+            assert table == figure_table(sweep, figure_id)
 
     def test_unknown_figure_rejected(self, sweep):
         with pytest.raises(KeyError):

@@ -1,0 +1,122 @@
+"""The engine's core promise: parallel == serial, bit for bit."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentEngine,
+    ResultCache,
+    WorkUnit,
+    default_jobs,
+    default_routers,
+    plan_units,
+    resolve_jobs,
+    run_sweep,
+    run_sweeps,
+)
+
+TINY = ExperimentConfig(
+    node_counts=(250, 300),
+    networks_per_point=2,
+    routes_per_network=3,
+)
+
+
+def _no_cache():
+    return ResultCache.disabled()
+
+
+class TestJobsResolution:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(None) == 7
+        monkeypatch.delenv("REPRO_JOBS")
+        assert resolve_jobs(None) == 1
+
+    def test_zero_and_auto_mean_cpu_count(self, monkeypatch):
+        import os
+
+        cpus = os.cpu_count() or 1
+        assert resolve_jobs(0) == cpus
+        monkeypatch.setenv("REPRO_JOBS", "auto")
+        assert default_jobs() == cpus
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert default_jobs() == cpus
+
+    def test_invalid_rejected(self, monkeypatch):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError):
+            default_jobs()
+        monkeypatch.setenv("REPRO_JOBS", "-2")
+        with pytest.raises(ValueError):
+            default_jobs()
+
+
+class TestPlanUnits:
+    def test_product_in_order(self):
+        units = plan_units(TINY, ("IA", "FA"))
+        assert units == (
+            WorkUnit("IA", 250),
+            WorkUnit("IA", 300),
+            WorkUnit("FA", 250),
+            WorkUnit("FA", 300),
+        )
+
+    def test_describe_mentions_scale(self):
+        line = WorkUnit("IA", 250).describe(TINY)
+        assert "[IA] n=250" in line
+        assert "2 networks" in line
+
+
+class TestParallelDeterminism:
+    """ISSUE acceptance: identical Summary values at jobs=1 and jobs=2."""
+
+    def test_jobs2_identical_to_serial(self):
+        serial = run_sweep(TINY, "IA", jobs=1, cache=_no_cache())
+        parallel = run_sweep(TINY, "IA", jobs=2, cache=_no_cache())
+        # Full structural equality: every Summary, every counter.
+        assert serial.points == parallel.points
+
+    def test_run_sweeps_both_models(self):
+        sweeps = run_sweeps(TINY, ("IA", "FA"), jobs=2, cache=_no_cache())
+        assert set(sweeps) == {"IA", "FA"}
+        for model, sweep in sweeps.items():
+            assert sweep.deployment_model == model
+            assert sweep.node_counts == TINY.node_counts
+        # Shared-pool execution must match a per-model serial run.
+        ia = run_sweep(TINY, "IA", jobs=1, cache=_no_cache())
+        assert sweeps["IA"].points == ia.points
+
+    def test_unpicklable_factory_degrades_to_serial(self):
+        captured = []
+
+        def factory(instance):  # a closure: not picklable
+            captured.append(instance.seed)
+            return default_routers(instance)
+
+        sweep = run_sweep(
+            TINY, "IA", router_factory=factory, jobs=2, cache=_no_cache()
+        )
+        reference = run_sweep(TINY, "IA", jobs=1, cache=_no_cache())
+        assert sweep.points == reference.points
+        assert captured  # the factory really ran, in this process
+
+    def test_engine_counts_computed_units(self):
+        engine = ExperimentEngine(jobs=1, cache=_no_cache())
+        units = plan_units(TINY, ("IA",))
+        results = engine.run(TINY, units)
+        assert engine.computed_units == len(units)
+        assert engine.cached_units == 0
+        assert set(results) == set(units)
+
+    def test_progress_lines_emitted(self):
+        lines = []
+        run_sweep(TINY, "IA", progress=lines.append, jobs=1, cache=_no_cache())
+        assert len(lines) == len(TINY.node_counts)
+        assert any("n=250" in line for line in lines)

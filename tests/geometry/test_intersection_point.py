@@ -71,9 +71,15 @@ class TestProperIntersectionPoint:
             # The predicate and the constructor may disagree only
             # within numerical tolerance of degeneracy; when the
             # predicate is confidently true, a point must exist.
+            # "Confidently" rules out both near-parallel segments and
+            # crossings within tolerance of an endpoint (where the
+            # constructor's interiority guard rightly refuses).
             cross = (b - a).cross(d - c)
             if abs(cross) > 1e-6:
-                assert p is not None
+                t = (c - a).cross(d - c) / cross
+                s = (c - a).cross(b - a) / cross
+                if 1e-6 < t < 1 - 1e-6 and 1e-6 < s < 1 - 1e-6:
+                    assert p is not None
 
     @given(points, points, points, points)
     def test_symmetry(self, a, b, c, d):

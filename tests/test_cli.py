@@ -36,6 +36,7 @@ class TestCli:
                 "--csv-dir",
                 str(tmp_path),
                 "--no-chart",
+                "--no-cache",  # keep the test free of CWD side effects
             ]
         )
         assert code == 0
