@@ -9,27 +9,15 @@ cost of every information base on the same networks, across densities:
 * the distributed safety + shape construction (Algorithm 2);
 * BOUNDHOLE boundary walks (what the GF baseline needs instead).
 
+Networks come from IA ``Scenario``/``Session`` materialisation (one
+session per density per network index); the protocol runs replay the
+distributed construction on each session's graph.
+
 Run:  python examples/construction_cost.py
 """
 
-import random
-
-from repro import Rect, build_unit_disk_graph
-from repro.network import EdgeDetector, UniformDeployment
-from repro.protocols import (
-    build_hole_boundaries,
-    run_hello,
-    run_safety_protocol,
-)
-
-AREA = Rect(0, 0, 200, 200)
-
-
-def build(n: int, seed: int):
-    rng = random.Random(seed)
-    positions = UniformDeployment(AREA).sample(n, rng)
-    graph = build_unit_disk_graph(positions, 20.0)
-    return EdgeDetector(strategy="convex").apply(graph)
+from repro.api import Scenario, Session
+from repro.protocols import run_hello, run_safety_protocol
 
 
 def main() -> None:
@@ -43,11 +31,19 @@ def main() -> None:
     for n in range(400, 801, 100):
         hello_tx = safety_tx = rounds = walk_hops = holes = 0
         networks = 5
-        for seed in range(networks):
-            graph = build(n, seed)
+        scenario = Scenario(
+            deployment_model="IA",
+            node_count=n,
+            seed=0,
+            networks=networks,
+            routers=("LGF",),  # cheapest scheme; we only need networks
+        )
+        for index in range(networks):
+            session = Session(scenario, index)
+            graph = session.graph
             _, hello = run_hello(graph)
             _, safety = run_safety_protocol(graph)
-            boundaries = build_hole_boundaries(graph)
+            boundaries = session.boundaries  # built once by the session
             hello_tx += hello.transmissions
             safety_tx += safety.transmissions
             rounds += safety.rounds

@@ -7,10 +7,11 @@ jams a disc of the network mid-operation and shows the system adapting:
 
 1. route a packet across a healthy IA network (no unsafe areas on the
    path);
-2. fail every node in a disc sitting on that path (jamming);
-3. re-run the information construction on the survivor graph — the
-   labeling discovers the new unsafe pocket;
-4. route the same packet again: SLGF2 detours around the new hole
+2. re-declare the same scenario with a ``RegionFailure`` centred on
+   that path (jamming) — the session rebuilds the survivor topology
+   and re-runs the information construction, discovering the new
+   unsafe pocket;
+3. route the same packet again: SLGF2 detours around the new hole
    while plain greedy forwarding has to fall into perimeter recovery.
 
 Run:  python examples/dynamic_failures.py [seed]
@@ -19,26 +20,19 @@ Run:  python examples/dynamic_failures.py [seed]
 import random
 import sys
 
-from repro import InformationModel, Point, Rect, build_unit_disk_graph
-from repro.network import EdgeDetector, UniformDeployment, fail_region
-from repro.routing import GreedyRouter, Slgf2Router
-
-AREA = Rect(0, 0, 200, 200)
-
-
-def build_network(seed: int):
-    for attempt in range(seed, seed + 50):
-        rng = random.Random(attempt)
-        positions = UniformDeployment(AREA).sample(500, rng)
-        graph = build_unit_disk_graph(positions, 20.0)
-        graph = EdgeDetector(strategy="convex").apply(graph)
-        if graph.is_connected():
-            return graph
-    raise RuntimeError("no connected deployment found")
+from repro.api import RegionFailure, Scenario, Session, connected_session
 
 
 def main(seed: int = 2) -> None:
-    graph = build_network(seed)
+    scenario = Scenario(
+        deployment_model="IA",
+        node_count=500,
+        seed=seed,
+        routers=("GF", "SLGF2"),
+        router_options={"GF": {"recovery": "face"}},
+    )
+    session = connected_session(scenario)
+    graph = session.graph
     rng = random.Random(seed)
 
     # A west-to-east packet.
@@ -46,43 +40,49 @@ def main(seed: int = 2) -> None:
     east = [u for u in graph.node_ids if graph.position(u).x > 170]
     source, destination = rng.choice(west), rng.choice(east)
 
-    model = InformationModel.build(graph)
-    before = Slgf2Router(model).route(source, destination)
+    before = session.route(source, destination, router="SLGF2")
     print(
         f"healthy network : SLGF2 {before.hops} hops, "
         f"{before.length:.0f} m, phases {before.phase_hops()}"
     )
 
-    # Jam a disc centred on the middle of the delivered path.
+    # Jam a disc centred on the middle of the delivered path: the same
+    # scenario plus one failure-schedule entry, same network index, so
+    # the deployment is identical and only the jammed nodes vanish.
     mid_node = before.path[len(before.path) // 2]
-    jam_center = graph.position(mid_node)
-    survivors, failed = fail_region(
-        graph, (jam_center, 30.0), protect=[source, destination]
+    jam = graph.position(mid_node)
+    jammed_scenario = scenario.with_(
+        failures=(
+            RegionFailure(
+                jam.x, jam.y, 30.0, protect=(source, destination)
+            ),
+        )
     )
+    jammed = Session(jammed_scenario, session.network_index)
+    killed = len(graph) - len(jammed.graph)
     print(
-        f"\njamming a 30 m disc at ({jam_center.x:.0f}, {jam_center.y:.0f}) "
-        f"kills {len(failed)} nodes"
+        f"\njamming a 30 m disc at ({jam.x:.0f}, {jam.y:.0f}) "
+        f"kills {killed} nodes"
     )
+    survivors = jammed.graph
     if not survivors.same_component(source, destination):
         print("network partitioned by the jammer; try another seed")
         return
 
-    # Re-run the information construction on the survivor topology —
-    # this is what the WASN itself would do after missing beacons.
-    survivors = EdgeDetector(strategy="convex").apply(survivors)
-    new_model = InformationModel.build(survivors)
-    newly_unsafe = sum(
-        1
-        for u in survivors.node_ids
-        if not all(new_model.safety.tuple_of(u))
-    )
+    def unsafe_count(session_):
+        return sum(
+            1
+            for u in session_.graph.node_ids
+            if not all(session_.model.safety.tuple_of(u))
+        )
+
     print(
-        f"relabeling finds {newly_unsafe} nodes unsafe in some type "
-        f"(was {sum(1 for u in graph.node_ids if not all(model.safety.tuple_of(u)))})"
+        f"relabeling finds {unsafe_count(jammed)} nodes unsafe in some "
+        f"type (was {unsafe_count(session)})"
     )
 
-    after_slgf2 = Slgf2Router(new_model).route(source, destination)
-    after_gf = GreedyRouter(survivors).route(source, destination)
+    after_slgf2 = jammed.route(source, destination, router="SLGF2")
+    after_gf = jammed.route(source, destination, router="GF")
     print(
         f"\nafter jamming   : SLGF2 {after_slgf2.hops} hops, "
         f"{after_slgf2.length:.0f} m, phases {after_slgf2.phase_hops()}"

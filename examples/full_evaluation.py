@@ -1,18 +1,22 @@
 #!/usr/bin/env python3
 """Full evaluation: regenerate every figure of Section 5.
 
-Drives the experiment harness over both deployment models and prints
-the three figure tables per model (plus ASCII charts), optionally at
-the paper's full scale:
+Drives the experiment harness through :func:`repro.api.sweeps` over
+both deployment models and prints the three figure tables per model
+(plus ASCII charts), optionally at the paper's full scale:
 
     python examples/full_evaluation.py              # quick sweep
     python examples/full_evaluation.py --full       # paper scale
+    python examples/full_evaluation.py --tiny       # CI smoke scale
     python examples/full_evaluation.py --jobs 8     # 8 worker processes
     python examples/full_evaluation.py --csv out/   # also write CSVs
+    python examples/full_evaluation.py --routers GF SLGF2
 
-Points are cached under ``.repro_cache/`` so a re-run (or a run after
-an interrupted one) only computes what is missing; pass ``--no-cache``
-to force recomputation.
+Router selection is by registry name, so schemes registered through
+``repro.api.register_router`` join the sweep and the legends
+automatically.  Points are cached under ``.repro_cache/`` so a re-run
+(or a run after an interrupted one) only computes what is missing;
+pass ``--no-cache`` to force recomputation.
 
 Equivalent CLI: ``repro-wasn [--full] [--jobs N] [--csv-dir out/]``.
 """
@@ -21,24 +25,42 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.api import default_registry, sweeps
 from repro.experiments import (
     PAPER_CONFIG,
     QUICK_CONFIG,
+    ExperimentConfig,
     ResultCache,
     all_figures,
     default_cache,
     format_table,
     resolve_jobs,
-    run_sweeps,
     to_chart,
     to_csv,
+)
+
+# Smoke-test scale: one tiny panel point per model, seconds not
+# minutes.  CI runs this to catch API drift in the example itself.
+TINY_CONFIG = ExperimentConfig(
+    node_counts=(300,), networks_per_point=2, routes_per_network=5
 )
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--full", action="store_true", help="paper scale")
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument("--full", action="store_true", help="paper scale")
+    scale.add_argument(
+        "--tiny", action="store_true", help="smoke-test scale (CI)"
+    )
     parser.add_argument("--csv", type=Path, default=None, help="CSV dir")
+    parser.add_argument(
+        "--routers",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help=f"schemes to evaluate (default: {', '.join(default_registry)})",
+    )
     parser.add_argument(
         "--jobs",
         type=int,
@@ -49,12 +71,21 @@ def main() -> None:
         "--no-cache", action="store_true", help="ignore the result cache"
     )
     args = parser.parse_args()
-    config = PAPER_CONFIG if args.full else QUICK_CONFIG
+    if args.full:
+        config = PAPER_CONFIG
+    elif args.tiny:
+        config = TINY_CONFIG
+    else:
+        config = QUICK_CONFIG
     cache = ResultCache.disabled() if args.no_cache else default_cache()
     try:
         jobs = resolve_jobs(args.jobs)
     except ValueError as error:
         parser.error(str(error))
+    if args.routers is not None:
+        message = default_registry.describe_unknown(args.routers)
+        if message:
+            parser.error(message)
 
     print(
         f"sweep: n in {config.node_counts}, "
@@ -62,16 +93,17 @@ def main() -> None:
         f"{config.routes_per_network} routes per point\n",
         file=sys.stderr,
     )
-    sweeps = run_sweeps(
+    results = sweeps(
         config,
         ("IA", "FA"),
+        routers=args.routers,
         progress=lambda s: print(s, file=sys.stderr),
         jobs=jobs,
         cache=cache,
     )
     for model in ("IA", "FA"):
-        sweep = sweeps[model]
-        for figure_id, table in all_figures(sweep).items():
+        sweep_result = results[model]
+        for figure_id, table in all_figures(sweep_result).items():
             print()
             print(format_table(table))
             print()

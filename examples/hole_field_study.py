@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
 """Hole field study: visualise unsafe areas and the routes around them.
 
-Builds an FA network with an L-shaped forbidden area (the paper's
+Declares an FA scenario with an L-shaped forbidden area (the paper's
 Fig. 1(a) "intertwined local minima" shape), prints an ASCII map of
 
 * the deployment and the obstacle,
 * the type-1 unsafe area the labeling discovers south-west of it,
-* the SLGF2 route versus the plain LGF route for a crossing packet,
+* the SLGF2 route versus the plain LGF route for a crossing packet —
+  with a ``TraceRecorder`` on the routing hooks reporting SLGF2's
+  phase transitions as they happened,
 
 and reports the estimated shape rectangles ``E_1(u)`` stored at the
 unsafe nodes closest to the obstacle's south-west corner.
@@ -17,9 +19,9 @@ Run:  python examples/hole_field_study.py [seed]
 import random
 import sys
 
-from repro import InformationModel, Rect, build_unit_disk_graph
-from repro.network import EdgeDetector, RectObstacle, UniformDeployment
-from repro.routing import LgfRouter, Slgf2Router
+from repro.api import Scenario, TraceRecorder, connected_session
+from repro.geometry import Rect
+from repro.network import RectObstacle
 from repro.viz import network_map
 
 AREA = Rect(0, 0, 200, 200)
@@ -31,20 +33,17 @@ OBSTACLE_PARTS = (
 )
 
 
-def build_network(seed: int):
-    for attempt in range(seed, seed + 50):
-        rng = random.Random(attempt)
-        positions = UniformDeployment(AREA, OBSTACLE_PARTS).sample(500, rng)
-        graph = build_unit_disk_graph(positions, 20.0)
-        graph = EdgeDetector(strategy="convex").apply(graph)
-        if graph.is_connected():
-            return graph
-    raise RuntimeError("no connected deployment found")
-
-
 def main(seed: int = 1) -> None:
-    graph = build_network(seed)
-    model = InformationModel.build(graph)
+    scenario = Scenario(
+        deployment_model="FA",
+        node_count=500,
+        area=AREA,
+        seed=seed,
+        obstacles=OBSTACLE_PARTS,
+        routers=("LGF", "SLGF2"),
+    )
+    session = connected_session(scenario)
+    graph, model = session.graph, session.model
 
     unsafe_1 = model.safety.unsafe_nodes(1)
     print(
@@ -78,16 +77,30 @@ def main(seed: int = 1) -> None:
     source = rng.choice(pocket)
     destination = rng.choice(target_region)
 
-    for name, router in (
-        ("LGF", LgfRouter(graph, candidate_scope="quadrant")),
-        ("SLGF2", Slgf2Router(model)),
-    ):
-        result = router.route(source, destination)
+    for name in session.routers:
+        recorder = TraceRecorder()
+        result = session.route(
+            source,
+            destination,
+            router=name,
+            on_hop=recorder.on_hop,
+            on_phase_change=recorder.on_phase_change,
+        )
         print(
             f"\n{name}: delivered={result.delivered} hops={result.hops} "
             f"length={result.length:.0f} m phases={result.phase_hops()}"
         )
-        print(network_map(graph, AREA, obstacles=OBSTACLE_PARTS, path=result.path))
+        if len(recorder.phase_changes) > 1:
+            transitions = ", ".join(
+                f"hop {index}: {previous or 'start'} -> {new}"
+                for index, previous, new in recorder.phase_changes
+            )
+            print(f"   phase transitions: {transitions}")
+        print(
+            network_map(
+                graph, AREA, obstacles=OBSTACLE_PARTS, path=result.path
+            )
+        )
 
     # Show the estimated shape information near the pocket corner.
     print("\nestimated E_1 rectangles stored at unsafe nodes in the pocket:")

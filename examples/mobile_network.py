@@ -2,10 +2,11 @@
 """Mobile network: routing while the topology drifts.
 
 Section 1 lists node mobility among the dynamic causes of local
-minima.  This example runs a random-waypoint swarm, snapshots the
-topology every epoch, re-runs the information construction on each
-snapshot (periodic beaconing), and tracks how the safety landscape and
-routing performance evolve:
+minima.  A ``Scenario`` with a ``MobilitySchedule`` runs a
+random-waypoint swarm; ``Session.epochs()`` yields one session per
+topology snapshot, each re-running the information construction
+(periodic beaconing), and the example tracks how the safety landscape
+and routing performance evolve:
 
 * how many labels flip between epochs (the churn the broadcasts must
   carry);
@@ -17,20 +18,21 @@ Run:  python examples/mobile_network.py [seed]
 import random
 import sys
 
-from repro import InformationModel, Rect
-from repro.network import EdgeDetector, RandomWaypointMobility
-from repro.routing import Slgf2Router
+from repro.api import MobilitySchedule, Scenario, Session
 
-AREA = Rect(0, 0, 200, 200)
-RADIUS = 20.0
 EPOCHS = 6
 DT = 10.0  # seconds between beacon rounds
 
 
 def main(seed: int = 4) -> None:
-    rng = random.Random(seed)
-    sim = RandomWaypointMobility(
-        AREA, 400, rng, speed=(1.0, 3.0), pause=2.0
+    scenario = Scenario(
+        deployment_model="IA",
+        node_count=400,
+        seed=seed,
+        routers=("SLGF2",),
+        mobility=MobilitySchedule(
+            speed_min=1.0, speed_max=3.0, pause=2.0, dt=DT, epochs=EPOCHS
+        ),
     )
     print(
         f"random-waypoint swarm: 400 nodes, speeds 1-3 m/s, "
@@ -45,11 +47,8 @@ def main(seed: int = 4) -> None:
 
     previous_statuses = None
     route_rng = random.Random(seed + 1)
-    for epoch, graph in enumerate(
-        sim.topology_stream(RADIUS, DT, EPOCHS)
-    ):
-        graph = EdgeDetector(strategy="convex").apply(graph)
-        model = InformationModel.build(graph)
+    for epoch, snapshot in enumerate(Session(scenario).epochs()):
+        graph, model = snapshot.graph, snapshot.model
         statuses = dict(model.safety.statuses)
         if previous_statuses is None:
             flips = 0
@@ -61,14 +60,13 @@ def main(seed: int = 4) -> None:
             )
         previous_statuses = statuses
 
-        router = Slgf2Router(model)
         component = sorted(graph.connected_components()[0])
         delivered = 0
         hops = 0
         samples = 25
         for _ in range(samples):
             s, d = route_rng.sample(component, 2)
-            result = router.route(s, d)
+            result = snapshot.route(s, d)  # sole router: SLGF2
             delivered += result.delivered
             hops += result.hops
         print(

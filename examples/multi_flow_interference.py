@@ -5,8 +5,9 @@
 interference occurs in other transmissions when fewer nodes are
 involved in the transmission." (Section 1.)
 
-This example routes a batch of concurrent flows through one FA network
-with every scheme and compares channel contention:
+This example declares one FA scenario with a central obstacle, routes
+a batch of concurrent flows through every registered scheme, and
+compares channel contention:
 
 * busy nodes — how many sensors are occupied by *some* flow;
 * max/mean channel load — how many flows a node overhears;
@@ -18,39 +19,28 @@ Run:  python examples/multi_flow_interference.py [seed]
 import random
 import sys
 
-from repro import InformationModel, Rect, build_unit_disk_graph
 from repro.analysis import analyze_flows
-from repro.network import EdgeDetector, RectObstacle, UniformDeployment
-from repro.protocols import build_hole_boundaries
-from repro.routing import GreedyRouter, LgfRouter, SlgfRouter, Slgf2Router
+from repro.api import Scenario, connected_session
+from repro.geometry import Rect
+from repro.network import RectObstacle
 
-AREA = Rect(0, 0, 200, 200)
-OBSTACLES = (RectObstacle(Rect(70, 60, 130, 140)),)
 FLOWS = 15
 
 
-def build_network(seed: int):
-    for attempt in range(seed, seed + 50):
-        rng = random.Random(attempt)
-        positions = UniformDeployment(AREA, OBSTACLES).sample(450, rng)
-        graph = build_unit_disk_graph(positions, 20.0)
-        graph = EdgeDetector(strategy="convex").apply(graph)
-        if graph.is_connected():
-            return graph
-    raise RuntimeError("no connected deployment found")
-
-
 def main(seed: int = 6) -> None:
-    graph = build_network(seed)
-    model = InformationModel.build(graph)
-    boundaries = build_hole_boundaries(graph)
+    scenario = Scenario(
+        deployment_model="FA",
+        node_count=450,
+        seed=seed,
+        obstacles=(RectObstacle(Rect(70, 60, 130, 140)),),
+    )
+    session = connected_session(scenario)
+    graph = session.graph
     rng = random.Random(seed)
     # Every flow crosses the obstacle's shadow: west strip -> east strip.
     west = [u for u in graph.node_ids if graph.position(u).x < 40]
     east = [u for u in graph.node_ids if graph.position(u).x > 160]
-    pairs = [
-        (rng.choice(west), rng.choice(east)) for _ in range(FLOWS)
-    ]
+    pairs = [(rng.choice(west), rng.choice(east)) for _ in range(FLOWS)]
 
     print(
         f"{FLOWS} concurrent west->east flows across an FA network "
@@ -62,16 +52,8 @@ def main(seed: int = 6) -> None:
     )
     print(header)
     print("-" * len(header))
-    routers = {
-        "GF": GreedyRouter(
-            graph, recovery="boundhole", hole_boundaries=boundaries
-        ),
-        "LGF": LgfRouter(graph, candidate_scope="quadrant"),
-        "SLGF": SlgfRouter(model, candidate_scope="quadrant"),
-        "SLGF2": Slgf2Router(model),
-    }
-    for name, router in routers.items():
-        results = [router.route(s, d) for s, d in pairs]
+    for name in session.routers:
+        results = [session.route(s, d, router=name) for s, d in pairs]
         report = analyze_flows(graph, results)
         print(
             f"{name:7s} {report.delivered:4d}/{report.flows:<2d}"

@@ -1,83 +1,71 @@
 #!/usr/bin/env python3
-"""Quickstart: deploy a WASN, build the safety model, route a packet.
+"""Quickstart: describe a WASN scenario, open a session, route packets.
 
-Walks through the full pipeline on one random network:
+The whole pipeline behind two calls of the public API:
 
-1. deploy 400 sensors uniformly in a 200 m x 200 m interest area
-   (the paper's IA model);
-2. build the unit-disk graph and pin the hull as edge nodes;
-3. run the information construction (Definition 1 + Algorithm 2);
-4. route one packet with each of the four schemes and compare.
+1. a ``Scenario`` names the paper's IA setting declaratively (400
+   sensors, 200 m x 200 m interest area, 20 m radio range);
+2. a ``Session`` materialises it once — deployment, unit-disk graph,
+   information construction (Definition 1 + Algorithm 2), BOUNDHOLE
+   boundaries, one router per registered scheme;
+3. one packet goes through every scheme for comparison;
+4. the scenario's whole workload runs in a single ``run()`` call,
+   returning a ``RouteSet`` with the paper's aggregate metrics.
 
 Run:  python examples/quickstart.py [seed]
 """
 
-import random
 import sys
 
-from repro import (
-    GreedyRouter,
-    InformationModel,
-    LgfRouter,
-    Rect,
-    SlgfRouter,
-    Slgf2Router,
-    build_unit_disk_graph,
-)
-from repro.network import EdgeDetector, UniformDeployment
-from repro.protocols import build_hole_boundaries
+from repro.api import Scenario, Session
 
 
 def main(seed: int = 2) -> None:
-    rng = random.Random(seed)
-    area = Rect(0, 0, 200, 200)
-    radius = 20.0
-
-    # 1-2. Deploy and connect.
-    positions = UniformDeployment(area).sample(400, rng)
-    graph = build_unit_disk_graph(positions, radius)
-    graph = EdgeDetector(strategy="convex").apply(graph)
+    # 1-2. Declare the scenario; materialising the session builds the
+    # network and the information model exactly once.
+    scenario = Scenario(
+        deployment_model="IA",
+        node_count=400,
+        seed=seed,
+        routes_per_network=20,
+    )
+    session = Session(scenario)
+    graph = session.graph
     print(
         f"deployed {len(graph)} nodes, {graph.edge_count()} links, "
         f"average degree {graph.average_degree():.1f}"
     )
-
-    # 3. Information construction.
-    model = InformationModel.build(graph)
     print(
         "fully-safe nodes: "
-        f"{model.safety.safe_fraction() * 100:.0f}% "
-        f"(labeling took {model.safety.rounds} rounds)"
+        f"{session.model.safety.safe_fraction() * 100:.0f}% "
+        f"(labeling took {session.model.safety.rounds} rounds)"
     )
 
-    # Pick a connected source/destination pair.
-    component = sorted(graph.connected_components()[0])
-    source, destination = rng.sample(component, 2)
+    # 3. Route one packet with every registered scheme.
+    source, destination = session.sample_pairs(1)[0]
+    line = graph.position(source).distance_to(graph.position(destination))
     print(
         f"\nrouting node {source} -> node {destination} "
-        f"(straight line: "
-        f"{graph.position(source).distance_to(graph.position(destination)):.0f} m)"
+        f"(straight line: {line:.0f} m)"
     )
-
-    # 4. Route with all four schemes.
-    boundaries = build_hole_boundaries(graph)
-    routers = {
-        "GF   ": GreedyRouter(
-            graph, recovery="boundhole", hole_boundaries=boundaries
-        ),
-        "LGF  ": LgfRouter(graph, candidate_scope="quadrant"),
-        "SLGF ": SlgfRouter(model, candidate_scope="quadrant"),
-        "SLGF2": Slgf2Router(model),
-    }
-    for name, router in routers.items():
-        result = router.route(source, destination)
+    for name, result in session.route_all(source, destination).items():
         phases = ", ".join(
             f"{phase}={hops}" for phase, hops in result.phase_hops().items()
         )
         status = "ok " if result.delivered else "FAIL"
         print(
-            f"  {name} [{status}] {result.hops:3d} hops, "
+            f"  {name:5s} [{status}] {result.hops:3d} hops, "
             f"{result.length:6.1f} m  ({phases})"
+        )
+
+    # 4. The scenario's full workload, with lazy aggregates.
+    routes = session.run()
+    print(f"\nworkload: {len(routes)} routed packets")
+    for name, agg in routes.aggregates().items():
+        print(
+            f"  {name:5s} delivery {agg.delivery_rate * 100:5.1f}%  "
+            f"mean hops {agg.hops.mean:5.1f}  "
+            f"mean length {agg.length.mean:6.1f} m"
         )
 
 

@@ -6,9 +6,10 @@ that require a streaming service to deliver large amount of data" —
 every detour hop costs transmission energy and interferes with other
 flows for the *whole stream*, not just one packet.
 
-This example sets up a long-lived stream across an FA network with a
-large obstacle between source and sink, then accounts a 10,000-packet
-stream per routing scheme:
+A ``Scenario`` with an explicit obstacle sets up the hard case (a wide
+forbidden strip between source and sink); a live ``EnergyMeter``
+attached through the ``on_hop`` routing hook accounts a 10,000-packet
+stream per scheme:
 
 * total transmissions (hops x packets);
 * total radio energy (first-order radio model, 1 kbit packets);
@@ -20,55 +21,31 @@ Run:  python examples/streaming_service.py [seed]
 import random
 import sys
 
-from repro import InformationModel, Rect, build_unit_disk_graph
-from repro.network import EdgeDetector, RectObstacle, UniformDeployment
-from repro.protocols import build_hole_boundaries
-from repro.routing import (
-    GreedyRouter,
-    LgfRouter,
-    RadioEnergyModel,
-    SlgfRouter,
-    Slgf2Router,
-    interference_footprint,
-    path_energy,
-)
+from repro.api import EnergyMeter, Scenario, connected_session
+from repro.geometry import Rect
+from repro.network import RectObstacle
+from repro.routing import interference_footprint
 
 PACKETS = 10_000
 PACKET_BITS = 1_000
 
 
-def build_network(seed: int):
-    """FA-style network: a wide obstacle across the middle."""
-    area = Rect(0, 0, 200, 200)
-    obstacle = RectObstacle(Rect(40, 80, 160, 120))
-    for attempt in range(seed, seed + 50):
-        rng = random.Random(attempt)
-        positions = UniformDeployment(area, (obstacle,)).sample(450, rng)
-        graph = build_unit_disk_graph(positions, 20.0)
-        graph = EdgeDetector(strategy="convex").apply(graph)
-        if graph.is_connected():
-            return graph, obstacle
-    raise RuntimeError("no connected deployment found")
-
-
-def pick_endpoints(graph, rng):
-    """A south-side source streaming to a north-side sink."""
-    south = [
-        u for u in graph.node_ids if graph.position(u).y < 40
-    ]
-    north = [
-        u for u in graph.node_ids if graph.position(u).y > 160
-    ]
-    return rng.choice(south), rng.choice(north)
-
-
 def main(seed: int = 3) -> None:
-    graph, obstacle = build_network(seed)
+    scenario = Scenario(
+        deployment_model="FA",
+        node_count=450,
+        seed=seed,
+        obstacles=(RectObstacle(Rect(40, 80, 160, 120)),),
+        packet_bits=PACKET_BITS,
+    )
+    session = connected_session(scenario)
+    graph = session.graph
+
+    # A south-side source streaming to a north-side sink.
     rng = random.Random(seed)
-    source, sink = pick_endpoints(graph, rng)
-    model = InformationModel.build(graph)
-    boundaries = build_hole_boundaries(graph)
-    energy_model = RadioEnergyModel()
+    south = [u for u in graph.node_ids if graph.position(u).y < 40]
+    north = [u for u in graph.node_ids if graph.position(u).y > 160]
+    source, sink = rng.choice(south), rng.choice(north)
 
     print(
         f"stream: node {source} (south) -> node {sink} (north), "
@@ -81,24 +58,17 @@ def main(seed: int = 3) -> None:
     print(header)
     print("-" * len(header))
 
-    routers = {
-        "GF": GreedyRouter(
-            graph, recovery="boundhole", hole_boundaries=boundaries
-        ),
-        "LGF": LgfRouter(graph, candidate_scope="quadrant"),
-        "SLGF": SlgfRouter(model, candidate_scope="quadrant"),
-        "SLGF2": Slgf2Router(model),
-    }
     baseline = None
-    for name, router in routers.items():
-        result = router.route(source, sink)
+    for name in session.routers:
+        # The meter rides the hop hook: per-packet energy accumulates
+        # while the packet is in flight, no post-hoc path walk needed.
+        meter = EnergyMeter(bits=PACKET_BITS)
+        result = session.route(source, sink, router=name, on_hop=meter.on_hop)
         if not result.delivered:
             print(f"{name:7s} failed: {result.failure_reason}")
             continue
         stream_tx = result.hops * PACKETS
-        energy = PACKETS * path_energy(
-            result, graph, bits=PACKET_BITS, model=energy_model
-        )
+        energy = PACKETS * meter.total_j
         overhearers = interference_footprint(result, graph)
         print(
             f"{name:7s} {result.hops:5d} {result.length:8.1f} "

@@ -45,7 +45,23 @@ from repro.routing import (
     Slgf2Router,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+# Facade names resolve lazily (PEP 562): the facade pulls in the whole
+# experiments harness, and `import repro` for geometry/routing alone
+# should not pay for it.
+_API_EXPORTS = frozenset(
+    {"RouteSet", "Scenario", "Session", "register_router", "run_scenario"}
+)
+
+
+def __getattr__(name: str):
+    if name in _API_EXPORTS:
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "GreedyRouter",
@@ -54,12 +70,17 @@ __all__ = [
     "Point",
     "Rect",
     "RouteResult",
+    "RouteSet",
     "Router",
     "SafetyModel",
+    "Scenario",
+    "Session",
     "ShapeModel",
     "SlgfRouter",
     "Slgf2Router",
     "WasnGraph",
     "build_unit_disk_graph",
+    "register_router",
+    "run_scenario",
     "__version__",
 ]

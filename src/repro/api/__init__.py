@@ -1,0 +1,84 @@
+"""repro.api — the public facade over the whole reproduction stack.
+
+Every consumer (CLI, examples, experiment engine, visualisation,
+tests) drives the system through three ideas:
+
+* a **router registry** (:data:`default_registry`,
+  :func:`register_router`): routing schemes are discoverable by name,
+  accept per-scheme options, and third-party schemes plug into sweeps,
+  caching, reports and figure legends with no harness edits;
+* a declarative :class:`Scenario` plus a :class:`Session` facade:
+  describe the network once, materialise it once, then
+  ``route``/``route_pairs``/``run`` against it;
+* **instrumentation hooks**: :class:`TraceRecorder` /
+  :class:`EnergyMeter` attach to any route call via ``on_hop`` /
+  ``on_phase_change`` — no subclassing.
+
+Quickstart::
+
+    from repro.api import Scenario, Session
+
+    session = Session(Scenario(deployment_model="IA", node_count=400,
+                               seed=7))
+    print(session.route_all(*session.sample_pairs(1)[0]))
+
+    routes = session.run()              # the scenario's workload
+    print(routes.aggregate("SLGF2").hops.mean)
+
+Registering a fifth scheme::
+
+    from repro.api import register_router
+
+    @register_router("GF-FACE", order=4)
+    def build_gf_face(instance, **kwargs):
+        return GreedyRouter(instance.graph, recovery="face", **kwargs)
+
+See ``docs/API.md`` for the full tour.
+"""
+
+from repro.api.instruments import EnergyMeter, TraceRecorder
+from repro.api.registry import (
+    RegistryRouterFactory,
+    RouterRegistry,
+    RouterSpec,
+    default_registry,
+    register_router,
+    router_order,
+)
+from repro.api.routeset import RouteSet, RouterAggregate
+from repro.api.scenario import (
+    MobilitySchedule,
+    NodesFailure,
+    RandomFailure,
+    RegionFailure,
+    Scenario,
+)
+from repro.api.session import Session, connected_session, run_scenario
+from repro.api.sweeps import sweep, sweeps
+from repro.routing.base import HopEvent, PacketTrace, RouteResult
+
+__all__ = [
+    "EnergyMeter",
+    "HopEvent",
+    "MobilitySchedule",
+    "NodesFailure",
+    "PacketTrace",
+    "RandomFailure",
+    "RegionFailure",
+    "RegistryRouterFactory",
+    "RouteResult",
+    "RouteSet",
+    "RouterAggregate",
+    "RouterRegistry",
+    "RouterSpec",
+    "Scenario",
+    "Session",
+    "TraceRecorder",
+    "connected_session",
+    "default_registry",
+    "register_router",
+    "router_order",
+    "run_scenario",
+    "sweep",
+    "sweeps",
+]

@@ -1,0 +1,457 @@
+"""The Session facade: one materialised network, ready to route.
+
+A :class:`Session` turns a declarative
+:class:`~repro.api.scenario.Scenario` into a concrete network exactly
+once — deployment, unit-disk graph, edge detection, failure schedule,
+information construction, hole boundaries, routers — and then answers
+routing questions against it:
+
+* :meth:`Session.route` — one packet through one scheme (with
+  optional hop-level observers);
+* :meth:`Session.route_pairs` — a batch of random pairs through any
+  subset of schemes;
+* :meth:`Session.run` — the scenario's full workload, returning a
+  :class:`~repro.api.routeset.RouteSet` with lazy aggregates.
+
+:func:`run_scenario` evaluates a multi-network scenario (one Session
+per network, merged), and is bit-identical to the legacy
+:func:`repro.experiments.runner.evaluate_point` pipeline for plain
+IA/FA scenarios — the golden tests pin this.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Sequence
+
+from repro.api.registry import RouterRegistry, default_registry
+from repro.api.routeset import RouteSet
+from repro.api.scenario import (
+    NodesFailure,
+    RandomFailure,
+    RegionFailure,
+    Scenario,
+)
+from repro.core.model import InformationModel
+from repro.experiments.runner import _network_seed
+from repro.experiments.workload import sample_pairs
+from repro.geometry import Point
+from repro.network.edges import EdgeDetector
+from repro.network.failures import fail_nodes, fail_region
+from repro.network.deployment import (
+    UniformDeployment,
+    deploy_forbidden_area_model,
+    deploy_uniform_model,
+)
+from repro.network.graph import WasnGraph, build_unit_disk_graph
+from repro.network.mobility import RandomWaypointMobility
+from repro.network.node import NodeId
+from repro.protocols.boundhole import build_hole_boundaries
+from repro.routing import RouteResult, Router
+from repro.routing.base import OnHop, OnPhaseChange
+from repro.routing.metrics import path_energy
+
+__all__ = ["Session", "connected_session", "run_scenario"]
+
+
+def _apply_failures(
+    graph: WasnGraph, scenario: Scenario, rng: random.Random
+) -> WasnGraph:
+    """Run the scenario's failure schedule, in order.
+
+    Events apply sequentially to the surviving graph; a
+    :class:`NodesFailure` naming a node that is not (or no longer)
+    present raises ``KeyError`` — a typo'd id silently failing nothing
+    would fake a "with failures" run.
+    """
+    for event in scenario.failures:
+        if isinstance(event, RegionFailure):
+            graph, _ = fail_region(
+                graph,
+                (Point(event.x, event.y), event.radius),
+                protect=event.protect,
+            )
+        elif isinstance(event, NodesFailure):
+            graph = fail_nodes(graph, event.nodes)
+        elif isinstance(event, RandomFailure):
+            protected = set(event.protect)
+            pool = [u for u in graph.node_ids if u not in protected]
+            count = min(event.count, len(pool))
+            graph = fail_nodes(graph, rng.sample(pool, count))
+        else:
+            raise TypeError(
+                f"unknown failure spec {event!r}; expected RegionFailure, "
+                "NodesFailure or RandomFailure"
+            )
+    return graph
+
+
+class _PreparedNetwork:
+    """A routable network with lazily built information bases.
+
+    Satisfies the registry's
+    :class:`~repro.api.registry.RoutableNetwork` protocol like the
+    eager ``NetworkInstance``, but defers the information model
+    (Algorithm 2) and the BOUNDHOLE boundary walks until a router or
+    caller actually touches them — a session selecting only LGF never
+    pays for either.  Laziness cannot change any value: both are pure
+    functions of the (already fixed) graph.
+    """
+
+    def __init__(
+        self,
+        graph: WasnGraph,
+        deployment_model: str,
+        seed: int,
+    ) -> None:
+        self.graph = graph
+        self.deployment_model = deployment_model
+        self.seed = seed
+        self._model: InformationModel | None = None
+        self._boundaries = None
+
+    @property
+    def model(self) -> InformationModel:
+        if self._model is None:
+            self._model = InformationModel.build(self.graph)
+        return self._model
+
+    @property
+    def boundaries(self):
+        if self._boundaries is None:
+            self._boundaries = build_hole_boundaries(self.graph)
+        return self._boundaries
+
+
+def _materialise(scenario: Scenario, network_index: int) -> _PreparedNetwork:
+    """Build network ``network_index`` of a scenario, deterministically.
+
+    Seed derivation and graph construction replicate the legacy
+    :func:`~repro.experiments.workload.build_network` step for step
+    (same RNG stream, same deployment, same edge detection) — that is
+    the bit-identity bridge the golden tests pin.  Failure schedules
+    slot in between graph construction and edge detection, so the
+    surviving network is what re-runs its hull detection and
+    information construction, exactly as a deployed WASN would.
+    """
+    if scenario.mobility is not None:
+        # A mobile scenario has no meaningful static network; routing
+        # it as one would report static numbers under a mobile label.
+        raise ValueError(
+            "mobile scenarios route per topology snapshot; iterate "
+            "Session.epochs() instead of the static routing calls"
+        )
+    config = scenario.to_config()
+    seed = _network_seed(
+        config, scenario.deployment_model, scenario.node_count, network_index
+    )
+    rng = random.Random(seed)
+    if scenario.obstacles:
+        # Explicit shapes replace the FA model's random field.
+        deployment = UniformDeployment(scenario.area, scenario.obstacles)
+        positions = list(deployment.sample(scenario.node_count, rng))
+    elif scenario.deployment_model == "FA":
+        positions = list(
+            deploy_forbidden_area_model(
+                scenario.node_count,
+                scenario.area,
+                rng,
+                obstacle_count=scenario.obstacle_count,
+                min_obstacle_size=scenario.min_obstacle_size,
+                max_obstacle_size=scenario.max_obstacle_size,
+            ).positions
+        )
+    else:
+        positions = list(
+            deploy_uniform_model(
+                scenario.node_count, scenario.area, rng
+            ).positions
+        )
+    graph = build_unit_disk_graph(positions, scenario.radius)
+    graph = _apply_failures(graph, scenario, rng)
+    graph = EdgeDetector(strategy="convex").apply(graph)
+    return _PreparedNetwork(graph, scenario.deployment_model, seed)
+
+
+class Session:
+    """One prepared network plus its routers, behind a small facade.
+
+    The expensive work (deployment, information model, hole
+    boundaries, router setup) happens lazily on first use and exactly
+    once; every routing call afterwards is cheap and deterministic.
+    Laziness matters for mobility scenarios, whose epochs build their
+    own per-snapshot networks and never touch the static one.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario | None = None,
+        network_index: int = 0,
+        registry: RouterRegistry | None = None,
+        _instance: "_PreparedNetwork | None" = None,
+    ) -> None:
+        self.scenario = scenario if scenario is not None else Scenario()
+        self.network_index = network_index
+        self._registry = (
+            registry if registry is not None else default_registry
+        )
+        self._instance_cache = _instance
+        self._routers_cache: dict[str, Router] | None = None
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: WasnGraph,
+        scenario: Scenario | None = None,
+        seed: int = 0,
+        registry: RouterRegistry | None = None,
+    ) -> "Session":
+        """Session over an already-built graph (mobility snapshots,
+        externally generated topologies).  The information model and
+        hole boundaries are built lazily, on first need; the scenario
+        contributes router selection and workload parameters only."""
+        scenario = scenario if scenario is not None else Scenario()
+        instance = _PreparedNetwork(
+            graph, scenario.deployment_model, seed
+        )
+        return cls(
+            scenario,
+            network_index=0,
+            registry=registry,
+            _instance=instance,
+        )
+
+    # -- materialised state ---------------------------------------------
+
+    @property
+    def instance(self) -> _PreparedNetwork:
+        """The prepared network (graph + lazy information bases)."""
+        if self._instance_cache is None:
+            self._instance_cache = _materialise(
+                self.scenario, self.network_index
+            )
+        return self._instance_cache
+
+    @property
+    def graph(self) -> WasnGraph:
+        return self.instance.graph
+
+    @property
+    def model(self) -> InformationModel:
+        return self.instance.model
+
+    @property
+    def boundaries(self):
+        return self.instance.boundaries
+
+    def _router_map(self) -> dict[str, Router]:
+        if self._routers_cache is None:
+            self._routers_cache = self._registry.build(
+                self.instance,
+                names=self.scenario.routers or None,
+                options=self.scenario.router_options,
+            )
+        return self._routers_cache
+
+    @property
+    def routers(self) -> dict[str, Router]:
+        """Name -> constructed router, in registry (legend) order."""
+        return dict(self._router_map())
+
+    def router(self, name: str | None = None) -> Router:
+        """One router by name (or the only one, if just one is set)."""
+        routers = self._router_map()
+        if name is None:
+            if len(routers) == 1:
+                return next(iter(routers.values()))
+            raise ValueError(
+                "session has several routers "
+                f"({', '.join(routers)}); name one"
+            )
+        try:
+            return routers[name]
+        except KeyError:
+            known = ", ".join(routers)
+            raise KeyError(
+                f"router {name!r} not in this session; present: {known}"
+            ) from None
+
+    def connected(self) -> bool:
+        """Whether the materialised graph is one component."""
+        return self.graph.is_connected()
+
+    # -- routing --------------------------------------------------------
+
+    def route(
+        self,
+        source: NodeId,
+        destination: NodeId,
+        router: str | None = None,
+        on_hop: OnHop | None = None,
+        on_phase_change: OnPhaseChange | None = None,
+    ) -> RouteResult:
+        """Route one packet (hop observers pass straight through)."""
+        return self.router(router).route(
+            source,
+            destination,
+            on_hop=on_hop,
+            on_phase_change=on_phase_change,
+        )
+
+    def route_all(
+        self, source: NodeId, destination: NodeId
+    ) -> dict[str, RouteResult]:
+        """One packet through every configured scheme."""
+        return {
+            name: router.route(source, destination)
+            for name, router in self._router_map().items()
+        }
+
+    def sample_pairs(
+        self, count: int | None = None
+    ) -> list[tuple[NodeId, NodeId]]:
+        """The scenario's deterministic source-destination pairs.
+
+        Re-entrant: every call re-derives the same pair stream (the
+        legacy harness's ``seed + 1`` derivation), so repeated batches
+        are replays, not fresh draws.
+        """
+        if count is None:
+            count = self.scenario.routes_per_network
+        pair_rng = random.Random(self.instance.seed + 1)
+        return sample_pairs(self.graph, count, pair_rng)
+
+    def route_pairs(
+        self,
+        count: int | None = None,
+        routers: Sequence[str] | None = None,
+        energy: bool = False,
+    ) -> RouteSet:
+        """Route a batch of sampled pairs through the selected schemes.
+
+        Iteration order (router-major, pairs inner) and pair sampling
+        replicate the legacy ``evaluate_network`` loop exactly.
+        ``energy=True`` additionally folds per-route radio energy
+        (``scenario.packet_bits`` bits) into the set — off by default,
+        since it costs an extra O(hops) walk per route that most
+        workloads never read.
+        """
+        pairs = self.sample_pairs(count)
+        selected = (
+            tuple(self._router_map()) if routers is None else tuple(routers)
+        )
+        out = RouteSet()
+        for name in selected:
+            router = self.router(name)
+            for s, d in pairs:
+                result = router.route(s, d)
+                out.add(
+                    result,
+                    energy=(
+                        path_energy(
+                            result,
+                            self.graph,
+                            bits=self.scenario.packet_bits,
+                        )
+                        if energy
+                        else None
+                    ),
+                    # Group under the registry name (the legend name),
+                    # which may differ from the scheme's own label.
+                    router=name,
+                )
+        return out
+
+    def run(self) -> RouteSet:
+        """The scenario's full per-network workload."""
+        return self.route_pairs()
+
+    # -- mobility -------------------------------------------------------
+
+    def epochs(self) -> Iterator["Session"]:
+        """Sessions over the mobility schedule's topology snapshots.
+
+        Each epoch rebuilds the information model on the drifted
+        topology (the paper's periodic beaconing); routers are
+        reconstructed per snapshot.  Requires ``scenario.mobility``.
+        """
+        schedule = self.scenario.mobility
+        if schedule is None:
+            raise ValueError("scenario has no mobility schedule")
+        seed = self._walker_seed()
+        walker = RandomWaypointMobility(
+            self.scenario.area,
+            self.scenario.node_count,
+            random.Random(seed),
+            speed=(schedule.speed_min, schedule.speed_max),
+            pause=schedule.pause,
+        )
+        for epoch, graph in enumerate(
+            walker.topology_stream(
+                self.scenario.radius, schedule.dt, schedule.epochs
+            )
+        ):
+            yield Session.from_graph(
+                EdgeDetector(strategy="convex").apply(graph),
+                self.scenario,
+                seed=seed + 1 + epoch,
+                registry=self._registry,
+            )
+
+    def _walker_seed(self) -> int:
+        """The session's network seed, derived without materialising.
+
+        Equals ``instance.seed`` for scenario-built sessions; mobility
+        epochs use it so a mobile scenario never pays for the static
+        network it will not route on.
+        """
+        if self._instance_cache is not None:
+            return self._instance_cache.seed
+        return _network_seed(
+            self.scenario.to_config(),
+            self.scenario.deployment_model,
+            self.scenario.node_count,
+            self.network_index,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Session({self.scenario.deployment_model}, "
+            f"n={self.scenario.node_count}, network={self.network_index}, "
+            f"routers=[{', '.join(self.scenario.routers) or 'all'}])"
+        )
+
+
+def run_scenario(
+    scenario: Scenario, registry: RouterRegistry | None = None
+) -> RouteSet:
+    """Evaluate a scenario across all its networks, merged in order.
+
+    For plain IA/FA scenarios this reproduces the legacy
+    ``evaluate_point`` numbers bit-identically (per-network seeds,
+    pair streams and aggregation order all match).
+    """
+    merged = RouteSet()
+    for index in range(scenario.networks):
+        merged.merge(Session(scenario, index, registry=registry).run())
+    return merged
+
+
+def connected_session(
+    scenario: Scenario,
+    attempts: int = 50,
+    registry: RouterRegistry | None = None,
+) -> Session:
+    """First session (by network index) whose graph is connected.
+
+    The facade form of the examples' old retry loops: network index
+    varies the per-network seed, so trying successive indices is the
+    deterministic way to find a connected deployment.
+    """
+    for index in range(attempts):
+        session = Session(scenario, index, registry=registry)
+        if session.connected():
+            return session
+    raise RuntimeError(
+        f"no connected deployment in {attempts} attempts for {scenario}"
+    )

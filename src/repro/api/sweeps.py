@@ -1,0 +1,58 @@
+"""API-level density sweeps: the figure pipeline behind one call.
+
+Thin, registry-aware wrappers over
+:func:`repro.experiments.sweep.run_sweeps`: callers pick routers by
+registered name (any scheme added via
+:func:`~repro.api.registry.register_router` included) and the wrapper
+supplies the :class:`~repro.api.registry.RegistryRouterFactory` whose
+cache fingerprint keys the result cache on exactly that selection.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.api.registry import RegistryRouterFactory, RouterRegistry
+from repro.experiments.cache import ResultCache
+from repro.experiments.config import QUICK_CONFIG, ExperimentConfig
+from repro.experiments.engine import Progress
+from repro.experiments.sweep import SweepResult, run_sweeps
+
+__all__ = ["sweep", "sweeps"]
+
+
+def sweeps(
+    config: ExperimentConfig | None = None,
+    models: Sequence[str] = ("IA", "FA"),
+    routers: Sequence[str] | None = None,
+    router_options: Mapping[str, Mapping] | None = None,
+    progress: Progress | None = None,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+    registry: RouterRegistry | None = None,
+) -> dict[str, SweepResult]:
+    """Density sweeps for several deployment models, by router name.
+
+    ``routers=None`` evaluates every registered scheme; the default
+    config is the quick (laptop-scale) one.
+    """
+    factory = RegistryRouterFactory(
+        names=routers, options=router_options, registry=registry
+    )
+    return run_sweeps(
+        config if config is not None else QUICK_CONFIG,
+        models,
+        router_factory=factory,
+        progress=progress,
+        jobs=jobs,
+        cache=cache,
+    )
+
+
+def sweep(
+    config: ExperimentConfig | None = None,
+    model: str = "IA",
+    **kwargs,
+) -> SweepResult:
+    """One deployment model's sweep (see :func:`sweeps`)."""
+    return sweeps(config, (model,), **kwargs)[model]

@@ -6,16 +6,21 @@ figure tables::
     repro-wasn --quick                 # reduced sweep, tables to stdout
     repro-wasn --full --csv-dir out/   # paper-scale sweep + CSV files
     repro-wasn --figures fig6 --models FA
+    repro-wasn --routers GF SLGF2      # any registered schemes
+    repro-wasn --list-routers          # what the registry knows
     repro-wasn --full --jobs 8         # 8 worker processes
     repro-wasn --full                  # second run: served from cache
+
+The CLI drives everything through :mod:`repro.api`: router selection
+is by registered name (schemes added via
+:func:`repro.api.register_router` appear automatically), and sweeps
+run through the registry-aware :func:`repro.api.sweeps` wrapper so
+the result cache keys on the exact scheme selection.
 
 Sweep points are cached under ``.repro_cache/`` (override with
 ``--cache-dir`` or ``REPRO_CACHE_DIR``; disable with ``--no-cache`` or
 ``REPRO_CACHE=0``), so re-running a sweep only computes missing
 points.  Worker count defaults to ``REPRO_JOBS`` (or 1).
-
-The same functionality is available programmatically via
-:mod:`repro.experiments`.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.api import default_registry, sweeps
 from repro.experiments import (
     PAPER_CONFIG,
     QUICK_CONFIG,
@@ -32,7 +38,6 @@ from repro.experiments import (
     figure_table,
     format_table,
     resolve_jobs,
-    run_sweeps,
     to_chart,
     to_csv,
     to_json,
@@ -74,6 +79,21 @@ def _parser() -> argparse.ArgumentParser:
         default=["IA", "FA"],
         choices=["IA", "FA"],
         help="deployment models (panels) to evaluate",
+    )
+    parser.add_argument(
+        "--routers",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help=(
+            "routing schemes to evaluate, by registered name "
+            "(default: all; see --list-routers)"
+        ),
+    )
+    parser.add_argument(
+        "--list-routers",
+        action="store_true",
+        help="list the registered routing schemes and exit",
     )
     parser.add_argument(
         "--jobs",
@@ -125,26 +145,40 @@ def _resolve_cache(args: argparse.Namespace) -> ResultCache | None:
     return default_cache()
 
 
+def _list_routers() -> None:
+    width = max(len(name) for name in default_registry.names())
+    for spec in default_registry.specs():
+        print(f"  {spec.name:<{width}}  {spec.description}")
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point: run sweeps and print/persist the figure panels."""
     parser = _parser()
     args = parser.parse_args(argv)
+    if args.list_routers:
+        _list_routers()
+        return 0
     config = PAPER_CONFIG if args.full else QUICK_CONFIG
     cache = _resolve_cache(args)
     try:
         jobs = resolve_jobs(args.jobs)
     except ValueError as error:
         parser.error(str(error))  # exits 2 with usage, no traceback
+    if args.routers is not None:
+        message = default_registry.describe_unknown(args.routers)
+        if message:
+            parser.error(message)
 
-    sweeps = run_sweeps(
+    results = sweeps(
         config,
         args.models,
+        routers=args.routers,
         progress=lambda line: print(line, file=sys.stderr),
         jobs=jobs,
         cache=cache,
     )
     for model in args.models:
-        sweep = sweeps[model]
+        sweep = results[model]
         for figure_id in args.figures:
             table = figure_table(sweep, figure_id)
             print()

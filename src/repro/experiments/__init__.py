@@ -42,7 +42,6 @@ from repro.experiments.figures import (
 )
 from repro.experiments.report import format_table, to_chart, to_csv, to_json
 from repro.experiments.runner import (
-    ROUTER_ORDER,
     PointResult,
     RouteTally,
     RouterPointMetrics,
@@ -50,6 +49,25 @@ from repro.experiments.runner import (
     evaluate_network,
     evaluate_point,
 )
+
+
+def __getattr__(name: str):
+    # Deprecated re-export.  Warns from here (not via runner's shim)
+    # so stacklevel=2 points at the user's attribute access, not at
+    # this delegation frame.
+    if name == "ROUTER_ORDER":
+        import warnings
+
+        from repro.api.registry import default_registry
+
+        warnings.warn(
+            "repro.experiments.ROUTER_ORDER is deprecated; use "
+            "repro.api.router_order() (the registry's legend order)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return default_registry.names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 from repro.experiments.sweep import SweepResult, run_sweep, run_sweeps
 from repro.experiments.workload import (
     NetworkInstance,
@@ -57,6 +75,8 @@ from repro.experiments.workload import (
     sample_pairs,
 )
 
+# "ROUTER_ORDER" is deliberately not listed: it resolves via the
+# deprecation __getattr__ so `import *` stays warning-free.
 __all__ = [
     "FIGURES",
     "ExperimentConfig",
@@ -66,7 +86,6 @@ __all__ = [
     "PAPER_CONFIG",
     "PointResult",
     "QUICK_CONFIG",
-    "ROUTER_ORDER",
     "ResultCache",
     "RouteTally",
     "RouterPointMetrics",

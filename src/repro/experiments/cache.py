@@ -32,7 +32,6 @@ computes such units without caching.
 from __future__ import annotations
 
 import hashlib
-import inspect
 import json
 import os
 from dataclasses import dataclass, field
@@ -136,6 +135,11 @@ def _package_root() -> Path:
     return Path(repro.__file__).resolve().parent
 
 
+# Sentinel distinguishing "no cache_fingerprint attribute" from an
+# explicit cache_fingerprint of None (= declared uncacheable).
+_NO_FINGERPRINT = object()
+
+
 def factory_fingerprint(router_factory: Callable) -> str | None:
     """Stable identity of a router factory, or ``None`` if it has none.
 
@@ -149,28 +153,25 @@ def factory_fingerprint(router_factory: Callable) -> str | None:
     user-supplied factory (or the routers it builds in that module)
     invalidates its cached points just like editing package code does.
     An external factory whose source cannot be read is not cacheable.
+
+    A factory may also speak for itself through a ``cache_fingerprint``
+    attribute (``str`` for a stable identity, ``None`` for "do not
+    cache me"), which takes precedence over introspection.  That is
+    how :class:`repro.api.RegistryRouterFactory` folds the registry's
+    identity — selected scheme names, their factories' sources and
+    per-scheme options — into the cache key, so third-party routers
+    cache correctly.
     """
-    module = getattr(router_factory, "__module__", None)
-    qualname = getattr(router_factory, "__qualname__", None)
-    if not module or not qualname:
-        return None
-    if "<lambda>" in qualname or "<locals>" in qualname:
-        return None
-    try:
-        source = inspect.getsourcefile(router_factory)
-    except TypeError:
-        return None
-    if source is None:
-        return None
-    path = Path(source).resolve()
-    if path.is_relative_to(_package_root()):
-        # Package code is already covered by the sweep-wide digest.
-        return f"{module}:{qualname}"
-    try:
-        digest = hashlib.sha256(path.read_bytes()).hexdigest()
-    except OSError:
-        return None
-    return f"{module}:{qualname}:{digest}"
+    declared = getattr(router_factory, "cache_fingerprint", _NO_FINGERPRINT)
+    if declared is not _NO_FINGERPRINT:
+        return declared
+    # One set of identity rules for the whole system: the registry owns
+    # the introspection (module:qualname, lambda/closure rejection,
+    # external-source digest) and this layer reuses it, so a factory is
+    # judged cacheable the same way however it reaches the engine.
+    from repro.api.registry import _factory_identity
+
+    return _factory_identity(router_factory)
 
 
 def point_key(

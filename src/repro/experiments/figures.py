@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.runner import ROUTER_ORDER
+from repro.api.registry import router_order
 from repro.experiments.sweep import SweepResult
 
 __all__ = [
@@ -75,7 +75,9 @@ def figure_table(sweep: SweepResult, figure_id: str) -> FigureTable:
             f"unknown figure {figure_id!r}; expected one of {sorted(FIGURES)}"
         )
     metric, title = FIGURES[figure_id]
-    routers = tuple(r for r in ROUTER_ORDER if r in sweep.routers())
+    # Legend order comes from the router registry, so a scheme
+    # registered via repro.api slots into every figure automatically.
+    routers = tuple(r for r in router_order() if r in sweep.routers())
     extras = tuple(r for r in sweep.routers() if r not in routers)
     routers += extras
     return FigureTable(

@@ -18,6 +18,7 @@ that merge back deterministically.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -28,17 +29,12 @@ from repro.experiments.workload import (
     build_network,
     sample_pairs,
 )
-from repro.routing import (
-    GreedyRouter,
-    LgfRouter,
-    RouteResult,
-    Router,
-    SlgfRouter,
-    Slgf2Router,
-)
+from repro.routing import RouteResult, Router
 
+# ROUTER_ORDER is deliberately absent from __all__: it resolves through
+# the deprecation __getattr__ below, and star-imports must not trip the
+# warning for importers that never use the name.
 __all__ = [
-    "ROUTER_ORDER",
     "PointResult",
     "RouteTally",
     "RouterPointMetrics",
@@ -47,30 +43,83 @@ __all__ = [
     "evaluate_point",
 ]
 
-# Presentation order, matching the paper's figure legends.
-ROUTER_ORDER = ("GF", "LGF", "SLGF", "SLGF2")
-
 RouterFactory = Callable[[NetworkInstance], dict[str, Router]]
 
 
-def default_routers(instance: NetworkInstance) -> dict[str, Router]:
-    """The four schemes exactly as Section 5 evaluates them.
+class _DefaultRouterFactory:
+    """The ``default_routers`` shim: every registered scheme.
 
-    GF gets BOUNDHOLE boundary information ("boundary information [5]
-    is constructed for GF routings"); LGF/SLGF run quadrant-scoped
-    (the prose definition of blocking — DESIGN.md note 1); SLGF2 runs
-    with its defaults.
+    A callable instance rather than a function so its cache identity
+    can be *live*: the output depends on the registry's current
+    contents (a third-party ``@register_router`` adds a scheme), so
+    the fingerprint must too — a name-only fingerprint would let a
+    warm cache serve four-scheme points after a fifth scheme was
+    registered.
     """
-    return {
-        "GF": GreedyRouter(
-            instance.graph,
-            recovery="boundhole",
-            hole_boundaries=instance.boundaries,
-        ),
-        "LGF": LgfRouter(instance.graph, candidate_scope="quadrant"),
-        "SLGF": SlgfRouter(instance.model, candidate_scope="quadrant"),
-        "SLGF2": Slgf2Router(instance.model),
-    }
+
+    # Registry imports stay local: the api package's own __init__
+    # imports this module (Session needs the seed derivation), so a
+    # module-level import here would be circular on first touch of
+    # either package.
+
+    def __call__(self, instance: NetworkInstance) -> dict[str, Router]:
+        from repro.api.registry import default_registry
+
+        return default_registry.build(instance)
+
+    @property
+    def cache_fingerprint(self) -> str | None:
+        """Digest of the registry's current schemes (see the cache)."""
+        from repro.api.registry import default_registry
+
+        return default_registry.fingerprint()
+
+    def __reduce__(self):
+        # Ship a *snapshot* of the current selection to worker
+        # processes, not this stateless shim: a spawn-started worker
+        # re-imports modules, so its registry may miss (or hold
+        # different same-name versions of) registrations made in the
+        # parent.  The snapshot is a fully constructed
+        # RegistryRouterFactory whose resolved specs — the factory
+        # functions themselves — pickle by reference, so workers build
+        # exactly the parent's schemes or fail loudly on import.
+        from repro.api.registry import RegistryRouterFactory
+
+        return (_restore_factory, (RegistryRouterFactory(),))
+
+    def __repr__(self) -> str:
+        return "default_routers"
+
+
+def _restore_factory(factory):
+    """Unpickle target for the shim's registry snapshot."""
+    return factory
+
+
+#: Deprecated shim: construction now lives in the router registry
+#: (:mod:`repro.api.registry`), where GF gets BOUNDHOLE boundary
+#: information, LGF/SLGF run quadrant-scoped, and SLGF2 runs with its
+#: defaults — exactly the historical behaviour.  Prefer
+#: :class:`repro.api.RegistryRouterFactory` (which also pins a name
+#: selection) in new code; this name remains for one release so
+#: existing callers keep working.
+default_routers = _DefaultRouterFactory()
+
+
+def __getattr__(name: str):
+    # PEP 562 shim: the hard-coded router tuple is gone; the legend
+    # order now comes from the registry, where new schemes join it.
+    if name == "ROUTER_ORDER":
+        from repro.api.registry import default_registry
+
+        warnings.warn(
+            "repro.experiments.runner.ROUTER_ORDER is deprecated; use "
+            "repro.api.router_order() (the registry's legend order)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return default_registry.names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)

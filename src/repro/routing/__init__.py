@@ -13,7 +13,15 @@ once per network, then ``route(source, destination)`` per packet,
 yielding a :class:`~repro.routing.base.RouteResult`.
 """
 
-from repro.routing.base import Phase, RouteResult, Router, RoutingError
+from repro.routing.base import (
+    MIN_TTL,
+    HopEvent,
+    PacketTrace,
+    Phase,
+    RouteResult,
+    Router,
+    RoutingError,
+)
 from repro.routing.greedy import GreedyRouter, HoleBoundaries
 from repro.routing.handrule import hand_sweep
 from repro.routing.lgf import LgfRouter
@@ -30,7 +38,10 @@ from repro.routing.slgf2 import Slgf2Router
 __all__ = [
     "GreedyRouter",
     "HoleBoundaries",
+    "HopEvent",
     "LgfRouter",
+    "MIN_TTL",
+    "PacketTrace",
     "Phase",
     "RadioEnergyModel",
     "RouteResult",

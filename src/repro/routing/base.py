@@ -3,21 +3,34 @@
 Every routing scheme in the paper is "presented via [its] forwarding
 node selection at an intermediate node" (Section 3): a packet moves hop
 by hop, each hop chosen from local state only.  This module owns the
-shared mechanics — TTL enforcement, path/phase recording, and the
-result record the experiment harness aggregates — so the four routers
-contain nothing but their successor-selection logic.
+shared mechanics — TTL enforcement, path/phase recording, hop-level
+instrumentation and the result record the experiment harness
+aggregates — so the four routers contain nothing but their
+successor-selection logic.
+
+Instrumentation: :meth:`Router.route` accepts ``on_hop`` and
+``on_phase_change`` observers, invoked synchronously from inside the
+forwarding loop.  Tracing, energy accounting and path animation attach
+through these hooks instead of subclassing a router (see
+:mod:`repro.api` for ready-made observers).
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Callable, Mapping
 
 from repro.network.graph import WasnGraph
 from repro.network.node import NodeId
 
 __all__ = [
     "DEFAULT_TTL_FACTOR",
+    "MIN_TTL",
+    "HopEvent",
+    "OnHop",
+    "OnPhaseChange",
+    "PacketTrace",
     "Phase",
     "RouteResult",
     "Router",
@@ -28,7 +41,16 @@ __all__ = [
 # (the paper's worst curves stay well under 2 hops/node), tight enough
 # to cut off pathological oscillation.
 DEFAULT_TTL_FACTOR = 4.0
-_MIN_TTL = 64
+
+#: Floor applied to the *derived* TTL only.  The rule (enforced by
+#: :class:`Router`): an explicit ``ttl`` is an exact contract — any
+#: positive integer is honoured verbatim, even below this floor; the
+#: floor protects only the ``DEFAULT_TTL_FACTOR * len(graph)`` default
+#: from being uselessly tight on small graphs.
+MIN_TTL = 64
+
+# Backward-compatible private alias (pre-1.1 name).
+_MIN_TTL = MIN_TTL
 
 
 class RoutingError(Exception):
@@ -47,6 +69,30 @@ class Phase:
     SAFE = "safe"  # safety-informed greedy advance (SLGF/SLGF2)
     BACKUP = "backup"  # SLGF2 backup-path forwarding
     PERIMETER = "perimeter"  # any recovery/perimeter phase
+
+
+@dataclass(frozen=True)
+class HopEvent:
+    """One transmission, as seen by an ``on_hop`` observer.
+
+    ``index`` is the 0-based hop number: the event for hop ``i``
+    describes the transmission ``path[i] -> path[i+1]``.
+    """
+
+    index: int
+    sender: NodeId
+    receiver: NodeId
+    phase: str
+    distance: float
+
+
+#: Hop observer: called once per transmission, after it is recorded.
+OnHop = Callable[[HopEvent], None]
+
+#: Phase observer: ``(hop_index, previous_phase, new_phase)``, called
+#: before the first hop of every new phase (``previous_phase`` is
+#: ``None`` on the route's very first hop).
+OnPhaseChange = Callable[[int, "str | None", str], None]
 
 
 @dataclass(frozen=True)
@@ -84,6 +130,49 @@ class RouteResult:
             counts[phase] = counts.get(phase, 0) + 1
         return counts
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (inverse of :meth:`from_dict`).
+
+        Every field is included — phases and ``failure_reason`` too —
+        so exports carry the full forwarding story, not just the
+        headline numbers.
+        """
+        return {
+            "router": self.router,
+            "source": self.source,
+            "destination": self.destination,
+            "delivered": self.delivered,
+            "path": list(self.path),
+            "phases": list(self.phases),
+            "length": self.length,
+            "perimeter_entries": self.perimeter_entries,
+            "backup_entries": self.backup_entries,
+            "bound_escapes": self.bound_escapes,
+            "failure_reason": self.failure_reason,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RouteResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Validation in ``__post_init__`` still applies, so a tampered
+        document (phases not matching the path, a "delivered" route
+        ending elsewhere) is rejected rather than resurrected.
+        """
+        return cls(
+            router=data["router"],
+            source=data["source"],
+            destination=data["destination"],
+            delivered=data["delivered"],
+            path=tuple(data["path"]),
+            phases=tuple(data["phases"]),
+            length=data["length"],
+            perimeter_entries=data.get("perimeter_entries", 0),
+            backup_entries=data.get("backup_entries", 0),
+            bound_escapes=data.get("bound_escapes", 0),
+            failure_reason=data.get("failure_reason"),
+        )
+
     def __post_init__(self) -> None:
         if len(self.phases) != max(len(self.path) - 1, 0):
             raise ValueError(
@@ -95,10 +184,22 @@ class RouteResult:
             raise ValueError("delivered route must end at the destination")
 
 
-class _PacketTrace:
-    """Mutable accumulator used while a packet is in flight."""
+class PacketTrace:
+    """Mutable accumulator used while a packet is in flight.
 
-    def __init__(self, graph: WasnGraph, source: NodeId, ttl: int):
+    Public since 1.1 so instrumentation (observers, custom routers
+    outside this package) can read the in-flight state; the historical
+    ``_PacketTrace`` name remains as an alias.
+    """
+
+    def __init__(
+        self,
+        graph: WasnGraph,
+        source: NodeId,
+        ttl: int,
+        on_hop: OnHop | None = None,
+        on_phase_change: OnPhaseChange | None = None,
+    ):
         self.graph = graph
         self.path: list[NodeId] = [source]
         self.phases: list[str] = []
@@ -107,6 +208,8 @@ class _PacketTrace:
         self.perimeter_entries = 0
         self.backup_entries = 0
         self.bound_escapes = 0
+        self._on_hop = on_hop
+        self._on_phase_change = on_phase_change
 
     @property
     def current(self) -> NodeId:
@@ -124,21 +227,50 @@ class _PacketTrace:
         return self.hops >= self.ttl
 
     def advance(self, node: NodeId, phase: str) -> None:
-        """Record one transmission to ``node``."""
-        if not self.graph.has_edge(self.current, node):
+        """Record one transmission to ``node`` (and notify observers)."""
+        sender = self.current
+        if not self.graph.has_edge(sender, node):
             raise RoutingError(
-                f"illegal hop {self.current} -> {node}: not an edge"
+                f"illegal hop {sender} -> {node}: not an edge"
             )
-        self.length += self.graph.distance(self.current, node)
+        distance = self.graph.distance(sender, node)
+        index = self.hops  # 0-based index of the hop being recorded
+        if self._on_phase_change is not None:
+            previous_phase = self.phases[-1] if self.phases else None
+            if phase != previous_phase:
+                self._on_phase_change(index, previous_phase, phase)
+        self.length += distance
         self.path.append(node)
         self.phases.append(phase)
+        if self._on_hop is not None:
+            self._on_hop(
+                HopEvent(
+                    index=index,
+                    sender=sender,
+                    receiver=node,
+                    phase=phase,
+                    distance=distance,
+                )
+            )
+
+
+# Historical name, kept for one release so external subclasses and the
+# in-tree routers keep importing; new code should say PacketTrace.
+_PacketTrace = PacketTrace
 
 
 class Router(ABC):
-    """Base class for the four routing schemes.
+    """Base class for all routing schemes.
 
     Subclasses implement :meth:`_run`, advancing the packet trace until
     delivery or failure and returning an optional failure reason.
+
+    TTL rule: an explicit ``ttl`` must be a positive integer and is
+    honoured *exactly* as given — including values below
+    :data:`MIN_TTL`; a deliberately tight budget is a legitimate
+    experiment.  When ``ttl`` is omitted the budget is derived as
+    ``DEFAULT_TTL_FACTOR * len(graph)``, floored at :data:`MIN_TTL` so
+    small graphs still allow full perimeter walks.
     """
 
     #: Short name used in result tables ("GF", "LGF", "SLGF", "SLGF2").
@@ -146,11 +278,19 @@ class Router(ABC):
 
     def __init__(self, graph: WasnGraph, ttl: int | None = None):
         self._graph = graph
-        if ttl is not None and ttl <= 0:
-            raise ValueError("ttl must be positive")
-        self._ttl = ttl if ttl is not None else max(
-            _MIN_TTL, int(DEFAULT_TTL_FACTOR * len(graph))
-        )
+        if ttl is not None:
+            # bool is an int subclass; ttl=True would silently mean 1.
+            if isinstance(ttl, bool) or not isinstance(ttl, int):
+                raise ValueError(
+                    f"ttl must be an integer, got {ttl!r}"
+                )
+            if ttl <= 0:
+                raise ValueError("ttl must be positive")
+            self._ttl = ttl
+        else:
+            self._ttl = max(
+                MIN_TTL, int(DEFAULT_TTL_FACTOR * len(graph))
+            )
 
     @property
     def graph(self) -> WasnGraph:
@@ -162,13 +302,31 @@ class Router(ABC):
         """Hop budget per packet."""
         return self._ttl
 
-    def route(self, source: NodeId, destination: NodeId) -> RouteResult:
-        """Route one packet from ``source`` to ``destination``."""
+    def route(
+        self,
+        source: NodeId,
+        destination: NodeId,
+        on_hop: OnHop | None = None,
+        on_phase_change: OnPhaseChange | None = None,
+    ) -> RouteResult:
+        """Route one packet from ``source`` to ``destination``.
+
+        ``on_hop`` / ``on_phase_change`` observers, when given, are
+        called synchronously from inside the forwarding loop — they
+        see hops in order, as they happen, and must not mutate the
+        graph.
+        """
         if source not in self._graph or destination not in self._graph:
             raise RoutingError("source or destination not in graph")
         if source == destination:
             raise RoutingError("source equals destination")
-        trace = _PacketTrace(self._graph, source, self._ttl)
+        trace = PacketTrace(
+            self._graph,
+            source,
+            self._ttl,
+            on_hop=on_hop,
+            on_phase_change=on_phase_change,
+        )
         failure = self._run(trace, destination)
         delivered = trace.current == destination and failure is None
         return RouteResult(
@@ -186,7 +344,7 @@ class Router(ABC):
         )
 
     @abstractmethod
-    def _run(self, trace: _PacketTrace, destination: NodeId) -> str | None:
+    def _run(self, trace: PacketTrace, destination: NodeId) -> str | None:
         """Advance ``trace`` until delivery or failure.
 
         Returns ``None`` on delivery, otherwise a short failure-reason

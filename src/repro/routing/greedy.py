@@ -27,7 +27,7 @@ from repro.geometry import Point
 from repro.network.graph import WasnGraph
 from repro.network.node import NodeId
 from repro.network.planar import gabriel_graph, relative_neighborhood_graph
-from repro.routing.base import Phase, Router, _PacketTrace
+from repro.routing.base import PacketTrace, Phase, Router
 from repro.routing.perimeter import face_recovery
 
 __all__ = ["GreedyRouter", "HoleBoundaries"]
@@ -77,7 +77,7 @@ class GreedyRouter(Router):
 
     # ------------------------------------------------------------------
 
-    def _run(self, trace: _PacketTrace, destination: NodeId) -> str | None:
+    def _run(self, trace: PacketTrace, destination: NodeId) -> str | None:
         graph = self.graph
         pd = graph.position(destination)
         while not trace.exhausted():
@@ -124,7 +124,7 @@ class GreedyRouter(Router):
     # ------------------------------------------------------------------
 
     def _boundhole_recovery(
-        self, trace: _PacketTrace, destination: NodeId
+        self, trace: PacketTrace, destination: NodeId
     ) -> str | None:
         """Walk the precomputed hole boundary until closer than stuck.
 

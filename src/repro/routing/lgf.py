@@ -39,7 +39,7 @@ from repro.geometry import Point
 from repro.geometry.angles import angle_of, first_hit_ccw
 from repro.network.graph import WasnGraph
 from repro.network.node import NodeId
-from repro.routing.base import Phase, Router, _PacketTrace
+from repro.routing.base import PacketTrace, Phase, Router
 
 __all__ = ["LgfRouter"]
 
@@ -110,7 +110,7 @@ class LgfRouter(Router):
 
     # -- main loop -------------------------------------------------------
 
-    def _run(self, trace: _PacketTrace, destination: NodeId) -> str | None:
+    def _run(self, trace: PacketTrace, destination: NodeId) -> str | None:
         graph = self.graph
         pd = graph.position(destination)
         while not trace.exhausted():
@@ -136,7 +136,7 @@ class LgfRouter(Router):
     # -- perimeter phase (step 4) ----------------------------------------
 
     def _tried_set_perimeter(
-        self, trace: _PacketTrace, destination: NodeId
+        self, trace: PacketTrace, destination: NodeId
     ) -> str | None:
         """Right-hand-rule sweep over untried neighbours, with backtracking.
 

@@ -31,7 +31,7 @@ from repro.geometry.angles import angle_of
 from repro.geometry.segment import proper_intersection_point
 from repro.network.graph import WasnGraph
 from repro.network.node import NodeId
-from repro.routing.base import Phase, _PacketTrace
+from repro.routing.base import PacketTrace, Phase
 from repro.routing.handrule import hand_sweep
 
 __all__ = ["face_recovery"]
@@ -40,7 +40,7 @@ _EPS = 1e-9
 
 
 def face_recovery(
-    trace: _PacketTrace,
+    trace: PacketTrace,
     graph: WasnGraph,
     planar: dict[NodeId, tuple[NodeId, ...]],
     destination: NodeId,

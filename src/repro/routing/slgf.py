@@ -24,7 +24,7 @@ from repro.core.model import InformationModel
 from repro.core.zones import zone_type_of
 from repro.geometry import Point
 from repro.network.node import NodeId
-from repro.routing.base import Phase, _PacketTrace
+from repro.routing.base import PacketTrace, Phase
 from repro.routing.lgf import LgfRouter
 
 __all__ = ["SlgfRouter"]
@@ -71,7 +71,7 @@ class SlgfRouter(LgfRouter):
                 out.append(v)
         return out
 
-    def _run(self, trace: _PacketTrace, destination: NodeId) -> str | None:
+    def _run(self, trace: PacketTrace, destination: NodeId) -> str | None:
         graph = self.graph
         pd = graph.position(destination)
         while not trace.exhausted():

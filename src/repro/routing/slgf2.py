@@ -75,7 +75,7 @@ from repro.geometry import Point, Rect
 from repro.geometry.angles import angle_of
 from repro.network.node import NodeId
 from repro.network.planar import gabriel_graph
-from repro.routing.base import Phase, Router, _PacketTrace
+from repro.routing.base import PacketTrace, Phase, Router
 from repro.routing.handrule import hand_sweep
 from repro.routing.perimeter import face_recovery
 
@@ -331,7 +331,7 @@ class Slgf2Router(Router):
     # Main loop
     # ------------------------------------------------------------------
 
-    def _run(self, trace: _PacketTrace, destination: NodeId) -> str | None:
+    def _run(self, trace: PacketTrace, destination: NodeId) -> str | None:
         graph = self.graph
         pd = graph.position(destination)
         hand: Hand | None = None  # committed hand while in backup mode
@@ -483,7 +483,7 @@ class Slgf2Router(Router):
         return "ttl_exceeded"
 
     def _perimeter_phase(
-        self, trace: _PacketTrace, destination: NodeId, hand: Hand
+        self, trace: PacketTrace, destination: NodeId, hand: Hand
     ) -> str | None:
         """Dispatch on the configured perimeter mechanics."""
         if self._perimeter_mode == "face":
@@ -516,7 +516,7 @@ class Slgf2Router(Router):
         return bound.expanded(self._bound_margin)
 
     def _bounded_perimeter_phase(
-        self, trace: _PacketTrace, destination: NodeId, hand: Hand
+        self, trace: PacketTrace, destination: NodeId, hand: Hand
     ) -> str | None:
         """Hand-rule sweep over untried neighbours with backtracking.
 

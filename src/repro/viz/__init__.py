@@ -7,6 +7,6 @@ network maps for the example scripts.
 """
 
 from repro.viz.ascii_chart import line_chart
-from repro.viz.network_map import network_map
+from repro.viz.network_map import network_map, path_animation
 
-__all__ = ["line_chart", "network_map"]
+__all__ = ["line_chart", "network_map", "path_animation"]

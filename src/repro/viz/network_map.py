@@ -15,7 +15,7 @@ from repro.network.graph import WasnGraph
 from repro.network.node import NodeId
 from repro.network.obstacles import Obstacle
 
-__all__ = ["network_map"]
+__all__ = ["network_map", "path_animation"]
 
 
 def network_map(
@@ -82,3 +82,35 @@ def network_map(
         lines.append("|" + "".join(row) + "|")
     lines.append(border)
     return "\n".join(lines)
+
+
+def path_animation(
+    graph: WasnGraph,
+    area: Rect,
+    path: Sequence[NodeId],
+    every: int = 1,
+    **map_kwargs,
+) -> list[str]:
+    """Frames of a route growing hop by hop across the map.
+
+    ``path`` is any node sequence — a
+    :attr:`~repro.routing.base.RouteResult.path`, or the live path of
+    a :class:`repro.api.TraceRecorder` attached through the ``on_hop``
+    routing hook (``recorder.path()``), which is how animation works
+    without subclassing a router.  ``every`` thins the frames (one per
+    ``every`` hops; the final frame is always included); remaining
+    keyword arguments pass through to :func:`network_map`.
+    """
+    if every < 1:
+        raise ValueError("every must be >= 1")
+    path = list(path)
+    if len(path) < 2:
+        return [network_map(graph, area, path=path, **map_kwargs)]
+    hop_counts = list(range(1, len(path)))
+    selected = hop_counts[::every]
+    if selected[-1] != hop_counts[-1]:
+        selected.append(hop_counts[-1])
+    return [
+        network_map(graph, area, path=path[: hops + 1], **map_kwargs)
+        for hops in selected
+    ]

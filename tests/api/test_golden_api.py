@@ -1,0 +1,152 @@
+"""Golden equivalence: the facade reproduces the legacy harness bit
+for bit, and a fifth registered router flows end to end.
+
+The acceptance bar of the API redesign: ``Session``/``run_scenario``
+must be a *façade* over the same computation, not a reimplementation
+with drift — identical per-network seeds, pair streams, routing order
+and aggregation arithmetic.
+"""
+
+import pytest
+
+from repro.api import (
+    RegistryRouterFactory,
+    Scenario,
+    Session,
+    default_registry,
+    run_scenario,
+)
+from repro.experiments import (
+    ExperimentConfig,
+    ResultCache,
+    evaluate_network,
+    evaluate_point,
+    figure_table,
+    run_sweep,
+)
+from repro.experiments.cache import factory_fingerprint, point_key
+from repro.routing import GreedyRouter
+
+TINY = ExperimentConfig(
+    node_counts=(250,), networks_per_point=2, routes_per_network=5
+)
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("model", ["IA", "FA"])
+    def test_run_scenario_matches_evaluate_point_bit_identically(
+        self, model
+    ):
+        legacy = evaluate_point(TINY, model, 250)
+        scenario = Scenario.from_config(TINY, model, 250)
+        routes = run_scenario(scenario)
+        facade = routes.point_result(model, 250, scenario.networks)
+        # Frozen-dataclass equality compares every float exactly: any
+        # divergence in seeds, ordering or arithmetic fails here.
+        assert facade == legacy
+
+    def test_session_run_matches_evaluate_network_per_route(self):
+        legacy = evaluate_network(TINY, "IA", 250, index=1)
+        session = Session(Scenario.from_config(TINY, "IA", 250), 1)
+        routes = session.run()
+        # Same routers, same per-router sample counts...
+        assert set(routes.routers()) == set(legacy)
+        for name in routes.routers():
+            assert len(routes.results(name)) == legacy[name].samples
+        # ...and identical aggregate tallies per router.
+        point = routes.point_result("IA", 250, 1)
+        for name, tally in legacy.items():
+            assert point.per_router[name] == tally.finish(name)
+
+
+def build_gf_face(instance, **kwargs):
+    """A trivial fifth scheme: plain greedy with face recovery."""
+    return GreedyRouter(instance.graph, recovery="face", **kwargs)
+
+
+@pytest.fixture()
+def fifth_router():
+    default_registry.register(
+        "GF-FACE", build_gf_face, order=4, description="greedy + face"
+    )
+    try:
+        yield "GF-FACE"
+    finally:
+        default_registry.unregister("GF-FACE")
+
+
+class TestFifthRouter:
+    def test_flows_through_sweep_cache_report_and_legend(
+        self, fifth_router, tmp_path
+    ):
+        cache = ResultCache(tmp_path / "cache")
+        factory = RegistryRouterFactory()
+        assert fifth_router in factory.names
+
+        # Cache key: the augmented registry has a different identity.
+        four = RegistryRouterFactory(names=("GF", "LGF", "SLGF", "SLGF2"))
+        assert factory_fingerprint(factory) != factory_fingerprint(four)
+        assert point_key(TINY, "IA", 250, factory) != point_key(
+            TINY, "IA", 250, four
+        )
+
+        # Sweep + report + figure legend, no harness edits.
+        sweep = run_sweep(TINY, "IA", router_factory=factory, cache=cache)
+        table = figure_table(sweep, "fig6")
+        assert table.routers == ("GF", "LGF", "SLGF", "SLGF2", fifth_router)
+        assert len(table.values[fifth_router]) == len(TINY.node_counts)
+
+        # Second run is served from the cache under the same key.
+        cached = run_sweep(TINY, "IA", router_factory=factory, cache=cache)
+        assert cache.hits >= 1
+        assert cached.points == sweep.points
+
+    def test_legacy_default_routers_cache_key_tracks_registry(
+        self, fifth_router
+    ):
+        # Regression: the default_routers shim builds whatever the
+        # registry holds, so its cache identity must change when the
+        # registry does — otherwise a warm cache serves four-scheme
+        # points after a fifth scheme is registered.
+        from repro.experiments import default_routers
+
+        with_fifth = point_key(TINY, "IA", 250, default_routers)
+        default_registry.unregister(fifth_router)
+        try:
+            without_fifth = point_key(TINY, "IA", 250, default_routers)
+        finally:
+            default_registry.register(
+                fifth_router, build_gf_face, order=4
+            )
+        assert with_fifth != without_fifth
+
+    def test_default_routers_pickles_as_a_spec_snapshot(self, fifth_router):
+        # Regression: the shim must ship the *factories* to workers,
+        # not names to re-resolve — a worker whose registry diverged
+        # (spawn + __main__ registrations) must still build exactly
+        # the parent's schemes.
+        import pickle
+
+        from repro.experiments import default_routers
+
+        payload = pickle.dumps(default_routers)
+        # Simulate a diverged worker registry: the fifth scheme gone.
+        default_registry.unregister(fifth_router)
+        try:
+            clone = pickle.loads(payload)
+            assert fifth_router in clone.names
+            assert any(
+                spec.factory is build_gf_face for spec in clone._specs
+            )
+        finally:
+            default_registry.register(
+                fifth_router, build_gf_face, order=4
+            )
+
+    def test_scenario_picks_it_up_by_name(self, fifth_router):
+        scenario = Scenario(
+            node_count=120, seed=5, routers=("GF-FACE",), routes_per_network=3
+        )
+        routes = Session(scenario).run()
+        assert routes.routers() == ("GF-FACE",)
+        assert all(r.router == "GF" for r in routes)  # scheme's own name

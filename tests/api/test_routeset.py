@@ -1,0 +1,164 @@
+"""RouteSet collection semantics, lazy aggregates and JSON round-trip."""
+
+import pytest
+
+from repro.api import RouteSet, Scenario, Session
+from repro.routing import Phase, RouteResult
+
+
+def make_result(delivered=True, hops=3, router="GF", reason=None):
+    path = tuple(range(hops + 1))
+    return RouteResult(
+        router=router,
+        source=path[0],
+        destination=path[-1] if delivered else 99,
+        delivered=delivered,
+        path=path,
+        phases=(Phase.GREEDY,) * (hops - 1) + (Phase.PERIMETER,),
+        length=10.0 * hops,
+        perimeter_entries=1,
+        backup_entries=2,
+        bound_escapes=1,
+        failure_reason=reason,
+    )
+
+
+class TestRouteResultRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        original = make_result()
+        data = original.to_dict()
+        assert data["phases"] == ["greedy", "greedy", "perimeter"]
+        assert RouteResult.from_dict(data) == original
+
+    def test_round_trip_keeps_failure_reason(self):
+        failed = make_result(delivered=False, reason="ttl_exceeded")
+        data = failed.to_dict()
+        assert data["failure_reason"] == "ttl_exceeded"
+        restored = RouteResult.from_dict(data)
+        assert restored == failed
+        assert restored.failure_reason == "ttl_exceeded"
+
+    def test_round_trip_through_json_text(self):
+        import json
+
+        original = make_result()
+        restored = RouteResult.from_dict(
+            json.loads(json.dumps(original.to_dict()))
+        )
+        assert restored == original
+
+    def test_from_dict_validates(self):
+        data = make_result().to_dict()
+        data["phases"] = data["phases"][:-1]  # now mismatched
+        with pytest.raises(ValueError):
+            RouteResult.from_dict(data)
+
+    def test_from_dict_defaults_optional_counters(self):
+        data = make_result().to_dict()
+        for key in ("perimeter_entries", "backup_entries", "bound_escapes"):
+            del data[key]
+        restored = RouteResult.from_dict(data)
+        assert restored.perimeter_entries == 0
+
+
+class TestRouteSet:
+    def test_grouping_and_order(self):
+        routes = RouteSet()
+        routes.add(make_result(router="GF"))
+        routes.add(make_result(router="LGF"))
+        routes.add(make_result(router="GF", hops=5))
+        assert routes.routers() == ("GF", "LGF")
+        assert len(routes) == 3
+        assert [r.hops for r in routes.results("GF")] == [3, 5]
+
+    def test_router_key_override(self):
+        routes = RouteSet()
+        routes.add(make_result(router="GF"), router="GF-VARIANT")
+        assert routes.routers() == ("GF-VARIANT",)
+
+    def test_merge_preserves_order(self):
+        a, b = RouteSet(), RouteSet()
+        a.add(make_result(hops=2))
+        b.add(make_result(hops=4))
+        a.merge(b)
+        assert [r.hops for r in a.results("GF")] == [2, 4]
+
+    def test_aggregate_is_over_delivered_routes(self):
+        routes = RouteSet()
+        routes.add(make_result(hops=2))
+        routes.add(make_result(hops=4))
+        routes.add(make_result(delivered=False, reason="stuck"))
+        agg = routes.aggregate("GF")
+        assert agg.samples == 3
+        assert agg.delivered == 2
+        assert agg.delivery_rate == pytest.approx(2 / 3)
+        assert agg.hops.mean == pytest.approx(3.0)
+        assert agg.max_hops == 4
+        assert agg.perimeter_entries_per_route == pytest.approx(1.0)
+
+    def test_aggregate_is_a_consistent_snapshot(self):
+        # Regression: an aggregate held across a later add() must not
+        # mix pre-mutation cached summaries with post-mutation counts.
+        routes = RouteSet()
+        routes.add(make_result(hops=2))
+        agg = routes.aggregate("GF")
+        assert agg.hops.mean == pytest.approx(2.0)  # caches the summary
+        routes.add(make_result(hops=10))
+        assert agg.samples == 1
+        assert agg.hops.mean == pytest.approx(2.0)
+        assert routes.aggregate("GF").hops.mean == pytest.approx(6.0)
+
+    def test_aggregate_unknown_router(self):
+        with pytest.raises(KeyError, match="present"):
+            RouteSet().aggregate("GF")
+
+    def test_phase_hops_totals(self):
+        routes = RouteSet()
+        routes.add(make_result(hops=3))
+        routes.add(make_result(hops=3))
+        assert routes.aggregate("GF").phase_hops() == {
+            "greedy": 4,
+            "perimeter": 2,
+        }
+
+    def test_mixed_energy_sets_aggregate_only_measured_routes(self):
+        # Regression: energies stay index-aligned with results, so a
+        # merge of measured and unmeasured batches never mispairs.
+        measured, unmeasured = RouteSet(), RouteSet()
+        unmeasured.add(make_result(hops=2))
+        measured.add(make_result(hops=4), energy=42.0)
+        unmeasured.merge(measured)
+        agg = unmeasured.aggregate("GF")
+        assert agg.energy.count == 1
+        assert agg.energy.mean == pytest.approx(42.0)
+
+    def test_set_round_trip_via_dicts(self):
+        routes = RouteSet()
+        routes.add(make_result())
+        routes.add(make_result(delivered=False, reason="stuck", router="LGF"))
+        restored = RouteSet.from_dicts(routes.to_dicts())
+        assert restored.routers() == routes.routers()
+        assert restored.results() == routes.results()
+
+    def test_round_trip_preserves_registry_key_and_energy(self):
+        # Regression: the grouping key (registry name) and per-route
+        # energies survive serialisation, not just the RouteResult.
+        routes = RouteSet()
+        routes.add(make_result(router="GF"), energy=3.5, router="GF-VARIANT")
+        restored = RouteSet.from_dicts(routes.to_dicts())
+        assert restored.routers() == ("GF-VARIANT",)
+        agg = restored.aggregate("GF-VARIANT")
+        assert agg.energy.mean == pytest.approx(3.5)
+
+    def test_set_round_trip_via_json_file(self, tmp_path):
+        scenario = Scenario(
+            node_count=100, seed=8, routers=("LGF",), routes_per_network=3
+        )
+        routes = Session(scenario).run()
+        path = routes.to_json(tmp_path / "routes.json")
+        restored = RouteSet.from_json(path)
+        assert restored.results() == routes.results()
+        assert (
+            restored.aggregate("LGF").hops.mean
+            == routes.aggregate("LGF").hops.mean
+        )

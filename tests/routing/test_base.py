@@ -5,7 +5,9 @@ import pytest
 from repro.geometry import Point
 from repro.network import build_unit_disk_graph
 from repro.routing import (
+    MIN_TTL,
     GreedyRouter,
+    HopEvent,
     Phase,
     RouteResult,
     RoutingError,
@@ -34,10 +36,86 @@ class TestRouteValidation:
     def test_invalid_ttl(self):
         with pytest.raises(ValueError):
             GreedyRouter(tiny_graph(), ttl=0)
+        with pytest.raises(ValueError):
+            GreedyRouter(tiny_graph(), ttl=-3)
 
     def test_default_ttl_floor(self):
         router = GreedyRouter(tiny_graph())
-        assert router.ttl >= 64
+        assert router.ttl >= MIN_TTL
+
+
+class TestTtlRule:
+    """The one consistent TTL rule (regression for the old ambiguity):
+    an explicit ttl is an exact contract, honoured verbatim even below
+    MIN_TTL; the MIN_TTL floor applies only to the derived default."""
+
+    def test_explicit_ttl_below_floor_is_honoured_exactly(self):
+        router = GreedyRouter(tiny_graph(), ttl=2)
+        assert router.ttl == 2
+        # And it is genuinely enforced: a route needing more hops than
+        # the explicit budget fails with ttl_exceeded, not silence.
+        positions = [Point(10.0 * i, 0.0) for i in range(6)]
+        line = build_unit_disk_graph(positions, radius=12)
+        result = GreedyRouter(line, ttl=2).route(0, 5)
+        assert not result.delivered
+        assert result.failure_reason == "ttl_exceeded"
+        assert result.hops == 2
+
+    def test_derived_default_is_floored(self):
+        # 3 nodes * factor 4 = 12, well below the floor.
+        assert GreedyRouter(tiny_graph()).ttl == MIN_TTL
+
+    def test_non_integer_ttl_rejected(self):
+        with pytest.raises(ValueError, match="integer"):
+            GreedyRouter(tiny_graph(), ttl=10.5)
+
+    def test_bool_ttl_rejected(self):
+        # bool is an int subclass; ttl=True would silently mean 1.
+        with pytest.raises(ValueError, match="integer"):
+            GreedyRouter(tiny_graph(), ttl=True)
+
+
+class TestInstrumentationHooks:
+    def line_graph(self, n=4):
+        return build_unit_disk_graph(
+            [Point(10.0 * i, 0.0) for i in range(n)], radius=12
+        )
+
+    def test_on_hop_sees_every_transmission_in_order(self):
+        events = []
+        router = GreedyRouter(self.line_graph())
+        result = router.route(0, 3, on_hop=events.append)
+        assert len(events) == result.hops
+        assert [e.index for e in events] == [0, 1, 2]
+        assert [(e.sender, e.receiver) for e in events] == [
+            (0, 1),
+            (1, 2),
+            (2, 3),
+        ]
+        assert all(isinstance(e, HopEvent) for e in events)
+        assert all(e.phase == Phase.GREEDY for e in events)
+        assert sum(e.distance for e in events) == pytest.approx(
+            result.length
+        )
+
+    def test_on_phase_change_fires_on_transitions_only(self):
+        changes = []
+        router = GreedyRouter(self.line_graph())
+        router.route(
+            0, 3, on_phase_change=lambda i, old, new: changes.append(
+                (i, old, new)
+            )
+        )
+        # One phase throughout: a single start-of-route transition.
+        assert changes == [(0, None, Phase.GREEDY)]
+
+    def test_observers_do_not_change_the_result(self):
+        router = GreedyRouter(self.line_graph())
+        plain = router.route(0, 3)
+        observed = router.route(
+            0, 3, on_hop=lambda e: None, on_phase_change=lambda *a: None
+        )
+        assert observed == plain
 
 
 class TestRouteResult:

@@ -5,22 +5,23 @@ shapes: collinear nodes, clusters, near-duplicates); every router must
 terminate, produce structurally valid paths, agree with connectivity
 (no delivery across components), and the LGF-family must deliver on
 every connected pair (their backtracking perimeter guarantees it).
+
+The router pool comes from the :mod:`repro.api` registry — every
+registered scheme in its registered default configuration — plus
+parameterised variants built through the same registry, so a newly
+registered scheme is fuzzed automatically.
 """
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.api import default_registry
 from repro.core import InformationModel
+from repro.experiments.workload import NetworkInstance
 from repro.network import EdgeDetector, build_unit_disk_graph
 from repro.geometry import Point
 from repro.protocols import build_hole_boundaries
-from repro.routing import (
-    GreedyRouter,
-    LgfRouter,
-    SlgfRouter,
-    Slgf2Router,
-    path_is_valid,
-)
+from repro.routing import path_is_valid
 
 coords = st.floats(min_value=0, max_value=100, allow_nan=False)
 deployments = st.lists(
@@ -30,25 +31,40 @@ deployments = st.lists(
     unique_by=lambda p: (round(p.x, 1), round(p.y, 1)),
 )
 
+# Constructor variants beyond each scheme's registered default — the
+# knob coverage the old hand-written router list exercised.
+VARIANTS = (
+    ("GF", {"recovery": "face"}),
+    ("GF", {"recovery": "face", "planarization": "rng"}),
+    ("LGF", {"candidate_scope": "zone"}),
+    ("SLGF", {"candidate_scope": "zone"}),
+    ("SLGF2", {"perimeter_mode": "dfs"}),
+    ("SLGF2", {"perimeter_mode": "dfs-bounded"}),
+    ("SLGF2", {"perimeter_hand": "either"}),
+    ("SLGF2", {"adaptive_greedy": True}),
+)
 
-def _build(positions):
+
+def _instance(positions) -> NetworkInstance:
     g = build_unit_disk_graph(positions, radius=30.0)
     g = EdgeDetector(strategy="convex").apply(g)
-    model = InformationModel.build(g)
-    boundaries = build_hole_boundaries(g)
-    return g, [
-        GreedyRouter(g),
-        GreedyRouter(g, recovery="boundhole", hole_boundaries=boundaries),
-        GreedyRouter(g, planarization="rng"),
-        LgfRouter(g),
-        LgfRouter(g, candidate_scope="quadrant"),
-        SlgfRouter(model),
-        Slgf2Router(model),
-        Slgf2Router(model, perimeter_mode="dfs"),
-        Slgf2Router(model, perimeter_mode="dfs-bounded"),
-        Slgf2Router(model, perimeter_hand="either"),
-        Slgf2Router(model, adaptive_greedy=True),
-    ]
+    return NetworkInstance(
+        graph=g,
+        model=InformationModel.build(g),
+        boundaries=build_hole_boundaries(g),
+        deployment_model="IA",
+        seed=0,
+    )
+
+
+def _build(positions):
+    instance = _instance(positions)
+    routers = list(default_registry.build(instance).values())
+    routers.extend(
+        default_registry.create(name, instance, **options)
+        for name, options in VARIANTS
+    )
+    return instance.graph, routers
 
 
 class TestFuzz:
@@ -75,17 +91,17 @@ class TestFuzz:
     ):
         import random
 
-        g = build_unit_disk_graph(positions, radius=30.0)
-        g = EdgeDetector(strategy="convex").apply(g)
-        model = InformationModel.build(g)
+        instance = _instance(positions)
+        g = instance.graph
         rng = random.Random(pair_seed)
         s, d = rng.sample(g.node_ids, 2)
         if not g.same_component(s, d):
             return
-        for router in (
-            LgfRouter(g),
-            SlgfRouter(model),
-            Slgf2Router(model, perimeter_mode="dfs"),
+        for name, options in (
+            ("LGF", {"candidate_scope": "zone"}),
+            ("SLGF", {"candidate_scope": "zone"}),
+            ("SLGF2", {"perimeter_mode": "dfs"}),
         ):
+            router = default_registry.create(name, instance, **options)
             result = router.route(s, d)
             assert result.delivered, (router.name, s, d, result.failure_reason)
