@@ -1,0 +1,112 @@
+"""DYNAMIC — incremental topology maintenance vs. full rebuild.
+
+The dynamic-topology engine's performance contract: a single-node
+perturbation step (move one node, take the updated graph) on a
+paper-scale 800-node network must be at least 5x cheaper through
+:class:`repro.network.dynamic.DynamicTopology` than through the static
+pipeline's rebuild (``build_unit_disk_graph`` + ``EdgeDetector``),
+because the engine touches only the 3x3-cell neighbourhood of the
+moved node while the rebuild re-tests every candidate pair and
+re-validates every edge.
+
+Correctness is asserted before speed: both pipelines must agree on the
+final graph, edge for edge, after the whole event sequence.
+
+Timings land in ``benchmarks/results/dynamic.txt``.  Scale up with
+``REPRO_FULL=1`` for a longer measurement.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from repro.geometry import Point
+from repro.network import DynamicTopology, EdgeDetector, build_unit_disk_graph
+
+AREA = 200.0
+RADIUS = 20.0
+NODES = 800
+SEED = 2009
+MIN_SPEEDUP = 5.0
+
+
+def _positions(rng: random.Random) -> list[Point]:
+    return [
+        Point(rng.uniform(0, AREA), rng.uniform(0, AREA))
+        for _ in range(NODES)
+    ]
+
+
+def _perturbations(rng: random.Random, events: int) -> list[tuple[int, Point]]:
+    """Single-node mobility steps: symmetric drift under one radius."""
+    return [
+        (
+            rng.randrange(NODES),
+            Point(
+                rng.uniform(-RADIUS / 2, RADIUS / 2),
+                rng.uniform(-RADIUS / 2, RADIUS / 2),
+            ),
+        )
+        for _ in range(events)
+    ]
+
+
+def _drift(p: Point, d: Point) -> Point:
+    """Apply a displacement, clamped to the deployment area."""
+    return Point(
+        min(AREA, max(0.0, p.x + d.x)),
+        min(AREA, max(0.0, p.y + d.y)),
+    )
+
+
+def test_dynamic_vs_rebuild(results_dir):
+    events = 200 if os.environ.get("REPRO_FULL", "") == "1" else 40
+    rng = random.Random(SEED)
+    start_positions = _positions(rng)
+    steps = _perturbations(rng, events)
+    detector = EdgeDetector(strategy="convex")
+
+    # Static pipeline: every event pays a full rebuild.
+    positions = list(start_positions)
+    t0 = time.perf_counter()
+    for node, delta in steps:
+        positions[node] = _drift(positions[node], delta)
+        rebuilt = detector.apply(build_unit_disk_graph(positions, RADIUS))
+    rebuild_s = time.perf_counter() - t0
+
+    # Dynamic engine: every event applies one delta + one snapshot.
+    topology = DynamicTopology(
+        start_positions, RADIUS, edge_detector=detector
+    )
+    t0 = time.perf_counter()
+    for node, delta in steps:
+        topology.move(node, _drift(topology.position(node), delta))
+        snapshot = topology.graph
+    dynamic_s = time.perf_counter() - t0
+
+    # Both pipelines must land on the identical final graph.
+    assert snapshot.node_ids == rebuilt.node_ids
+    for u in rebuilt.node_ids:
+        assert snapshot.neighbors(u) == rebuilt.neighbors(u)
+        assert snapshot.position(u) == rebuilt.position(u)
+        assert snapshot.is_edge_node(u) == rebuilt.is_edge_node(u)
+
+    speedup = rebuild_s / dynamic_s if dynamic_s else float("inf")
+    report = "\n".join(
+        [
+            f"single-node perturbation steps at n={NODES}, "
+            f"r={RADIUS}, {events} events",
+            f"full rebuild per event:   {rebuild_s:8.3f} s "
+            f"({1e3 * rebuild_s / events:7.2f} ms/event)",
+            f"incremental per event:    {dynamic_s:8.3f} s "
+            f"({1e3 * dynamic_s / events:7.2f} ms/event)",
+            f"speedup:                  {speedup:8.1f}x "
+            f"(floor: {MIN_SPEEDUP}x)",
+        ]
+    )
+    (results_dir / "dynamic.txt").write_text(report + "\n")
+    print()
+    print(report)
+    assert speedup >= MIN_SPEEDUP, report

@@ -17,7 +17,7 @@ from __future__ import annotations
 import random
 
 from repro.experiments import ExperimentConfig, build_network, sample_pairs
-from repro.experiments.runner import default_routers
+from repro.experiments.runner import registry_routers
 
 _CONFIG = ExperimentConfig(
     node_counts=(500,), networks_per_point=1, routes_per_network=1
@@ -32,7 +32,7 @@ def _workload(seed=4):
 
 def _route_all(instance, pairs):
     breakdown: dict[str, dict[str, float]] = {}
-    for name, router in default_routers(instance).items():
+    for name, router in registry_routers()(instance).items():
         phase_hops: dict[str, int] = {}
         perimeter_entries = 0
         delivered = 0

@@ -55,9 +55,11 @@ from repro.api.scenario import (
 )
 from repro.api.session import Session, connected_session, run_scenario
 from repro.api.sweeps import sweep, sweeps
+from repro.network.dynamic import DynamicTopology, TopologyDelta
 from repro.routing.base import HopEvent, PacketTrace, RouteResult
 
 __all__ = [
+    "DynamicTopology",
     "EnergyMeter",
     "HopEvent",
     "MobilitySchedule",
@@ -67,6 +69,7 @@ __all__ = [
     "RegionFailure",
     "RegistryRouterFactory",
     "RouteResult",
+    "TopologyDelta",
     "RouteSet",
     "RouterAggregate",
     "RouterRegistry",

@@ -322,8 +322,8 @@ register_router = default_registry.register
 def router_order() -> tuple[str, ...]:
     """Presentation order of the default registry's schemes.
 
-    The dynamic successor of the old hard-coded
-    ``repro.experiments.runner.ROUTER_ORDER`` tuple.
+    Figure legends, table columns and result dictionaries all follow
+    this order; newly registered schemes join it by their ``order``.
     """
     return default_registry.names()
 
@@ -380,9 +380,9 @@ class RegistryRouterFactory:
 
 
 # ---------------------------------------------------------------------------
-# The paper's four schemes, registered exactly as Section 5 runs them
-# (mirrors the historical ``default_routers``): GF gets BOUNDHOLE
-# boundary information, LGF/SLGF run quadrant-scoped, SLGF2 defaults.
+# The paper's four schemes, registered exactly as Section 5 runs them:
+# GF gets BOUNDHOLE boundary information, LGF/SLGF run quadrant-scoped,
+# SLGF2 defaults.
 
 
 @register_router("GF", order=0, description="greedy + BOUNDHOLE recovery")

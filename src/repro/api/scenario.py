@@ -86,6 +86,19 @@ class MobilitySchedule:
     dt: float = 10.0
     epochs: int = 6
 
+    def __post_init__(self) -> None:
+        # Validated here, at declaration time: the epoch loop in
+        # Session.epochs() would otherwise turn e.g. epochs=0 into a
+        # silent zero-result "mobile" run.
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.dt <= 0:
+            raise ValueError("dt must be positive")
+        if self.speed_min <= 0 or self.speed_max < self.speed_min:
+            raise ValueError("need 0 < speed_min <= speed_max")
+        if self.pause < 0:
+            raise ValueError("pause must be non-negative")
+
 
 @dataclass(frozen=True)
 class Scenario:

@@ -36,14 +36,18 @@ from repro.core.model import InformationModel
 from repro.experiments.runner import _network_seed
 from repro.experiments.workload import sample_pairs
 from repro.geometry import Point
+from repro.network.dynamic import DynamicTopology
 from repro.network.edges import EdgeDetector
-from repro.network.failures import fail_nodes, fail_region
+from repro.network.failures import (
+    fail_nodes_dynamic,
+    fail_region_dynamic,
+)
 from repro.network.deployment import (
     UniformDeployment,
     deploy_forbidden_area_model,
     deploy_uniform_model,
 )
-from repro.network.graph import WasnGraph, build_unit_disk_graph
+from repro.network.graph import WasnGraph
 from repro.network.mobility import RandomWaypointMobility
 from repro.network.node import NodeId
 from repro.protocols.boundhole import build_hole_boundaries
@@ -55,35 +59,40 @@ __all__ = ["Session", "connected_session", "run_scenario"]
 
 
 def _apply_failures(
-    graph: WasnGraph, scenario: Scenario, rng: random.Random
-) -> WasnGraph:
-    """Run the scenario's failure schedule, in order.
+    topology: DynamicTopology, scenario: Scenario, rng: random.Random
+) -> None:
+    """Run the scenario's failure schedule, in order, in place.
 
-    Events apply sequentially to the surviving graph; a
+    Events apply sequentially to the live topology — each takes its
+    victims down incrementally (only incident edges are touched)
+    instead of copying the surviving graph, but selects them from the
+    alive nodes in ascending id order exactly as the historical
+    graph-copy pipeline did, so seeded schedules are bit-identical.  A
     :class:`NodesFailure` naming a node that is not (or no longer)
     present raises ``KeyError`` — a typo'd id silently failing nothing
     would fake a "with failures" run.
     """
     for event in scenario.failures:
         if isinstance(event, RegionFailure):
-            graph, _ = fail_region(
-                graph,
+            fail_region_dynamic(
+                topology,
                 (Point(event.x, event.y), event.radius),
                 protect=event.protect,
             )
         elif isinstance(event, NodesFailure):
-            graph = fail_nodes(graph, event.nodes)
+            fail_nodes_dynamic(topology, event.nodes)
         elif isinstance(event, RandomFailure):
             protected = set(event.protect)
-            pool = [u for u in graph.node_ids if u not in protected]
+            pool = [
+                u for u in topology.alive_ids if u not in protected
+            ]
             count = min(event.count, len(pool))
-            graph = fail_nodes(graph, rng.sample(pool, count))
+            fail_nodes_dynamic(topology, rng.sample(pool, count))
         else:
             raise TypeError(
                 f"unknown failure spec {event!r}; expected RegionFailure, "
                 "NodesFailure or RandomFailure"
             )
-    return graph
 
 
 class _PreparedNetwork:
@@ -167,10 +176,19 @@ def _materialise(scenario: Scenario, network_index: int) -> _PreparedNetwork:
                 scenario.node_count, scenario.area, rng
             ).positions
         )
-    graph = build_unit_disk_graph(positions, scenario.radius)
-    graph = _apply_failures(graph, scenario, rng)
-    graph = EdgeDetector(strategy="convex").apply(graph)
-    return _PreparedNetwork(graph, scenario.deployment_model, seed)
+    # The failure schedule runs against a live DynamicTopology — each
+    # event touches only its incident edges — and the final snapshot
+    # (with hull-based edge detection re-run over the survivors) is
+    # bit-identical to the historical rebuild-per-event pipeline.
+    topology = DynamicTopology(
+        positions,
+        scenario.radius,
+        edge_detector=EdgeDetector(strategy="convex"),
+    )
+    _apply_failures(topology, scenario, rng)
+    return _PreparedNetwork(
+        topology.graph, scenario.deployment_model, seed
+    )
 
 
 class Session:
@@ -371,8 +389,13 @@ class Session:
     def epochs(self) -> Iterator["Session"]:
         """Sessions over the mobility schedule's topology snapshots.
 
-        Each epoch rebuilds the information model on the drifted
-        topology (the paper's periodic beaconing); routers are
+        The topology is maintained incrementally: one live
+        :class:`~repro.network.dynamic.DynamicTopology` absorbs each
+        epoch's position deltas (only the edges that actually changed
+        are recomputed, and edge-node detection re-runs per snapshot),
+        instead of rebuilding the unit-disk graph per epoch.  Each
+        yielded session still rebuilds the information model on the
+        drifted topology (the paper's periodic beaconing); routers are
         reconstructed per snapshot.  Requires ``scenario.mobility``.
         """
         schedule = self.scenario.mobility
@@ -386,13 +409,16 @@ class Session:
             speed=(schedule.speed_min, schedule.speed_max),
             pause=schedule.pause,
         )
-        for epoch, graph in enumerate(
-            walker.topology_stream(
-                self.scenario.radius, schedule.dt, schedule.epochs
-            )
-        ):
+        topology = walker.dynamic_topology(
+            self.scenario.radius,
+            edge_detector=EdgeDetector(strategy="convex"),
+        )
+        for epoch in range(schedule.epochs):
+            if epoch:
+                walker.advance(schedule.dt)
+                topology.move_many(enumerate(walker.positions()))
             yield Session.from_graph(
-                EdgeDetector(strategy="convex").apply(graph),
+                topology.graph,
                 self.scenario,
                 seed=seed + 1 + epoch,
                 registry=self._registry,
@@ -429,11 +455,20 @@ def run_scenario(
 
     For plain IA/FA scenarios this reproduces the legacy
     ``evaluate_point`` numbers bit-identically (per-network seeds,
-    pair streams and aggregation order all match).
+    pair streams and aggregation order all match).  A *mobile*
+    scenario is evaluated per topology epoch — each network's
+    incrementally maintained snapshots (see :meth:`Session.epochs`)
+    route their own workload — and the epochs merge in order, so the
+    result aggregates over the whole drift.
     """
     merged = RouteSet()
     for index in range(scenario.networks):
-        merged.merge(Session(scenario, index, registry=registry).run())
+        session = Session(scenario, index, registry=registry)
+        if scenario.mobility is not None:
+            for epoch_session in session.epochs():
+                merged.merge(epoch_session.run())
+        else:
+            merged.merge(session.run())
     return merged
 
 

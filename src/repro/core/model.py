@@ -29,6 +29,9 @@ class InformationModel:
     graph: WasnGraph
     safety: SafetyModel
     shapes: ShapeModel
+    #: How the shapes were estimated — recorded so :meth:`rebuild`
+    #: can re-run the identical construction on an updated graph.
+    shape_mode: str = "chain"
 
     @classmethod
     def build(
@@ -44,7 +47,19 @@ class InformationModel:
         """
         safety = compute_safety(graph)
         shapes = compute_shapes(safety, mode=shape_mode)
-        return cls(graph=graph, safety=safety, shapes=shapes)
+        return cls(
+            graph=graph,
+            safety=safety,
+            shapes=shapes,
+            shape_mode=shape_mode,
+        )
+
+    def rebuild(self, graph: WasnGraph) -> "InformationModel":
+        """The same construction — same ``shape_mode`` — over an
+        updated graph.  What a router's rebind uses so that a drifted
+        topology gets exactly the information a fresh construction
+        with the original options would produce."""
+        return type(self).build(graph, shape_mode=self.shape_mode)
 
     # Convenience pass-throughs used heavily by the routers -----------
 

@@ -45,29 +45,10 @@ from repro.experiments.runner import (
     PointResult,
     RouteTally,
     RouterPointMetrics,
-    default_routers,
     evaluate_network,
     evaluate_point,
+    registry_routers,
 )
-
-
-def __getattr__(name: str):
-    # Deprecated re-export.  Warns from here (not via runner's shim)
-    # so stacklevel=2 points at the user's attribute access, not at
-    # this delegation frame.
-    if name == "ROUTER_ORDER":
-        import warnings
-
-        from repro.api.registry import default_registry
-
-        warnings.warn(
-            "repro.experiments.ROUTER_ORDER is deprecated; use "
-            "repro.api.router_order() (the registry's legend order)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return default_registry.names()
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 from repro.experiments.sweep import SweepResult, run_sweep, run_sweeps
 from repro.experiments.workload import (
     NetworkInstance,
@@ -75,8 +56,6 @@ from repro.experiments.workload import (
     sample_pairs,
 )
 
-# "ROUTER_ORDER" is deliberately not listed: it resolves via the
-# deprecation __getattr__ so `import *` stays warning-free.
 __all__ = [
     "FIGURES",
     "ExperimentConfig",
@@ -96,7 +75,6 @@ __all__ = [
     "build_network",
     "default_cache",
     "default_jobs",
-    "default_routers",
     "evaluate_network",
     "evaluate_point",
     "factory_fingerprint",
@@ -109,6 +87,7 @@ __all__ = [
     "point_from_dict",
     "point_key",
     "point_to_dict",
+    "registry_routers",
     "resolve_jobs",
     "run_sweep",
     "run_sweeps",

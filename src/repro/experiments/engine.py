@@ -43,8 +43,8 @@ from repro.experiments.config import ExperimentConfig, default_jobs
 from repro.experiments.runner import (
     PointResult,
     RouterFactory,
-    default_routers,
     evaluate_point,
+    registry_routers,
 )
 
 __all__ = ["ExperimentEngine", "WorkUnit", "plan_units", "resolve_jobs"]
@@ -135,9 +135,18 @@ class ExperimentEngine:
         self,
         config: ExperimentConfig,
         units: Iterable[WorkUnit],
-        router_factory: RouterFactory = default_routers,
+        router_factory: RouterFactory | None = None,
     ) -> dict[WorkUnit, PointResult]:
-        """Produce every unit's point, from cache or by computing."""
+        """Produce every unit's point, from cache or by computing.
+
+        ``router_factory=None`` resolves to a snapshot of every
+        registered scheme *here*, before fingerprinting and dispatch —
+        workers must receive the parent's resolved selection, never
+        re-resolve names against their own (possibly diverged)
+        registries.
+        """
+        if router_factory is None:
+            router_factory = registry_routers()
         units = list(units)
         # Caching needs an enabled cache AND a factory with a stable
         # identity — anonymous factories would collide under a shared

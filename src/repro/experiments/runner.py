@@ -18,7 +18,6 @@ that merge back deterministically.
 from __future__ import annotations
 
 import random
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -31,95 +30,37 @@ from repro.experiments.workload import (
 )
 from repro.routing import RouteResult, Router
 
-# ROUTER_ORDER is deliberately absent from __all__: it resolves through
-# the deprecation __getattr__ below, and star-imports must not trip the
-# warning for importers that never use the name.
 __all__ = [
     "PointResult",
     "RouteTally",
     "RouterPointMetrics",
-    "default_routers",
     "evaluate_network",
     "evaluate_point",
+    "registry_routers",
 ]
 
 RouterFactory = Callable[[NetworkInstance], dict[str, Router]]
 
 
-class _DefaultRouterFactory:
-    """The ``default_routers`` shim: every registered scheme.
+def registry_routers() -> RouterFactory:
+    """The default router factory: every currently registered scheme.
 
-    A callable instance rather than a function so its cache identity
-    can be *live*: the output depends on the registry's current
-    contents (a third-party ``@register_router`` adds a scheme), so
-    the fingerprint must too — a name-only fingerprint would let a
-    warm cache serve four-scheme points after a fifth scheme was
-    registered.
+    A freshly constructed
+    :class:`~repro.api.registry.RegistryRouterFactory` snapshot —
+    resolving the registry at *call* time, so third-party schemes
+    registered before an evaluation are included, the snapshot's cache
+    fingerprint reflects exactly that selection, and worker processes
+    receive the resolved factory functions rather than names to
+    re-resolve against a possibly diverged registry.
+
+    The registry import stays local: the api package's own
+    ``__init__`` imports this module (Session needs the seed
+    derivation), so a module-level import here would be circular on
+    first touch of either package.
     """
+    from repro.api.registry import RegistryRouterFactory
 
-    # Registry imports stay local: the api package's own __init__
-    # imports this module (Session needs the seed derivation), so a
-    # module-level import here would be circular on first touch of
-    # either package.
-
-    def __call__(self, instance: NetworkInstance) -> dict[str, Router]:
-        from repro.api.registry import default_registry
-
-        return default_registry.build(instance)
-
-    @property
-    def cache_fingerprint(self) -> str | None:
-        """Digest of the registry's current schemes (see the cache)."""
-        from repro.api.registry import default_registry
-
-        return default_registry.fingerprint()
-
-    def __reduce__(self):
-        # Ship a *snapshot* of the current selection to worker
-        # processes, not this stateless shim: a spawn-started worker
-        # re-imports modules, so its registry may miss (or hold
-        # different same-name versions of) registrations made in the
-        # parent.  The snapshot is a fully constructed
-        # RegistryRouterFactory whose resolved specs — the factory
-        # functions themselves — pickle by reference, so workers build
-        # exactly the parent's schemes or fail loudly on import.
-        from repro.api.registry import RegistryRouterFactory
-
-        return (_restore_factory, (RegistryRouterFactory(),))
-
-    def __repr__(self) -> str:
-        return "default_routers"
-
-
-def _restore_factory(factory):
-    """Unpickle target for the shim's registry snapshot."""
-    return factory
-
-
-#: Deprecated shim: construction now lives in the router registry
-#: (:mod:`repro.api.registry`), where GF gets BOUNDHOLE boundary
-#: information, LGF/SLGF run quadrant-scoped, and SLGF2 runs with its
-#: defaults — exactly the historical behaviour.  Prefer
-#: :class:`repro.api.RegistryRouterFactory` (which also pins a name
-#: selection) in new code; this name remains for one release so
-#: existing callers keep working.
-default_routers = _DefaultRouterFactory()
-
-
-def __getattr__(name: str):
-    # PEP 562 shim: the hard-coded router tuple is gone; the legend
-    # order now comes from the registry, where new schemes join it.
-    if name == "ROUTER_ORDER":
-        from repro.api.registry import default_registry
-
-        warnings.warn(
-            "repro.experiments.runner.ROUTER_ORDER is deprecated; use "
-            "repro.api.router_order() (the registry's legend order)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return default_registry.names()
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return RegistryRouterFactory()
 
 
 @dataclass(frozen=True)
@@ -242,14 +183,17 @@ def evaluate_network(
     deployment_model: str,
     node_count: int,
     index: int,
-    router_factory: RouterFactory = default_routers,
+    router_factory: RouterFactory | None = None,
 ) -> dict[str, RouteTally]:
     """Evaluate every router over one generated network.
 
     Network ``index`` of a point is self-contained: its seed comes from
     :func:`_network_seed`, so any shard of a point can be recomputed in
-    isolation and merged back in index order.
+    isolation and merged back in index order.  ``router_factory=None``
+    evaluates every registered scheme (:func:`registry_routers`).
     """
+    if router_factory is None:
+        router_factory = registry_routers()
     seed = _network_seed(config, deployment_model, node_count, index)
     instance = build_network(config, deployment_model, node_count, seed)
     pair_rng = random.Random(seed + 1)
@@ -267,9 +211,15 @@ def evaluate_point(
     config: ExperimentConfig,
     deployment_model: str,
     node_count: int,
-    router_factory: RouterFactory = default_routers,
+    router_factory: RouterFactory | None = None,
 ) -> PointResult:
-    """Evaluate every router at one (deployment, node count) point."""
+    """Evaluate every router at one (deployment, node count) point.
+
+    ``router_factory=None`` evaluates every registered scheme, with
+    one registry snapshot shared across the point's networks.
+    """
+    if router_factory is None:
+        router_factory = registry_routers()
     merged: dict[str, RouteTally] = {}
     for index in range(config.networks_per_point):
         per_router = evaluate_network(

@@ -27,11 +27,7 @@ from repro.experiments.engine import (
     WorkUnit,
     plan_units,
 )
-from repro.experiments.runner import (
-    PointResult,
-    RouterFactory,
-    default_routers,
-)
+from repro.experiments.runner import PointResult, RouterFactory
 
 __all__ = ["SweepResult", "run_sweep", "run_sweeps"]
 
@@ -80,7 +76,7 @@ def _assemble(
 def run_sweep(
     config: ExperimentConfig,
     deployment_model: str,
-    router_factory: RouterFactory = default_routers,
+    router_factory: RouterFactory | None = None,
     progress: Progress | None = None,
     jobs: int | None = None,
     cache: ResultCache | None = None,
@@ -99,7 +95,7 @@ def run_sweep(
 def run_sweeps(
     config: ExperimentConfig,
     deployment_models: Sequence[str] = ("IA", "FA"),
-    router_factory: RouterFactory = default_routers,
+    router_factory: RouterFactory | None = None,
     progress: Progress | None = None,
     jobs: int | None = None,
     cache: ResultCache | None = None,

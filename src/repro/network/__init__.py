@@ -26,8 +26,17 @@ from repro.network.deployment import (
     deploy_forbidden_area_model,
     deploy_uniform_model,
 )
+from repro.network.dynamic import DynamicTopology, TopologyDelta
 from repro.network.edges import EdgeDetector
-from repro.network.failures import fail_nodes, fail_region
+from repro.network.failures import (
+    fail_nodes,
+    fail_nodes_dynamic,
+    fail_random,
+    fail_random_dynamic,
+    fail_region,
+    fail_region_dynamic,
+    restore_nodes,
+)
 from repro.network.graph import WasnGraph, build_unit_disk_graph
 from repro.network.mobility import RandomWaypointMobility
 from repro.network.node import Node, NodeId
@@ -45,6 +54,7 @@ __all__ = [
     "CompositeObstacle",
     "DeploymentResult",
     "DiscObstacle",
+    "DynamicTopology",
     "EdgeDetector",
     "GridDeployment",
     "Node",
@@ -54,14 +64,20 @@ __all__ = [
     "RandomWaypointMobility",
     "RectObstacle",
     "SpatialGrid",
+    "TopologyDelta",
     "UniformDeployment",
     "WasnGraph",
     "build_unit_disk_graph",
     "deploy_forbidden_area_model",
     "deploy_uniform_model",
     "fail_nodes",
+    "fail_nodes_dynamic",
+    "fail_random",
+    "fail_random_dynamic",
     "fail_region",
+    "fail_region_dynamic",
     "gabriel_graph",
     "random_obstacle_field",
     "relative_neighborhood_graph",
+    "restore_nodes",
 ]

@@ -6,23 +6,46 @@ failures, signal fading, communication jamming, power exhaustion,
 interference, and node mobility."
 
 All of these manifest, at the graph level, as nodes disappearing from
-the topology.  Because :class:`~repro.network.graph.WasnGraph` is
-immutable, failures produce a *new* graph; the caller then re-runs the
-information-construction protocol on it — exactly what a deployed WASN
-would do when hello beacons stop arriving — and can compare safety
-labels before/after (see ``examples/dynamic_failures.py``).
+the topology.  Two substrates are supported:
+
+* the immutable :class:`~repro.network.graph.WasnGraph` — failures
+  produce a *new* graph (``fail_nodes`` / ``fail_random`` /
+  ``fail_region``), the historical API; the caller then re-runs the
+  information-construction protocol on it;
+* a live :class:`~repro.network.dynamic.DynamicTopology` — the
+  ``*_dynamic`` variants take nodes down *in place*, touching only the
+  incident edges and returning the
+  :class:`~repro.network.dynamic.TopologyDelta`, which is what makes
+  long failure/restoration schedules linear in event size instead of
+  quadratic in event count.  ``restore_nodes`` is the inverse
+  (a repaired or recharged node rejoining the network).
+
+Both substrates select the same victims for the same inputs: the
+region and random selectors iterate nodes in ascending id order, so a
+schedule replayed against either produces identical surviving
+topologies (the differential suite pins this through the session
+layer).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.geometry import Point, Rect
+from repro.network.dynamic import DynamicTopology, TopologyDelta
 from repro.network.graph import WasnGraph
 from repro.network.node import NodeId
 
-__all__ = ["fail_nodes", "fail_random", "fail_region"]
+__all__ = [
+    "fail_nodes",
+    "fail_nodes_dynamic",
+    "fail_random",
+    "fail_random_dynamic",
+    "fail_region",
+    "fail_region_dynamic",
+    "restore_nodes",
+]
 
 
 def fail_nodes(graph: WasnGraph, failed: Iterable[NodeId]) -> WasnGraph:
@@ -32,6 +55,21 @@ def fail_nodes(graph: WasnGraph, failed: Iterable[NodeId]) -> WasnGraph:
     if missing:
         raise KeyError(f"cannot fail unknown nodes: {sorted(missing)}")
     return graph.without_nodes(failed)
+
+
+def _region_test(region: Rect | tuple[Point, float]) -> Callable[[Point], bool]:
+    """The membership predicate of a rectangle or ``(center, radius)`` disc."""
+    if isinstance(region, Rect):
+        return region.contains
+    center, radius = region
+    if radius <= 0:
+        raise ValueError("region radius must be positive")
+    radius_sq = radius * radius
+
+    def hit(p: Point) -> bool:
+        return p.distance_squared_to(center) <= radius_sq
+
+    return hit
 
 
 def fail_random(
@@ -66,21 +104,83 @@ def fail_region(
     Returns the surviving graph and the set of failed ids.
     """
     protected = set(protect)
-    if isinstance(region, Rect):
-        def hit(p: Point) -> bool:
-            return region.contains(p)
-    else:
-        center, radius = region
-        if radius <= 0:
-            raise ValueError("region radius must be positive")
-        radius_sq = radius * radius
-
-        def hit(p: Point) -> bool:
-            return p.distance_squared_to(center) <= radius_sq
-
+    hit = _region_test(region)
     failed = {
         u
         for u in graph.node_ids
         if u not in protected and hit(graph.position(u))
     }
     return graph.without_nodes(failed), failed
+
+
+# ---------------------------------------------------------------------------
+# In-place variants over a live DynamicTopology.
+
+
+def fail_nodes_dynamic(
+    topology: DynamicTopology, failed: Iterable[NodeId]
+) -> TopologyDelta:
+    """Take an explicit set of nodes down, in place.
+
+    Ids that are unknown — or already down, hence absent from the
+    graph a schedule replay would see — raise the same ``KeyError``
+    :func:`fail_nodes` raises for ids absent from its graph.
+    """
+    # Dedup (preserving order) exactly as fail_nodes' set() does: an
+    # id listed twice is one failure, not a mid-batch KeyError.
+    failed = list(dict.fromkeys(failed))
+    missing = {
+        u for u in failed if u not in topology or topology.is_down(u)
+    }
+    if missing:
+        raise KeyError(f"cannot fail unknown nodes: {sorted(missing)}")
+    return topology.fail_many(failed)
+
+
+def fail_random_dynamic(
+    topology: DynamicTopology,
+    fraction: float,
+    rng: random.Random,
+    protect: Iterable[NodeId] = (),
+) -> tuple[TopologyDelta, set[NodeId]]:
+    """In-place :func:`fail_random`: same victims for the same ``rng``.
+
+    The candidate pool is the alive nodes in ascending id order — the
+    same sequence ``fail_random`` samples from — so a seeded schedule
+    produces identical failures on either substrate.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    protected = set(protect)
+    candidates = [u for u in topology.alive_ids if u not in protected]
+    count = round(fraction * len(candidates))
+    failed = set(rng.sample(candidates, count)) if count else set()
+    return topology.fail_many(sorted(failed)), failed
+
+
+def fail_region_dynamic(
+    topology: DynamicTopology,
+    region: Rect | tuple[Point, float],
+    protect: Iterable[NodeId] = (),
+) -> tuple[TopologyDelta, set[NodeId]]:
+    """In-place :func:`fail_region` over the currently alive nodes."""
+    protected = set(protect)
+    hit = _region_test(region)
+    failed = {
+        u
+        for u in topology.alive_ids
+        if u not in protected and hit(topology.position(u))
+    }
+    return topology.fail_many(sorted(failed)), failed
+
+
+def restore_nodes(
+    topology: DynamicTopology, restored: Iterable[NodeId]
+) -> TopologyDelta:
+    """Bring failed nodes back up at their stored positions.
+
+    The inverse of the ``fail_*`` operations: a repaired, recharged or
+    un-jammed node rejoins the topology and its unit-disk edges
+    reappear.  Restoring an alive or unknown id raises ``KeyError``.
+    """
+    return topology.restore_many(restored)

@@ -33,12 +33,20 @@ class WasnGraph:
         nodes: Sequence[Node],
         adjacency: dict[NodeId, tuple[NodeId, ...]],
         radius: float,
+        validate: bool = True,
     ):
         """Build from explicit adjacency (see :func:`build_unit_disk_graph`).
 
         ``adjacency`` must be symmetric and must not contain self-loops;
         this is validated eagerly because every algorithm above relies
         on it (the paper's graph is *simple* and *undirected*).
+
+        ``validate=False`` skips that O(E) sweep.  It exists for one
+        producer: :class:`repro.network.dynamic.DynamicTopology`
+        snapshots, whose adjacency is symmetric by construction and
+        whose equivalence to a validated from-scratch build is pinned
+        by the differential suite — per-snapshot validation would cost
+        more than the incremental update it accompanies.
         """
         if radius <= 0:
             raise ValueError("communication radius must be positive")
@@ -49,7 +57,8 @@ class WasnGraph:
             self._nodes[node.id] = node
         self._radius = radius
         self._adjacency = adjacency
-        self._validate()
+        if validate:
+            self._validate()
 
     def _validate(self) -> None:
         for u, neighbors in self._adjacency.items():

@@ -21,6 +21,8 @@ from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 from repro.geometry import Point, Rect
+from repro.network.dynamic import DynamicTopology, TopologyDelta
+from repro.network.edges import EdgeDetector
 from repro.network.graph import WasnGraph, build_unit_disk_graph
 from repro.network.obstacles import Obstacle
 
@@ -137,8 +139,28 @@ class RandomWaypointMobility:
                     walker.speed = self._rng.uniform(low, high)
 
     def snapshot_graph(self, radius: float) -> WasnGraph:
-        """The unit-disk graph of the current positions."""
+        """The unit-disk graph of the current positions, from scratch.
+
+        One-shot construction; streams should use
+        :meth:`dynamic_topology` / :meth:`topology_stream`, which
+        maintain the graph incrementally across epochs.
+        """
         return build_unit_disk_graph(self.positions(), radius)
+
+    def dynamic_topology(
+        self, radius: float, edge_detector: EdgeDetector | None = None
+    ) -> DynamicTopology:
+        """A live :class:`DynamicTopology` over the current positions.
+
+        Subsequent :meth:`advance` calls do not move it automatically —
+        push the new positions with
+        ``topology.move_many(enumerate(walker.positions()))`` (what
+        :meth:`topology_stream` does per epoch), so each epoch touches
+        only the edges that actually changed.
+        """
+        return DynamicTopology(
+            self.positions(), radius, edge_detector=edge_detector
+        )
 
     def topology_stream(
         self, radius: float, dt: float, epochs: int
@@ -146,11 +168,31 @@ class RandomWaypointMobility:
         """Yield ``epochs`` successive topology snapshots ``dt`` apart.
 
         The first snapshot is the current state (before any motion);
-        each subsequent one follows an ``advance(dt)``.
+        each subsequent one follows an ``advance(dt)``.  Snapshots are
+        maintained incrementally: each epoch applies the position
+        deltas to one live :class:`DynamicTopology` instead of
+        rebuilding the unit-disk graph, and yields its (immutable,
+        independent) snapshot — bit-identical to a from-scratch
+        :func:`build_unit_disk_graph` per epoch.
+        """
+        for _, graph in self.delta_stream(radius, dt, epochs):
+            yield graph
+
+    def delta_stream(
+        self, radius: float, dt: float, epochs: int
+    ) -> Iterator[tuple[TopologyDelta | None, WasnGraph]]:
+        """Like :meth:`topology_stream`, with the per-epoch deltas.
+
+        Yields ``(delta, graph)`` pairs; the first epoch has no delta
+        (``None`` — it is the initial state, not a change).  Consumers
+        that cache per-topology state (routers, information models)
+        invalidate from the delta instead of diffing graphs.
         """
         if epochs < 1:
             raise ValueError("epochs must be >= 1")
-        yield self.snapshot_graph(radius)
+        topology = self.dynamic_topology(radius)
+        yield None, topology.graph
         for _ in range(epochs - 1):
             self.advance(dt)
-            yield self.snapshot_graph(radius)
+            delta = topology.move_many(enumerate(self.positions()))
+            yield delta, topology.graph

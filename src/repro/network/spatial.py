@@ -10,6 +10,7 @@ construction for average degree k.
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from typing import Iterable, Iterator
 
@@ -67,9 +68,39 @@ class SpatialGrid:
         if not cell:
             del self._cells[self._cell_of(p)]
 
+    def move(self, key: int, p: Point) -> None:
+        """Relocate ``key`` to ``p`` (used by mobility).
+
+        Cell membership is only touched when the point actually crosses
+        a cell border, so small drifts — the common mobility step — cost
+        one dict write.  Within a cell the key keeps its slot, so query
+        iteration order stays insertion order either way.
+        """
+        old = self._points[key]
+        self._points[key] = p
+        old_cell = self._cell_of(old)
+        new_cell = self._cell_of(p)
+        if new_cell == old_cell:
+            return
+        cell = self._cells[old_cell]
+        cell.remove(key)
+        if not cell:
+            del self._cells[old_cell]
+        self._cells[new_cell].append(key)
+
     def position(self, key: int) -> Point:
         """The stored point for ``key``."""
         return self._points[key]
+
+    def _reach(self, radius: float) -> int:
+        """How many cells outward a radius query must scan.
+
+        Two points in cells ``k`` apart along an axis are more than
+        ``(k - 1) * cell_size`` apart, so every point within ``radius``
+        lies within ``ceil(radius / cell_size)`` cells of the center —
+        the 3x3 neighbourhood for the canonical ``cell_size == radius``.
+        """
+        return max(1, math.ceil(radius / self._cell_size))
 
     def neighbors_within(
         self, center: Point, radius: float, exclude: int | None = None
@@ -83,7 +114,7 @@ class SpatialGrid:
         if radius <= 0:
             return
         radius_sq = radius * radius
-        reach = int(radius // self._cell_size) + 1
+        reach = self._reach(radius)
         cx, cy = self._cell_of(center)
         for gx in range(cx - reach, cx + reach + 1):
             for gy in range(cy - reach, cy + reach + 1):
@@ -120,7 +151,7 @@ class SpatialGrid:
         smaller key first so the output is deterministic.
         """
         radius_sq = radius * radius
-        reach = int(radius // self._cell_size) + 1
+        reach = self._reach(radius)
         for (cx, cy), keys in self._cells.items():
             # Pairs within the same cell.
             for i, a in enumerate(keys):

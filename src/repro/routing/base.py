@@ -19,10 +19,13 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Mapping
+from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.network.graph import WasnGraph
 from repro.network.node import NodeId
+
+if TYPE_CHECKING:  # import only for annotations; no runtime dependency
+    from repro.network.dynamic import TopologyDelta
 
 __all__ = [
     "DEFAULT_TTL_FACTOR",
@@ -48,9 +51,6 @@ DEFAULT_TTL_FACTOR = 4.0
 #: floor protects only the ``DEFAULT_TTL_FACTOR * len(graph)`` default
 #: from being uselessly tight on small graphs.
 MIN_TTL = 64
-
-# Backward-compatible private alias (pre-1.1 name).
-_MIN_TTL = MIN_TTL
 
 
 class RoutingError(Exception):
@@ -188,8 +188,7 @@ class PacketTrace:
     """Mutable accumulator used while a packet is in flight.
 
     Public since 1.1 so instrumentation (observers, custom routers
-    outside this package) can read the in-flight state; the historical
-    ``_PacketTrace`` name remains as an alias.
+    outside this package) can read the in-flight state.
     """
 
     def __init__(
@@ -254,11 +253,6 @@ class PacketTrace:
             )
 
 
-# Historical name, kept for one release so external subclasses and the
-# in-tree routers keep importing; new code should say PacketTrace.
-_PacketTrace = PacketTrace
-
-
 class Router(ABC):
     """Base class for all routing schemes.
 
@@ -286,21 +280,77 @@ class Router(ABC):
                 )
             if ttl <= 0:
                 raise ValueError("ttl must be positive")
-            self._ttl = ttl
-        else:
-            self._ttl = max(
-                MIN_TTL, int(DEFAULT_TTL_FACTOR * len(graph))
-            )
+        self._explicit_ttl = ttl
+        self._ttl = (
+            ttl
+            if ttl is not None
+            else max(MIN_TTL, int(DEFAULT_TTL_FACTOR * len(graph)))
+        )
 
     @property
     def graph(self) -> WasnGraph:
-        """The network this router was built for."""
+        """The network this router is currently bound to."""
         return self._graph
 
     @property
     def ttl(self) -> int:
         """Hop budget per packet."""
         return self._ttl
+
+    # -- dynamic topologies ---------------------------------------------
+
+    def rebind(
+        self, graph: WasnGraph, delta: "TopologyDelta | None" = None
+    ) -> None:
+        """Point the router at an updated topology.
+
+        The contract: after ``rebind``, routing behaves exactly as a
+        freshly constructed router (same options) over ``graph`` — the
+        metamorphic suite in ``tests/test_fuzz_routers.py`` pins this
+        for every registered scheme.  A derived TTL is re-derived from
+        the new size (an explicit one stays an exact contract), and
+        subclasses invalidate their topology-derived caches
+        (planarizations, safety models, hole boundaries) in
+        :meth:`_on_topology_change`; ``delta`` — when the update comes
+        from a :class:`~repro.network.dynamic.DynamicTopology` — tells
+        them how local the change was.
+        """
+        self._graph = graph
+        if self._explicit_ttl is None:
+            self._ttl = max(
+                MIN_TTL, int(DEFAULT_TTL_FACTOR * len(graph))
+            )
+        self._on_topology_change(delta)
+
+    def track(self, topology) -> Callable:
+        """Subscribe to a ``DynamicTopology``: every delta rebinds.
+
+        After ``router.track(topo)``, each ``topo`` mutation pushes
+        ``rebind(topo.graph, delta)`` into this router, so cached
+        state can never outlive the topology it was computed from.
+        Returns the registered subscriber — pass it to
+        ``topology.unsubscribe`` when discarding the router, or the
+        topology keeps it (and this router) alive.
+
+        Note the cost model: each delta materialises the topology's
+        snapshot (O(n)), which is what makes the rebind cheap-but-live;
+        a consumer batching many events between routing calls should
+        prefer one ``rebind(topo.graph)`` after the batch.
+        """
+
+        def _rebind(delta) -> None:
+            self.rebind(topology.graph, delta)
+
+        topology.subscribe(_rebind)
+        return _rebind
+
+    def _on_topology_change(self, delta: "TopologyDelta | None") -> None:
+        """Invalidate topology-derived caches; default: nothing cached.
+
+        ``delta`` is ``None`` when the caller has no structured diff
+        (a wholesale rebind); subclasses must then assume everything
+        changed.
+        """
 
     def route(
         self,

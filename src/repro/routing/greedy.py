@@ -26,9 +26,8 @@ from typing import Protocol
 from repro.geometry import Point
 from repro.network.graph import WasnGraph
 from repro.network.node import NodeId
-from repro.network.planar import gabriel_graph, relative_neighborhood_graph
 from repro.routing.base import PacketTrace, Phase, Router
-from repro.routing.perimeter import face_recovery
+from repro.routing.perimeter import PlanarizationCache, face_recovery
 
 __all__ = ["GreedyRouter", "HoleBoundaries"]
 
@@ -57,15 +56,13 @@ class GreedyRouter(Router):
         hole_boundaries: HoleBoundaries | None = None,
     ):
         super().__init__(graph, ttl)
-        if planarization == "gabriel":
-            self._planar = gabriel_graph(graph)
-        elif planarization == "rng":
-            self._planar = relative_neighborhood_graph(graph)
-        else:
+        try:
+            self._planar = PlanarizationCache(graph, planarization)
+        except ValueError:
             raise ValueError(
                 f"unknown planarization {planarization!r}; "
                 "expected 'gabriel' or 'rng'"
-            )
+            ) from None
         if recovery not in ("face", "boundhole"):
             raise ValueError(
                 f"unknown recovery {recovery!r}; expected 'face' or 'boundhole'"
@@ -74,6 +71,33 @@ class GreedyRouter(Router):
             raise ValueError("boundhole recovery needs hole_boundaries")
         self._recovery = recovery
         self._boundaries = hole_boundaries
+
+    def _on_topology_change(self, delta) -> None:
+        """Drop the planarization; re-derive boundaries on demand.
+
+        Both are pure functions of the graph, so lazily rebuilding
+        them on the next perimeter entry restores exactly the state a
+        fresh router would compute — nothing survives a rebind.
+        """
+        self._planar.rebind(self.graph)
+        if self._recovery == "boundhole":
+            self._boundaries = None
+
+    def _hole_boundaries(self) -> HoleBoundaries:
+        """Current boundary information, rebuilt after a rebind.
+
+        Construction-time boundaries are typically the prepared
+        network's (BOUNDHOLE already ran); after a topology change the
+        router re-runs the protocol on its own, first time the packet
+        actually needs a boundary walk.
+        """
+        if self._boundaries is None:
+            # Local import: the protocols layer sits beside routing and
+            # importing it at module scope would tangle the two.
+            from repro.protocols.boundhole import build_hole_boundaries
+
+            self._boundaries = build_hole_boundaries(self.graph)
+        return self._boundaries
 
     # ------------------------------------------------------------------
 
@@ -140,8 +164,7 @@ class GreedyRouter(Router):
         pd = graph.position(destination)
         stuck = trace.current
         exit_dist = graph.position(stuck).distance_to(pd)
-        assert self._boundaries is not None
-        cycle = self._boundaries.boundary_of(stuck)
+        cycle = self._hole_boundaries().boundary_of(stuck)
         if cycle is None or len(cycle) < 2:
             return face_recovery(trace, graph, self._planar, destination)
 

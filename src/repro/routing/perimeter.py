@@ -31,18 +31,72 @@ from repro.geometry.angles import angle_of
 from repro.geometry.segment import proper_intersection_point
 from repro.network.graph import WasnGraph
 from repro.network.node import NodeId
+from repro.network.planar import (
+    gabriel_graph,
+    relative_neighborhood_graph,
+)
 from repro.routing.base import PacketTrace, Phase
 from repro.routing.handrule import hand_sweep
 
-__all__ = ["face_recovery"]
+__all__ = ["PlanarizationCache", "face_recovery"]
 
 _EPS = 1e-9
+
+_PLANARIZATIONS = {
+    "gabriel": gabriel_graph,
+    "rng": relative_neighborhood_graph,
+}
+
+
+class PlanarizationCache:
+    """Lazily computed planar adjacency, invalidated on topology deltas.
+
+    The planarized subgraph the face walks run on is a pure function
+    of the network graph, but an O(E * k) one — too expensive to
+    recompute per delta under churn, and wasted entirely on routes
+    that never leave greedy mode.  This cache computes it on first
+    use, serves ``cache[u]`` lookups to :func:`face_recovery`
+    unchanged (it quacks like the plain adjacency dict), and
+    :meth:`rebind` drops it when the owning router learns of a
+    topology change — the next perimeter entry rebuilds against the
+    current graph.
+    """
+
+    def __init__(self, graph: WasnGraph, kind: str = "gabriel"):
+        if kind not in _PLANARIZATIONS:
+            raise ValueError(
+                f"unknown planarization {kind!r}; "
+                f"expected one of {sorted(_PLANARIZATIONS)}"
+            )
+        self._graph = graph
+        self._kind = kind
+        self._adjacency: dict[NodeId, tuple[NodeId, ...]] | None = None
+
+    @property
+    def kind(self) -> str:
+        """Which planar construction this cache computes."""
+        return self._kind
+
+    @property
+    def adjacency(self) -> dict[NodeId, tuple[NodeId, ...]]:
+        """The planar adjacency, computed on first access."""
+        if self._adjacency is None:
+            self._adjacency = _PLANARIZATIONS[self._kind](self._graph)
+        return self._adjacency
+
+    def __getitem__(self, node: NodeId) -> tuple[NodeId, ...]:
+        return self.adjacency[node]
+
+    def rebind(self, graph: WasnGraph) -> None:
+        """Point at an updated graph, discarding the cached adjacency."""
+        self._graph = graph
+        self._adjacency = None
 
 
 def face_recovery(
     trace: PacketTrace,
     graph: WasnGraph,
-    planar: dict[NodeId, tuple[NodeId, ...]],
+    planar: "dict[NodeId, tuple[NodeId, ...]] | PlanarizationCache",
     destination: NodeId,
     hand: Hand = Hand.RIGHT,
 ) -> str | None:

@@ -43,11 +43,27 @@ class SlgfRouter(LgfRouter):
     ):
         super().__init__(model.graph, ttl, candidate_scope)
         self._model = model
+        self._model_stale = False
 
     @property
     def model(self) -> InformationModel:
-        """The information model this router consults."""
+        """The information model this router consults.
+
+        Rebuilt lazily after a :meth:`~repro.routing.base.Router.rebind`
+        — the paper's periodic beaconing re-runs the information
+        construction whenever the topology drifts.  The rebuild keeps
+        the original model's construction options
+        (:meth:`InformationModel.rebuild`), so it restores exactly
+        what a fresh construction with the same options would hold.
+        """
+        if self._model_stale:
+            self._model = self._model.rebuild(self.graph)
+            self._model_stale = False
         return self._model
+
+    def _on_topology_change(self, delta) -> None:
+        """Safety labels go stale with the topology; rebuild on demand."""
+        self._model_stale = True
 
     def _safe_candidates(
         self, candidates: list[NodeId], pd: Point
@@ -59,6 +75,7 @@ class SlgfRouter(LgfRouter):
         whether the forwarding *from v onward* stays safe.
         """
         graph = self.graph
+        model = self.model
         out: list[NodeId] = []
         for v in candidates:
             pv = graph.position(v)
@@ -67,7 +84,7 @@ class SlgfRouter(LgfRouter):
                 # exactly the destination's position — trivially "safe".
                 out.append(v)
                 continue
-            if self._model.is_safe(v, zone_type_of(pv, pd)):
+            if model.is_safe(v, zone_type_of(pv, pd)):
                 out.append(v)
         return out
 

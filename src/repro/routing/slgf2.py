@@ -74,10 +74,9 @@ from repro.core.zones import (
 from repro.geometry import Point, Rect
 from repro.geometry.angles import angle_of
 from repro.network.node import NodeId
-from repro.network.planar import gabriel_graph
 from repro.routing.base import PacketTrace, Phase, Router
 from repro.routing.handrule import hand_sweep
-from repro.routing.perimeter import face_recovery
+from repro.routing.perimeter import PlanarizationCache, face_recovery
 
 __all__ = ["Slgf2Router"]
 
@@ -129,20 +128,50 @@ class Slgf2Router(Router):
         if backup_cap_factor <= 0:
             raise ValueError("backup_cap_factor must be positive")
         self._model = model
+        self._model_stale = False
         self._use_superseding = use_superseding
         self._use_backup = use_backup
         self._perimeter_mode = perimeter_mode
+        self._bound_margin_factor = bound_margin_factor
+        self._enter_threshold_factor = enter_threshold_factor
         self._bound_margin = bound_margin_factor * model.graph.radius
         self._enter_threshold = enter_threshold_factor * model.graph.radius
         self._backup_cap_factor = backup_cap_factor
         self._planar = (
-            gabriel_graph(model.graph) if perimeter_mode == "face" else None
+            PlanarizationCache(model.graph, "gabriel")
+            if perimeter_mode == "face"
+            else None
         )
 
     @property
     def model(self) -> InformationModel:
-        """The information model this router consults."""
+        """The information model this router consults.
+
+        Rebuilt lazily after a :meth:`~repro.routing.base.Router.rebind`
+        (the periodic-beaconing re-construction), preserving the
+        original model's construction options
+        (:meth:`InformationModel.rebuild`) so the rebound router is
+        indistinguishable from a freshly built one.
+        """
+        if self._model_stale:
+            self._model = self._model.rebuild(self.graph)
+            self._model_stale = False
         return self._model
+
+    def _on_topology_change(self, delta) -> None:
+        """Safety/shape information and the planarization go stale.
+
+        The radius-derived thresholds are re-derived too — a rebind
+        normally keeps the radius (a network's communication range is
+        a hardware constant), but the contract is rebind == fresh
+        router, whatever graph arrives.
+        """
+        self._model_stale = True
+        radius = self.graph.radius
+        self._bound_margin = self._bound_margin_factor * radius
+        self._enter_threshold = self._enter_threshold_factor * radius
+        if self._planar is not None:
+            self._planar.rebind(self.graph)
 
     # ------------------------------------------------------------------
     # Candidate machinery
@@ -194,7 +223,7 @@ class Slgf2Router(Router):
         out: list[NodeId] = []
         for v in candidates:
             pv = graph.position(v)
-            if pv == pd or self._model.is_safe(v, zone_type_of(pv, pd)):
+            if pv == pd or self.model.is_safe(v, zone_type_of(pv, pd)):
                 out.append(v)
         return out
 
@@ -211,11 +240,11 @@ class Slgf2Router(Router):
         for w in (u, *graph.neighbors(u)):
             pw = graph.position(w)
             for zone_type in ZONE_TYPES:
-                if self._model.is_safe(w, zone_type):
+                if self.model.is_safe(w, zone_type):
                     continue
                 if not forwarding_zone_contains(pw, zone_type, pd):
                     continue
-                split = self._model.region_split(w, zone_type, pd)
+                split = self.model.region_split(w, zone_type, pd)
                 if split is not None and split.destination_side != 0:
                     splits.append(split)
         return splits
@@ -264,7 +293,7 @@ class Slgf2Router(Router):
         pv = self.graph.position(v)
         return any(
             forwarding_zone_contains(pu, zone_type, pv)
-            and self._model.is_safe(v, zone_type)
+            and self.model.is_safe(v, zone_type)
             for zone_type in ZONE_TYPES
         )
 
@@ -298,7 +327,7 @@ class Slgf2Router(Router):
         pv = self.graph.position(v)
         if pv == pd:
             return True
-        rect = self._model.estimated_area(v, zone_type_of(pv, pd))
+        rect = self.model.estimated_area(v, zone_type_of(pv, pd))
         if rect is None:
             return True  # no prediction of a block at all
         if rect.contains(pd, tol=_EPS):
@@ -318,7 +347,7 @@ class Slgf2Router(Router):
         the unsafe area.  Due to the limited size of each unsafe area,
         the length of the routing path can be controlled."
         """
-        rects = self._model.known_unsafe_rects(u)
+        rects = self.model.known_unsafe_rects(u)
         if not rects:
             return 8
         bound = rects[0]
@@ -368,7 +397,7 @@ class Slgf2Router(Router):
             # Safe-arrival gate (see module docstring): an unsafe
             # destination voids the safe-forwarding guarantee, so run
             # SLGF-style greedy + perimeter, superseding filter intact.
-            arrival_safe = self._model.is_safe(
+            arrival_safe = self.model.is_safe(
                 destination, opposite_zone_type(k)
             )
 
@@ -386,8 +415,8 @@ class Slgf2Router(Router):
             detour_justified = (
                 self._use_backup
                 and arrival_safe
-                and not self._model.is_safe(u, k)
-                and self._model.is_safe_any(u)
+                and not self.model.is_safe(u, k)
+                and self.model.is_safe_any(u)
                 and not (
                     plain
                     and self._entering_is_cheap(
@@ -507,7 +536,7 @@ class Slgf2Router(Router):
         """
         if self._perimeter_mode != "dfs-bounded":
             return None
-        rects = self._model.known_unsafe_rects(u)
+        rects = self.model.known_unsafe_rects(u)
         if not rects:
             return None
         bound = rects[0]

@@ -101,35 +101,40 @@ class TestFifthRouter:
         assert cache.hits >= 1
         assert cached.points == sweep.points
 
-    def test_legacy_default_routers_cache_key_tracks_registry(
+    def test_default_factory_cache_key_tracks_registry(
         self, fifth_router
     ):
-        # Regression: the default_routers shim builds whatever the
-        # registry holds, so its cache identity must change when the
-        # registry does — otherwise a warm cache serves four-scheme
-        # points after a fifth scheme is registered.
-        from repro.experiments import default_routers
+        # Regression: the default factory (resolved at call time from
+        # the registry) builds whatever the registry holds, so its
+        # cache identity must change when the registry does —
+        # otherwise a warm cache serves four-scheme points after a
+        # fifth scheme is registered.
+        from repro.experiments import registry_routers
 
-        with_fifth = point_key(TINY, "IA", 250, default_routers)
+        with_fifth = point_key(TINY, "IA", 250, registry_routers())
         default_registry.unregister(fifth_router)
         try:
-            without_fifth = point_key(TINY, "IA", 250, default_routers)
+            without_fifth = point_key(
+                TINY, "IA", 250, registry_routers()
+            )
         finally:
             default_registry.register(
                 fifth_router, build_gf_face, order=4
             )
         assert with_fifth != without_fifth
 
-    def test_default_routers_pickles_as_a_spec_snapshot(self, fifth_router):
-        # Regression: the shim must ship the *factories* to workers,
-        # not names to re-resolve — a worker whose registry diverged
-        # (spawn + __main__ registrations) must still build exactly
-        # the parent's schemes.
+    def test_default_factory_pickles_as_a_spec_snapshot(
+        self, fifth_router
+    ):
+        # Regression: the default factory must ship the *factories* to
+        # workers, not names to re-resolve — a worker whose registry
+        # diverged (spawn + __main__ registrations) must still build
+        # exactly the parent's schemes.
         import pickle
 
-        from repro.experiments import default_routers
+        from repro.experiments import registry_routers
 
-        payload = pickle.dumps(default_routers)
+        payload = pickle.dumps(registry_routers())
         # Simulate a diverged worker registry: the fifth scheme gone.
         default_registry.unregister(fifth_router)
         try:

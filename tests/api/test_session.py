@@ -215,9 +215,38 @@ class TestMobility:
             assert len(snapshot.graph) == 60
             assert "SLGF2" in snapshot.routers
 
+    def test_degenerate_schedule_rejected_at_declaration(self):
+        # Regression: epochs=0 must fail loudly, not yield an empty
+        # "mobile" result set.
+        with pytest.raises(ValueError, match="epochs"):
+            MobilitySchedule(epochs=0)
+        with pytest.raises(ValueError, match="dt"):
+            MobilitySchedule(dt=0.0)
+        with pytest.raises(ValueError, match="speed"):
+            MobilitySchedule(speed_min=0.0)
+        with pytest.raises(ValueError, match="pause"):
+            MobilitySchedule(pause=-1.0)
+
     def test_epochs_without_schedule_rejected(self):
         with pytest.raises(ValueError, match="no mobility schedule"):
             list(Session(Scenario(**TINY)).epochs())
+
+    def test_run_scenario_routes_every_epoch(self):
+        from repro.api import run_scenario
+
+        scenario = Scenario(
+            node_count=60,
+            seed=3,
+            routers=("SLGF2",),
+            routes_per_network=4,
+            mobility=MobilitySchedule(dt=5.0, epochs=3),
+        )
+        routes = run_scenario(scenario)
+        # One workload per epoch, merged in order.
+        assert len(routes.results("SLGF2")) == 3 * 4
+        # Deterministic: a replay merges to the identical result set.
+        replay = run_scenario(scenario)
+        assert list(routes) == list(replay)
 
     def test_static_routing_of_mobile_scenario_rejected(self):
         # Regression: a mobile scenario must not silently report

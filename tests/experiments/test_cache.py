@@ -9,7 +9,6 @@ from repro.experiments import (
     ExperimentConfig,
     ResultCache,
     default_cache,
-    default_routers,
     evaluate_point,
     factory_fingerprint,
     figure_table,
@@ -19,6 +18,7 @@ from repro.experiments import (
     run_sweep,
 )
 from repro.experiments.cache import default_cache_root
+from repro.experiments.runner import registry_routers
 
 TINY = ExperimentConfig(
     node_counts=(250, 300),
@@ -29,22 +29,22 @@ TINY = ExperimentConfig(
 
 class TestKeying:
     def test_stable(self):
-        a = point_key(TINY, "IA", 250, default_routers)
-        b = point_key(TINY, "IA", 250, default_routers)
+        a = point_key(TINY, "IA", 250, registry_routers())
+        b = point_key(TINY, "IA", 250, registry_routers())
         assert a == b
         assert len(a) == 64  # sha256 hex
 
     def test_sensitive_to_inputs(self):
-        base = point_key(TINY, "IA", 250, default_routers)
-        assert point_key(TINY, "FA", 250, default_routers) != base
-        assert point_key(TINY, "IA", 300, default_routers) != base
+        base = point_key(TINY, "IA", 250, registry_routers())
+        assert point_key(TINY, "FA", 250, registry_routers()) != base
+        assert point_key(TINY, "IA", 300, registry_routers()) != base
         reseeded = ExperimentConfig(
             node_counts=TINY.node_counts,
             networks_per_point=TINY.networks_per_point,
             routes_per_network=TINY.routes_per_network,
             seed=TINY.seed + 1,
         )
-        assert point_key(reseeded, "IA", 250, default_routers) != base
+        assert point_key(reseeded, "IA", 250, registry_routers()) != base
 
     def test_node_counts_axis_excluded(self):
         """A point cached in one sweep is reusable in any sweep."""
@@ -53,22 +53,22 @@ class TestKeying:
             networks_per_point=TINY.networks_per_point,
             routes_per_network=TINY.routes_per_network,
         )
-        assert point_key(TINY, "IA", 250, default_routers) == point_key(
-            wider, "IA", 250, default_routers
+        assert point_key(TINY, "IA", 250, registry_routers()) == point_key(
+            wider, "IA", 250, registry_routers()
         )
 
     def test_anonymous_factories_not_keyable(self):
         """Two lambdas share a name — refusing beats colliding."""
         import functools
 
-        assert factory_fingerprint(default_routers) is not None
+        assert factory_fingerprint(registry_routers()) is not None
         assert factory_fingerprint(lambda instance: {}) is None
         assert (
-            factory_fingerprint(functools.partial(default_routers)) is None
+            factory_fingerprint(functools.partial(registry_routers())) is None
         )
 
         def local_factory(instance):
-            return default_routers(instance)
+            return registry_routers()(instance)
 
         assert factory_fingerprint(local_factory) is None  # <locals>
         with pytest.raises(ValueError):
@@ -80,9 +80,9 @@ class TestKeying:
 
         module_path = tmp_path / "user_factories.py"
         body = (
-            "from repro.experiments import default_routers\n"
+            "from repro.experiments import registry_routers\n"
             "def my_factory(instance):\n"
-            "    return default_routers(instance)\n"
+            "    return registry_routers()(instance)\n"
         )
         module_path.write_text(body)
         spec = importlib.util.spec_from_file_location(
@@ -119,7 +119,7 @@ class TestRoundTrip:
     def test_store_load(self, tmp_path):
         cache = ResultCache(tmp_path)
         point = evaluate_point(TINY, "IA", 250)
-        key = point_key(TINY, "IA", 250, default_routers)
+        key = point_key(TINY, "IA", 250, registry_routers())
         path = cache.store(key, point)
         assert path is not None and path.exists()
         assert cache.load(key) == point
@@ -153,7 +153,7 @@ class TestSweepCaching:
     def test_corrupt_entry_recomputed(self, tmp_path):
         cache = ResultCache(tmp_path)
         point = evaluate_point(TINY, "IA", 250)
-        key = point_key(TINY, "IA", 250, default_routers)
+        key = point_key(TINY, "IA", 250, registry_routers())
         cache.store(key, point)
         cache.path_for(key).write_text("{not json", encoding="utf-8")
         assert cache.load(key) is None  # miss, not an error
@@ -174,7 +174,7 @@ class TestSweepCaching:
         sweep = run_sweep(
             TINY,
             "IA",
-            router_factory=functools.partial(default_routers),
+            router_factory=functools.partial(registry_routers()),
             jobs=1,
             cache=ResultCache(tmp_path, enabled=False),
         )
@@ -185,7 +185,7 @@ class TestSweepCaching:
         cache = ResultCache(tmp_path)
         first = run_sweep(
             TINY, "IA",
-            router_factory=lambda inst: default_routers(inst),
+            router_factory=lambda inst: registry_routers()(inst),
             jobs=1, cache=cache,
         )
         assert not list(tmp_path.iterdir())  # nothing stored

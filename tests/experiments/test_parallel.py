@@ -8,8 +8,8 @@ from repro.experiments import (
     ResultCache,
     WorkUnit,
     default_jobs,
-    default_routers,
     plan_units,
+    registry_routers,
     resolve_jobs,
     run_sweep,
     run_sweeps,
@@ -98,7 +98,7 @@ class TestParallelDeterminism:
 
         def factory(instance):  # a closure: not picklable
             captured.append(instance.seed)
-            return default_routers(instance)
+            return registry_routers()(instance)
 
         sweep = run_sweep(
             TINY, "IA", router_factory=factory, jobs=2, cache=_no_cache()

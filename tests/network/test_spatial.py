@@ -124,6 +124,102 @@ class TestRangeQueries:
         assert len(pairs) == len(set(pairs))
 
 
+class TestCellBoundaries:
+    """Regression: points exactly on cell borders, negative
+    coordinates, and moves that cross cells must behave like any
+    interior point — the dynamic-topology engine leans on all three."""
+
+    def test_point_exactly_on_cell_border_found(self):
+        grid = SpatialGrid(cell_size=10)
+        # x = 10 sits on the border between cells 0 and 1.
+        grid.insert(0, Point(10.0, 0.0))
+        assert set(grid.neighbors_within(Point(9.999, 0.0), 1.0)) == {0}
+        assert set(grid.neighbors_within(Point(10.001, 0.0), 1.0)) == {0}
+        assert set(grid.neighbors_within(Point(10.0, 0.0), 0.5)) == {0}
+
+    def test_pair_straddling_border_at_exact_radius(self):
+        grid = SpatialGrid(cell_size=5)
+        # 4.5 and 9.5 are exactly representable: the distance is 5.0
+        # to the bit, and the points sit in adjacent cells.
+        grid.insert(0, Point(4.5, 0.0))
+        grid.insert(1, Point(9.5, 0.0))
+        assert set(grid.all_pairs_within(5.0)) == {(0, 1)}
+
+    def test_negative_coordinates(self):
+        # int(x // cell) is a floor, not a truncation: -0.5 must land
+        # in cell -1, not share cell 0 with +0.5.
+        grid = SpatialGrid(cell_size=10)
+        grid.insert(0, Point(-0.5, -0.5))
+        grid.insert(1, Point(0.5, 0.5))
+        grid.insert(2, Point(-25.0, -25.0))
+        assert set(grid.neighbors_within(Point(0.0, 0.0), 2.0)) == {0, 1}
+        assert set(grid.all_pairs_within(2.0)) == {(0, 1)}
+        assert set(grid.neighbors_within(Point(-25.0, -25.0), 1.0)) == {2}
+
+    def test_query_radius_larger_than_cell(self):
+        grid = SpatialGrid(cell_size=3)
+        grid.insert(0, Point(0.0, 0.0))
+        grid.insert(1, Point(9.5, 0.0))  # 4 cells away, within 10
+        assert set(grid.neighbors_within(Point(0.0, 0.0), 10.0)) == {0, 1}
+        assert set(grid.all_pairs_within(10.0)) == {(0, 1)}
+
+    def test_move_within_cell(self):
+        grid = SpatialGrid(cell_size=10)
+        grid.insert(0, Point(1.0, 1.0))
+        grid.move(0, Point(2.0, 2.0))
+        assert grid.position(0) == Point(2.0, 2.0)
+        assert set(grid.neighbors_within(Point(2.0, 2.0), 0.1)) == {0}
+        assert set(grid.neighbors_within(Point(1.0, 1.0), 0.1)) == set()
+
+    def test_move_across_cells(self):
+        grid = SpatialGrid(cell_size=10)
+        grid.insert(0, Point(1.0, 1.0))
+        grid.insert(1, Point(2.0, 1.0))
+        grid.move(0, Point(55.0, -35.0))
+        assert set(grid.neighbors_within(Point(55.0, -35.0), 1.0)) == {0}
+        assert set(grid.neighbors_within(Point(1.0, 1.0), 5.0)) == {1}
+        # The vacated cell slot is really gone: removing the other
+        # occupant leaves the origin neighbourhood empty.
+        grid.remove(1)
+        assert set(grid.neighbors_within(Point(1.0, 1.0), 5.0)) == set()
+
+    def test_move_onto_cell_border(self):
+        grid = SpatialGrid(cell_size=10)
+        grid.insert(0, Point(5.0, 5.0))
+        grid.move(0, Point(10.0, 10.0))  # exactly a cell corner
+        assert set(grid.neighbors_within(Point(10.0, 10.0), 0.1)) == {0}
+        grid.move(0, Point(9.999, 9.999))
+        assert set(grid.neighbors_within(Point(10.0, 10.0), 0.1)) == {0}
+
+    def test_move_unknown_key_raises(self):
+        grid = SpatialGrid(cell_size=10)
+        with pytest.raises(KeyError):
+            grid.move(0, Point(0.0, 0.0))
+
+    @given(point_lists, st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=40)
+    def test_moves_equivalent_to_fresh_grid(self, points, seed):
+        """A grid after random moves answers like one built fresh."""
+        rng = random.Random(seed)
+        grid = SpatialGrid(cell_size=7.3)
+        for i, p in enumerate(points):
+            grid.insert(i, p)
+        final = list(points)
+        for _ in range(min(30, 3 * len(points))):
+            i = rng.randrange(len(points))
+            final[i] = Point(rng.uniform(-500, 500), rng.uniform(-500, 500))
+            grid.move(i, final[i])
+        fresh = SpatialGrid(cell_size=7.3)
+        fresh.bulk_insert(enumerate(final))
+        assert set(grid.all_pairs_within(25.0)) == set(
+            fresh.all_pairs_within(25.0)
+        )
+        center = Point(0.0, 0.0)
+        assert set(grid.neighbors_within(center, 40.0)) == set(
+            fresh.neighbors_within(center, 40.0)
+        )
+
+
 class TestNearest:
     def test_empty_grid(self):
         grid = SpatialGrid(cell_size=5)

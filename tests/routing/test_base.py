@@ -191,3 +191,75 @@ class TestBasicDelivery:
         result = GreedyRouter(g).route(0, 1)
         assert not result.delivered
         assert result.failure_reason is not None
+
+
+class TestRebind:
+    def _graphs(self):
+        import random
+
+        rng = random.Random(3)
+        small = build_unit_disk_graph(
+            [Point(rng.uniform(0, 60), rng.uniform(0, 60)) for _ in range(20)],
+            radius=18,
+        )
+        large = build_unit_disk_graph(
+            [Point(rng.uniform(0, 90), rng.uniform(0, 90)) for _ in range(40)],
+            radius=18,
+        )
+        return small, large
+
+    def test_derived_ttl_rederives_on_rebind(self):
+        small, large = self._graphs()
+        router = GreedyRouter(small, recovery="face")
+        router.rebind(large)
+        assert router.ttl == GreedyRouter(large, recovery="face").ttl
+        assert router.graph is large
+
+    def test_explicit_ttl_survives_rebind(self):
+        small, large = self._graphs()
+        router = GreedyRouter(small, ttl=7, recovery="face")
+        router.rebind(large)
+        assert router.ttl == 7
+
+    def test_rebind_preserves_information_model_options(self):
+        # Regression: the lazy post-rebind model rebuild must keep the
+        # construction options of the model the router was built with.
+        from repro.core import InformationModel
+        from repro.routing import Slgf2Router
+
+        small, large = self._graphs()
+        router = Slgf2Router(
+            InformationModel.build(small, shape_mode="exact")
+        )
+        router.rebind(large)
+        assert router.model.shape_mode == "exact"
+        assert router.model.graph is large
+
+    def test_rebind_rederives_radius_thresholds(self):
+        # Regression: SLGF2's radius-derived knobs must track a rebind
+        # that changes the communication range.
+        from repro.core import InformationModel
+        from repro.routing import Slgf2Router
+
+        small, _ = self._graphs()
+        wide = build_unit_disk_graph(
+            [Point(0, 0), Point(20, 0), Point(40, 0)], radius=30
+        )
+        router = Slgf2Router(InformationModel.build(small))
+        router.rebind(wide)
+        fresh = Slgf2Router(InformationModel.build(wide))
+        assert router._enter_threshold == fresh._enter_threshold
+        assert router._bound_margin == fresh._bound_margin
+
+    def test_track_returns_unsubscribable_handle(self):
+        from repro.network import DynamicTopology
+
+        small, _ = self._graphs()
+        topology = DynamicTopology.from_graph(small)
+        router = GreedyRouter(topology.graph, recovery="face")
+        handle = router.track(topology)
+        topology.fail(0)
+        assert 0 not in router.graph
+        topology.unsubscribe(handle)
+        topology.restore(0)
+        assert 0 not in router.graph  # no longer tracking

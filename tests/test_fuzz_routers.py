@@ -18,7 +18,11 @@ from hypothesis import strategies as st
 from repro.api import default_registry
 from repro.core import InformationModel
 from repro.experiments.workload import NetworkInstance
-from repro.network import EdgeDetector, build_unit_disk_graph
+from repro.network import (
+    DynamicTopology,
+    EdgeDetector,
+    build_unit_disk_graph,
+)
 from repro.geometry import Point
 from repro.protocols import build_hole_boundaries
 from repro.routing import path_is_valid
@@ -45,9 +49,7 @@ VARIANTS = (
 )
 
 
-def _instance(positions) -> NetworkInstance:
-    g = build_unit_disk_graph(positions, radius=30.0)
-    g = EdgeDetector(strategy="convex").apply(g)
+def _instance_for(g) -> NetworkInstance:
     return NetworkInstance(
         graph=g,
         model=InformationModel.build(g),
@@ -55,6 +57,12 @@ def _instance(positions) -> NetworkInstance:
         deployment_model="IA",
         seed=0,
     )
+
+
+def _instance(positions) -> NetworkInstance:
+    g = build_unit_disk_graph(positions, radius=30.0)
+    g = EdgeDetector(strategy="convex").apply(g)
+    return _instance_for(g)
 
 
 def _build(positions):
@@ -105,3 +113,77 @@ class TestFuzz:
             router = default_registry.create(name, instance, **options)
             result = router.route(s, d)
             assert result.delivered, (router.name, s, d, result.failure_reason)
+
+
+class TestMetamorphicDynamic:
+    """Metamorphic relation of the dynamic-topology engine: for every
+    registered scheme (default configuration and knob variants), route
+    outcomes over an incrementally maintained topology must equal the
+    outcomes over the equivalent from-scratch rebuild.
+
+    Routers are bound to the initial topology and *tracked* — every
+    move/fail/restore delta rebinds them — so this exercises both the
+    snapshot identity (adjacency, flags) and the routers' cache
+    invalidation (planarizations, safety models, hole boundaries,
+    derived TTLs).  Any cached state surviving a delta diverges here.
+    """
+
+    @given(deployments, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_route_outcomes_invariant_under_incremental_maintenance(
+        self, positions, event_seed
+    ):
+        import random
+
+        rng = random.Random(event_seed)
+        count = len(positions)
+        topology = DynamicTopology(
+            positions, 30.0, edge_detector=EdgeDetector(strategy="convex")
+        )
+        tracked = list(
+            default_registry.build(_instance_for(topology.graph)).values()
+        )
+        tracked.extend(
+            default_registry.create(
+                name, _instance_for(topology.graph), **options
+            )
+            for name, options in VARIANTS
+        )
+        for router in tracked:
+            router.track(topology)
+
+        for _ in range(6):
+            draw = rng.random()
+            if draw < 0.55:
+                topology.move(
+                    rng.randrange(count),
+                    Point(rng.uniform(0, 100), rng.uniform(0, 100)),
+                )
+            elif draw < 0.8 and len(topology) > 2:
+                topology.fail(rng.choice(topology.alive_ids))
+            elif topology.down_ids:
+                topology.restore(rng.choice(topology.down_ids))
+
+        # The reference: full rebuild over the same surviving state.
+        full = build_unit_disk_graph(
+            [topology.position(i) for i in range(count)], radius=30.0
+        )
+        reference = EdgeDetector(strategy="convex").apply(
+            full.without_nodes(topology.down_ids)
+        )
+        fresh_instance = _instance_for(reference)
+        fresh = list(default_registry.build(fresh_instance).values())
+        fresh.extend(
+            default_registry.create(name, fresh_instance, **options)
+            for name, options in VARIANTS
+        )
+
+        s, d = rng.sample(topology.alive_ids, 2)
+        for maintained, rebuilt in zip(tracked, fresh):
+            assert maintained.name == rebuilt.name
+            assert maintained.ttl == rebuilt.ttl, maintained.name
+            assert maintained.route(s, d) == rebuilt.route(s, d), (
+                maintained.name,
+                s,
+                d,
+            )
