@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
 """Full evaluation: regenerate every figure of Section 5.
 
-Drives the experiment harness through :func:`repro.api.sweeps` over
-both deployment models and prints the three figure tables per model
-(plus ASCII charts), optionally at the paper's full scale:
+Drives the experiment harness as a declarative
+:class:`repro.api.Study` — the density grid over both deployment
+models, streamed cell by cell — and prints the three figure tables
+per model (plus ASCII charts), optionally at the paper's full scale:
 
     python examples/full_evaluation.py              # quick sweep
     python examples/full_evaluation.py --full       # paper scale
@@ -13,10 +14,11 @@ both deployment models and prints the three figure tables per model
     python examples/full_evaluation.py --routers GF SLGF2
 
 Router selection is by registry name, so schemes registered through
-``repro.api.register_router`` join the sweep and the legends
-automatically.  Points are cached under ``.repro_cache/`` so a re-run
-(or a run after an interrupted one) only computes what is missing;
-pass ``--no-cache`` to force recomputation.
+``repro.api.register_router`` join the study and the legends
+automatically.  Cells are cached under ``.repro_cache/`` keyed by
+their full scenario fingerprint, so a re-run (or a run after an
+interrupted one) only computes what is missing; pass ``--no-cache``
+to force recomputation.
 
 Equivalent CLI: ``repro-wasn [--full] [--jobs N] [--csv-dir out/]``.
 """
@@ -25,7 +27,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.api import default_registry, sweeps
+from repro.api import Study, default_registry
 from repro.experiments import (
     PAPER_CONFIG,
     QUICK_CONFIG,
@@ -93,16 +95,14 @@ def main() -> None:
         f"{config.routes_per_network} routes per point\n",
         file=sys.stderr,
     )
-    results = sweeps(
-        config,
-        ("IA", "FA"),
-        routers=args.routers,
-        progress=lambda s: print(s, file=sys.stderr),
+    study = Study.from_config(config, ("IA", "FA"), routers=args.routers)
+    results = study.run(
         jobs=jobs,
         cache=cache,
+        progress=lambda event: print(event, file=sys.stderr),
     )
     for model in ("IA", "FA"):
-        sweep_result = results[model]
+        sweep_result = results.sweep_result(model)
         for figure_id, table in all_figures(sweep_result).items():
             print()
             print(format_table(table))

@@ -10,6 +10,10 @@ tests) drives the system through three ideas:
 * a declarative :class:`Scenario` plus a :class:`Session` facade:
   describe the network once, materialise it once, then
   ``route``/``route_pairs``/``run`` against it;
+* a declarative :class:`Study`: a base Scenario swept along named
+  axes (any Scenario field — densities, seeds, failure schedules,
+  obstacle fields, router options), streamed cell by cell through
+  worker processes with scenario-fingerprint caching;
 * **instrumentation hooks**: :class:`TraceRecorder` /
   :class:`EnergyMeter` attach to any route call via ``on_hop`` /
   ``on_phase_change`` — no subclassing.
@@ -24,6 +28,16 @@ Quickstart::
 
     routes = session.run()              # the scenario's workload
     print(routes.aggregate("SLGF2").hops.mean)
+
+A parameter study over any Scenario feature::
+
+    from repro.api import RandomFailure, Study
+
+    study = Study(Scenario(networks=10),
+                  nodes=range(400, 801, 100),
+                  vary={"failures": [(), (RandomFailure(20),)]})
+    for cell, result in study.stream(jobs=4):
+        print(cell.label(), result.metric("SLGF2", "delivery_rate"))
 
 Registering a fifth scheme::
 
@@ -54,17 +68,28 @@ from repro.api.scenario import (
     Scenario,
 )
 from repro.api.session import Session, connected_session, run_scenario
+from repro.api.study import (
+    Cell,
+    CellResult,
+    Study,
+    StudyResult,
+    scenario_fingerprint,
+)
 from repro.api.sweeps import sweep, sweeps
+from repro.experiments.progress import ProgressEvent
 from repro.network.dynamic import DynamicTopology, TopologyDelta
 from repro.routing.base import HopEvent, PacketTrace, RouteResult
 
 __all__ = [
+    "Cell",
+    "CellResult",
     "DynamicTopology",
     "EnergyMeter",
     "HopEvent",
     "MobilitySchedule",
     "NodesFailure",
     "PacketTrace",
+    "ProgressEvent",
     "RandomFailure",
     "RegionFailure",
     "RegistryRouterFactory",
@@ -76,12 +101,15 @@ __all__ = [
     "RouterSpec",
     "Scenario",
     "Session",
+    "Study",
+    "StudyResult",
     "TraceRecorder",
     "connected_session",
     "default_registry",
     "register_router",
     "router_order",
     "run_scenario",
+    "scenario_fingerprint",
     "sweep",
     "sweeps",
 ]

@@ -375,6 +375,25 @@ class RegistryRouterFactory:
         """Cache identity (see :meth:`RouterRegistry.fingerprint`)."""
         return self._fingerprint
 
+    def as_registry(self) -> RouterRegistry:
+        """A standalone registry holding exactly this factory's specs.
+
+        The bridge into Scenario-based evaluation (`repro.api.study`):
+        a Study cell resolves router *names*, so a factory that was
+        snapshotted from some registry state hands that exact state
+        over — later registrations or unregistrations in the source
+        registry cannot leak into an in-flight study.
+        """
+        registry = RouterRegistry()
+        for spec in self._specs:
+            registry.register(
+                spec.name,
+                spec.factory,
+                order=spec.order,
+                description=spec.description,
+            )
+        return registry
+
     def __repr__(self) -> str:
         return f"RegistryRouterFactory(names={list(self.names)!r})"
 

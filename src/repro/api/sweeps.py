@@ -1,21 +1,29 @@
-"""API-level density sweeps: the figure pipeline behind one call.
+"""Deprecated density-sweep wrappers (superseded by :mod:`repro.api.study`).
 
-Thin, registry-aware wrappers over
-:func:`repro.experiments.sweep.run_sweeps`: callers pick routers by
-registered name (any scheme added via
-:func:`~repro.api.registry.register_router` included) and the wrapper
-supplies the :class:`~repro.api.registry.RegistryRouterFactory` whose
-cache fingerprint keys the result cache on exactly that selection.
+``sweeps()``/``sweep()`` predate the declarative Study API: they could
+express exactly one grid — deployment model × node count — while every
+scenario feature added since (failure schedules, mobility, obstacle
+fields, per-scheme router options) was unsweepable.
+:class:`~repro.api.study.Study` expresses all of it::
+
+    # before                                    # now
+    sweeps(cfg, ("IA", "FA"), routers=names)    Study.from_config(cfg, ("IA", "FA"), routers=names).run()
+
+Both functions survive one release as warning shims delegating to
+:class:`Study` (matching the repo's one-release deprecation pattern);
+their panels stay bit-identical to the historical output.  See the
+migration table in ``docs/API.md``.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Mapping, Sequence
 
 from repro.api.registry import RegistryRouterFactory, RouterRegistry
 from repro.experiments.cache import ResultCache
 from repro.experiments.config import QUICK_CONFIG, ExperimentConfig
-from repro.experiments.engine import Progress
+from repro.experiments.progress import Progress
 from repro.experiments.sweep import SweepResult, run_sweeps
 
 __all__ = ["sweep", "sweeps"]
@@ -31,21 +39,29 @@ def sweeps(
     cache: ResultCache | None = None,
     registry: RouterRegistry | None = None,
 ) -> dict[str, SweepResult]:
-    """Density sweeps for several deployment models, by router name.
+    """Deprecated: density sweeps by router name.
 
-    ``routers=None`` evaluates every registered scheme; the default
-    config is the quick (laptop-scale) one.
+    Delegates to a density :class:`~repro.api.study.Study`; build one
+    directly (``Study.from_config(config, models, ...)``) for the same
+    panels plus streaming, richer axes and scenario-keyed caching.
     """
-    factory = RegistryRouterFactory(
-        names=routers, options=router_options, registry=registry
+    warnings.warn(
+        "repro.api.sweeps() is deprecated and will be removed next "
+        "release; use repro.api.Study.from_config(config, models, "
+        "routers=...).run() and its .sweep_result(model) adapter "
+        "(see docs/API.md)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return run_sweeps(
+    return _study_sweeps(
         config if config is not None else QUICK_CONFIG,
-        models,
-        router_factory=factory,
+        tuple(models),
+        routers=routers,
+        router_options=router_options,
         progress=progress,
         jobs=jobs,
         cache=cache,
+        registry=registry,
     )
 
 
@@ -54,5 +70,41 @@ def sweep(
     model: str = "IA",
     **kwargs,
 ) -> SweepResult:
-    """One deployment model's sweep (see :func:`sweeps`)."""
-    return sweeps(config, (model,), **kwargs)[model]
+    """Deprecated: one deployment model's sweep (see :func:`sweeps`)."""
+    warnings.warn(
+        "repro.api.sweep() is deprecated and will be removed next "
+        "release; use repro.api.Study.from_config(config, (model,), "
+        "routers=...).run() and its .sweep_result(model) adapter "
+        "(see docs/API.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _study_sweeps(
+        config if config is not None else QUICK_CONFIG, (model,), **kwargs
+    )[model]
+
+
+def _study_sweeps(
+    config: ExperimentConfig,
+    models: tuple[str, ...],
+    routers: Sequence[str] | None = None,
+    router_options: Mapping[str, Mapping] | None = None,
+    progress: Progress | None = None,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+    registry: RouterRegistry | None = None,
+) -> dict[str, SweepResult]:
+    # The factory validates the selection eagerly (unknown names,
+    # options for unselected routers) and run_sweeps compiles it onto
+    # a density Study — one copy of that logic for every caller.
+    factory = RegistryRouterFactory(
+        names=routers, options=router_options, registry=registry
+    )
+    return run_sweeps(
+        config,
+        models,
+        router_factory=factory,
+        progress=progress,
+        jobs=jobs,
+        cache=cache,
+    )

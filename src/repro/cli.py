@@ -13,14 +13,18 @@ figure tables::
 
 The CLI drives everything through :mod:`repro.api`: router selection
 is by registered name (schemes added via
-:func:`repro.api.register_router` appear automatically), and sweeps
-run through the registry-aware :func:`repro.api.sweeps` wrapper so
-the result cache keys on the exact scheme selection.
+:func:`repro.api.register_router` appear automatically), and the
+evaluation runs as a declarative :class:`repro.api.Study` — the
+density grid streamed cell by cell, with one structured
+:class:`repro.api.ProgressEvent` per cell (counters and ETA) printed
+to stderr.
 
-Sweep points are cached under ``.repro_cache/`` (override with
-``--cache-dir`` or ``REPRO_CACHE_DIR``; disable with ``--no-cache`` or
-``REPRO_CACHE=0``), so re-running a sweep only computes missing
-points.  Worker count defaults to ``REPRO_JOBS`` (or 1).
+Study cells are cached under ``.repro_cache/`` keyed by their full
+scenario fingerprint (override the directory with ``--cache-dir`` or
+``REPRO_CACHE_DIR``; disable with ``--no-cache`` or
+``REPRO_CACHE=0``), so re-running — or resuming an interrupted run —
+only computes missing cells.  Worker count defaults to ``REPRO_JOBS``
+(or 1).
 """
 
 from __future__ import annotations
@@ -29,7 +33,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.api import default_registry, sweeps
+from repro.api import ProgressEvent, Study, default_registry
 from repro.experiments import (
     PAPER_CONFIG,
     QUICK_CONFIG,
@@ -169,16 +173,19 @@ def main(argv: list[str] | None = None) -> int:
         if message:
             parser.error(message)
 
-    results = sweeps(
-        config,
-        args.models,
-        routers=args.routers,
-        progress=lambda line: print(line, file=sys.stderr),
-        jobs=jobs,
-        cache=cache,
-    )
-    for model in args.models:
-        sweep = results[model]
+    # One ProgressEvent sink for everything the CLI says on stderr:
+    # the study's per-cell events (counters/ETA ride along for any
+    # richer consumer) and the CLI's own notes, as note events.
+    def emit(event: ProgressEvent) -> None:
+        print(event, file=sys.stderr)
+
+    # Repeated --models values would repeat a grid axis value; the
+    # panels are per model anyway, so duplicates simply collapse.
+    models = tuple(dict.fromkeys(args.models))
+    study = Study.from_config(config, models, routers=args.routers)
+    results = study.run(jobs=jobs, cache=cache, progress=emit)
+    for model in models:
+        sweep = results.sweep_result(model)
         for figure_id in args.figures:
             table = figure_table(sweep, figure_id)
             print()
@@ -190,14 +197,14 @@ def main(argv: list[str] | None = None) -> int:
                 path = to_csv(
                     table, args.csv_dir / f"{figure_id}_{model.lower()}.csv"
                 )
-                print(f"[csv] {path}", file=sys.stderr)
+                emit(ProgressEvent.note(f"[csv] {path}"))
             if args.json_dir is not None:
                 path = to_json(
                     table, args.json_dir / f"{figure_id}_{model.lower()}.json"
                 )
-                print(f"[json] {path}", file=sys.stderr)
+                emit(ProgressEvent.note(f"[json] {path}"))
     if cache is not None and cache.enabled:
-        print(f"[cache] {cache.stats()} ({cache.root})", file=sys.stderr)
+        emit(ProgressEvent.note(f"[cache] {cache.stats()} ({cache.root})"))
     return 0
 
 

@@ -3,11 +3,17 @@
 Pipeline: :mod:`~repro.experiments.config` fixes the parameters,
 :mod:`~repro.experiments.workload` generates networks and s-d pairs,
 :mod:`~repro.experiments.runner` routes and aggregates one figure
-point, :mod:`~repro.experiments.engine` dispatches points as parallel
-work units through the :mod:`~repro.experiments.cache` result cache,
-:mod:`~repro.experiments.sweep` runs the density sweep, and
+point, :mod:`~repro.experiments.engine` streams parallel work units
+through the :mod:`~repro.experiments.cache` result cache (reporting
+:mod:`~repro.experiments.progress` events), and
 :mod:`~repro.experiments.figures` / :mod:`~repro.experiments.report`
 project and render the paper's Figs. 5-7.
+
+The primary experiment surface is :class:`repro.api.study.Study` —
+declarative Scenario grids with streaming results, riding the same
+engine; :mod:`~repro.experiments.sweep` keeps the classic
+``run_sweeps`` entry point as a one-release compatibility wrapper
+over it.
 """
 
 from repro.experiments.cache import (
@@ -26,11 +32,13 @@ from repro.experiments.config import (
     default_jobs,
 )
 from repro.experiments.engine import (
+    EngineTask,
     ExperimentEngine,
     WorkUnit,
     plan_units,
     resolve_jobs,
 )
+from repro.experiments.progress import Progress, ProgressEvent
 from repro.experiments.figures import (
     FIGURES,
     FigureTable,
@@ -58,12 +66,15 @@ from repro.experiments.workload import (
 
 __all__ = [
     "FIGURES",
+    "EngineTask",
     "ExperimentConfig",
     "ExperimentEngine",
     "FigureTable",
     "NetworkInstance",
     "PAPER_CONFIG",
     "PointResult",
+    "Progress",
+    "ProgressEvent",
     "QUICK_CONFIG",
     "ResultCache",
     "RouteTally",

@@ -1,21 +1,37 @@
-"""Work-unit execution engine: parallel dispatch with result caching.
+"""Work-unit execution engine: streaming parallel dispatch with caching.
 
 The evaluation of Section 5 is embarrassingly parallel: a figure point
 is a pure function of ``(config, deployment model, node count, router
-factory)`` (see :mod:`~repro.experiments.runner`).  This module turns
-that purity into throughput:
+factory)`` (see :mod:`~repro.experiments.runner`), and a Study cell is
+a pure function of its :class:`~repro.api.scenario.Scenario`.  This
+module turns that purity into throughput behind one generic core:
 
-* :class:`WorkUnit` names one point; :func:`plan_units` expands a
-  config × deployment-model product into the unit list;
-* :class:`ExperimentEngine` executes unit lists — looking each unit up
-  in a :class:`~repro.experiments.cache.ResultCache` first, then
-  dispatching the missing ones over a
-  :class:`~concurrent.futures.ProcessPoolExecutor` when ``jobs > 1``.
+* :class:`EngineTask` names one independently computable unit of any
+  kind — an opaque ``key``, a picklable ``fn(*args)``, an optional
+  cache key and a progress description;
+* :meth:`ExperimentEngine.stream` executes a task list *as a stream*:
+  cached tasks are yielded immediately, the rest are dispatched over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` when ``jobs > 1``
+  and yielded in completion order, each persisted to the cache the
+  moment it finishes (so an interrupted run is resumable);
+* :class:`WorkUnit` / :func:`plan_units` /
+  :meth:`ExperimentEngine.run` keep the classic figure-point surface:
+  a config × deployment-model product evaluated through
+  :func:`~repro.experiments.runner.evaluate_point`.
+
+:meth:`repro.api.study.Study.stream` compiles Scenario grids onto the
+same :class:`EngineTask` stream, so both pipelines share dispatch,
+caching, serial fallback and progress reporting.
 
 Because per-unit RNG streams are derived from the unit identity alone,
 parallel results are bit-identical to serial ones regardless of worker
 count or completion order; a determinism test in
 ``tests/experiments/test_parallel.py`` pins this.
+
+Progress is reported as one :class:`~repro.experiments.progress.ProgressEvent`
+per finished task (cached or computed) — a ``str`` subclass, so plain
+line sinks keep working — carrying completed/total counters and an
+ETA extrapolated from the computed tasks' pace.
 
 Worker count resolution: explicit ``jobs`` argument, else the
 ``REPRO_JOBS`` environment variable (via
@@ -29,9 +45,10 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.experiments.cache import (
     ResultCache,
@@ -40,6 +57,7 @@ from repro.experiments.cache import (
     point_key,
 )
 from repro.experiments.config import ExperimentConfig, default_jobs
+from repro.experiments.progress import Progress, ProgressEvent
 from repro.experiments.runner import (
     PointResult,
     RouterFactory,
@@ -47,9 +65,15 @@ from repro.experiments.runner import (
     registry_routers,
 )
 
-__all__ = ["ExperimentEngine", "WorkUnit", "plan_units", "resolve_jobs"]
-
-Progress = Callable[[str], None]
+__all__ = [
+    "EngineTask",
+    "ExperimentEngine",
+    "Progress",
+    "ProgressEvent",
+    "WorkUnit",
+    "plan_units",
+    "resolve_jobs",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -65,6 +89,25 @@ class WorkUnit:
             f"({config.networks_per_point} networks x "
             f"{config.routes_per_network} routes)"
         )
+
+
+@dataclass(frozen=True)
+class EngineTask:
+    """One unit of the engine's generic stream.
+
+    ``fn(*args)`` must be a pure function of ``args`` returning a
+    :class:`~repro.experiments.runner.PointResult`, and picklable
+    (module-level) for parallel dispatch — unpicklable tasks degrade
+    the whole batch to serial.  ``cache_key=None`` marks the task
+    uncacheable: it is computed every run and never stored.  ``key``
+    is an opaque caller identity returned with the result.
+    """
+
+    key: object = field(compare=False)
+    fn: Callable[..., PointResult] = field(compare=False)
+    args: tuple = field(compare=False)
+    cache_key: str | None
+    description: str
 
 
 def plan_units(
@@ -99,7 +142,7 @@ def _picklable(*objects) -> bool:
 
 
 class ExperimentEngine:
-    """Executes work units: cache lookups, then (parallel) compute.
+    """Executes task streams: cache lookups, then (parallel) compute.
 
     Parameters
     ----------
@@ -111,8 +154,8 @@ class ExperimentEngine:
         (honouring ``REPRO_CACHE`` / ``REPRO_CACHE_DIR``).  Pass
         ``ResultCache.disabled()`` to force recomputation.
     progress:
-        Optional line sink (e.g. ``print`` to stderr) for per-unit
-        status.
+        Optional :class:`ProgressEvent` sink (any line sink works —
+        events are strings).  One event fires per finished task.
     """
 
     def __init__(
@@ -127,9 +170,130 @@ class ExperimentEngine:
         self.computed_units = 0
         self.cached_units = 0
 
-    def _report(self, line: str) -> None:
+    @property
+    def caching(self) -> bool:
+        """Whether this engine can serve/persist cacheable tasks."""
+        return self.cache is not None and self.cache.enabled
+
+    def _emit(self, event: ProgressEvent) -> None:
         if self.progress is not None:
-            self.progress(line)
+            self.progress(event)
+
+    # -- the generic stream ---------------------------------------------
+
+    def stream(
+        self, tasks: Iterable[EngineTask]
+    ) -> Iterator[tuple[EngineTask, PointResult]]:
+        """Yield ``(task, result)`` as tasks complete, cache-first.
+
+        Cached tasks are yielded immediately (in task order); missing
+        ones are then computed — serially at ``jobs=1``, else over a
+        process pool in completion order.  Every computed result is
+        persisted *before* it is yielded, so whatever a consumer has
+        seen is already on disk: abandoning the stream mid-way (e.g.
+        ``close()`` on the generator, or Ctrl-C) leaves a cache from
+        which the next run resumes.
+        """
+        tasks = list(tasks)
+        total = len(tasks)
+        started = time.monotonic()
+        done = 0
+        computed = 0
+        missing: list[EngineTask] = []
+
+        def emit(kind: str, description: str) -> None:
+            if self.progress is None:  # skip event construction too
+                return
+            elapsed = time.monotonic() - started
+            eta = None
+            if kind == "computed" and computed and done < total:
+                # Pace of the *computed* tasks only: cached loads are
+                # near-free and would wreck the extrapolation.
+                eta = (elapsed / computed) * (total - done)
+            self._emit(
+                ProgressEvent.unit(
+                    kind, description, done, total, elapsed, eta
+                )
+            )
+
+        for task in tasks:
+            if self.caching and task.cache_key is not None:
+                point = self.cache.load(task.cache_key)
+                if point is not None:
+                    self.cached_units += 1
+                    done += 1
+                    emit("cached", task.description)
+                    yield task, point
+                    continue
+            missing.append(task)
+
+        if not missing:
+            return
+        jobs = min(self.jobs, len(missing))
+        if jobs > 1 and not _picklable(
+            tuple((task.fn, task.args) for task in missing)
+        ):
+            self._emit(
+                ProgressEvent.note(
+                    "[engine] inputs not picklable; running serially",
+                    done,
+                    total,
+                    time.monotonic() - started,
+                )
+            )
+            jobs = 1
+
+        if jobs <= 1:
+            for task in missing:
+                # Announce the unit before the (possibly minutes-long)
+                # inline compute, so a serial run is visibly alive —
+                # the classic behaviour of the pre-streaming engine.
+                if self.progress is not None:
+                    self._emit(
+                        ProgressEvent(
+                            task.description,
+                            kind="start",
+                            description=task.description,
+                            completed=done,
+                            total=total,
+                            elapsed_s=time.monotonic() - started,
+                        )
+                    )
+                point = task.fn(*task.args)
+                self._store(task.cache_key, point)
+                self.computed_units += 1
+                computed += 1
+                done += 1
+                emit("computed", task.description)
+                yield task, point
+            return
+
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        try:
+            futures = {
+                pool.submit(task.fn, *task.args): task for task in missing
+            }
+            for future in as_completed(futures):
+                task = futures[future]
+                point = future.result()
+                self._store(task.cache_key, point)
+                self.computed_units += 1
+                computed += 1
+                done += 1
+                emit("computed", task.description)
+                yield task, point
+        finally:
+            # Reached on normal exhaustion AND on generator close()
+            # (stream cancellation): queued tasks are dropped, in-flight
+            # ones finish but are not stored — everything already
+            # yielded is on disk, so the run resumes cell by cell.
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def _store(self, key: str | None, point: PointResult) -> None:
+        if self.cache is not None and key is not None:
+            self.cache.store(key, point)
+
+    # -- the classic figure-point surface -------------------------------
 
     def run(
         self,
@@ -147,89 +311,35 @@ class ExperimentEngine:
         """
         if router_factory is None:
             router_factory = registry_routers()
-        units = list(units)
         # Caching needs an enabled cache AND a factory with a stable
         # identity — anonymous factories would collide under a shared
         # key, so their units are computed every time.
-        caching = (
-            self.cache is not None
-            and self.cache.enabled
+        keyable = (
+            self.caching
             and factory_fingerprint(router_factory) is not None
         )
-        results: dict[WorkUnit, PointResult] = {}
-        missing: list[tuple[WorkUnit, str | None]] = []
-        for unit in units:
-            key = None
-            if caching:
-                key = point_key(
-                    config, unit.deployment_model, unit.node_count,
-                    router_factory,
-                )
-                point = self.cache.load(key)
-                if point is not None:
-                    results[unit] = point
-                    self.cached_units += 1
-                    self._report(f"{unit.describe(config)} [cached]")
-                    continue
-            missing.append((unit, key))
-
-        if missing:
-            computed = self._compute(
-                config, dict(missing), router_factory
-            )
-            for unit, _ in missing:
-                results[unit] = computed[unit]
-                self.computed_units += 1
-        return results
-
-    def _store(self, key: str | None, point: PointResult) -> None:
-        if self.cache is not None and key is not None:
-            self.cache.store(key, point)
-
-    def _compute(
-        self,
-        config: ExperimentConfig,
-        units: dict[WorkUnit, str | None],
-        router_factory: RouterFactory,
-    ) -> dict[WorkUnit, PointResult]:
-        """Compute units, persisting each the moment it completes.
-
-        Storing per completion (not after the batch) is what makes an
-        interrupted run resumable: whatever finished before the
-        Ctrl-C is served from cache next time.
-        """
-        jobs = min(self.jobs, len(units))
-        if jobs > 1 and not _picklable(config, router_factory):
-            self._report("[engine] inputs not picklable; running serially")
-            jobs = 1
-        if jobs <= 1:
-            results = {}
-            for unit, key in units.items():
-                self._report(unit.describe(config))
-                point = evaluate_point(
-                    config, unit.deployment_model, unit.node_count,
-                    router_factory,
-                )
-                self._store(key, point)
-                results[unit] = point
-            return results
-
-        results = {}
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = {
-                pool.submit(
-                    evaluate_point,
+        tasks = [
+            EngineTask(
+                key=unit,
+                fn=evaluate_point,
+                args=(
                     config,
                     unit.deployment_model,
                     unit.node_count,
                     router_factory,
-                ): unit
-                for unit in units
-            }
-            for future in as_completed(futures):
-                unit = futures[future]
-                point = future.result()
-                self._store(units[unit], point)
-                results[unit] = point
-                self._report(f"{unit.describe(config)} [done]")
-        return results
+                ),
+                cache_key=(
+                    point_key(
+                        config,
+                        unit.deployment_model,
+                        unit.node_count,
+                        router_factory,
+                    )
+                    if keyable
+                    else None
+                ),
+                description=unit.describe(config),
+            )
+            for unit in units
+        ]
+        return {task.key: point for task, point in self.stream(tasks)}

@@ -6,12 +6,16 @@ configured node count under one deployment model and keeps the full
 :class:`~repro.experiments.runner.PointResult` per point, so all three
 figures (and the phase/ablation benches) project from a single run.
 
-Execution is delegated to the
-:class:`~repro.experiments.engine.ExperimentEngine`: points already in
-the result cache are loaded, the rest are computed — in parallel when
-``jobs > 1`` (or ``REPRO_JOBS`` is set).  :func:`run_sweeps` evaluates
-several deployment models through *one* engine so all their points
-share a single worker pool.
+This module is now a *compatibility wrapper*: the primary experiment
+surface is :class:`repro.api.study.Study`, which expresses the same
+grid (and every richer one — failure schedules, obstacle fields,
+router options as axes) declaratively.  :func:`run_sweeps` keeps its
+historical signature for one more release by compiling the config ×
+deployment-model product into a density Study and adapting the result
+— bit-identically, as the golden tests pin.  Callers holding an
+*anonymous* router factory (a closure or partial, inexpressible as
+registry names) keep the classic
+:class:`~repro.experiments.engine.ExperimentEngine` unit path.
 """
 
 from __future__ import annotations
@@ -102,10 +106,42 @@ def run_sweeps(
 ) -> dict[str, SweepResult]:
     """Evaluate several deployment models over one shared worker pool.
 
-    All models' figure points form a single unit list, so ``--jobs N``
-    keeps N workers busy across panel boundaries instead of draining
-    per model.
+    Compatibility wrapper over :class:`repro.api.study.Study`: the
+    default (and any registry-backed) router selection compiles to a
+    density Study whose cells are cached under full scenario
+    fingerprints; an anonymous factory — not expressible as registry
+    names — runs through the classic work-unit engine instead (and,
+    exactly as before, without caching unless it declares an
+    identity).  Either way all models' points form a single task
+    stream, so ``--jobs N`` keeps N workers busy across panel
+    boundaries instead of draining per model.
     """
+    # Imported here, not at module top: repro.api sits *above* the
+    # experiments layer (its package __init__ imports this module).
+    from repro.api.registry import RegistryRouterFactory
+    from repro.api.study import Study
+
+    from repro.experiments.runner import registry_routers
+
+    deployment_models = tuple(deployment_models)
+    if router_factory is None:
+        router_factory = registry_routers()
+    if isinstance(router_factory, RegistryRouterFactory):
+        # Historical tolerance: duplicates collapse (the result is a
+        # dict) and an empty selection is an empty result, while a
+        # Study axis requires distinct, non-empty values.
+        models = tuple(dict.fromkeys(deployment_models))
+        if not models:
+            return {}
+        study = Study.from_config(
+            config,
+            models,
+            routers=router_factory.names,
+            router_options=router_factory.options,
+            registry=router_factory.as_registry(),
+        )
+        result = study.run(jobs=jobs, cache=cache, progress=progress)
+        return {model: result.sweep_result(model) for model in models}
     engine = ExperimentEngine(jobs=jobs, cache=cache, progress=progress)
     units = plan_units(config, deployment_models)
     results = engine.run(config, units, router_factory)

@@ -4,7 +4,6 @@ import json
 
 import pytest
 
-import repro.experiments.engine as engine_module
 from repro.experiments import (
     ExperimentConfig,
     ResultCache,
@@ -128,16 +127,23 @@ class TestRoundTrip:
 
 class TestSweepCaching:
     def test_warm_cache_skips_recompute(self, tmp_path, monkeypatch):
-        """ISSUE acceptance: warm figures identical, zero recomputation."""
+        """ISSUE acceptance: warm figures identical, zero recomputation.
+
+        The default-factory sweep path evaluates through the Study
+        pipeline, so the cell evaluator is the thing that must not
+        re-run on a warm cache.
+        """
+        import repro.api.study as study_module
+
         cache = ResultCache(tmp_path)
         calls = []
-        real = engine_module.evaluate_point
+        real = study_module._evaluate_cell
 
         def counting(*args, **kwargs):
             calls.append(args)
             return real(*args, **kwargs)
 
-        monkeypatch.setattr(engine_module, "evaluate_point", counting)
+        monkeypatch.setattr(study_module, "_evaluate_cell", counting)
 
         cold = run_sweep(TINY, "IA", jobs=1, cache=cache)
         assert len(calls) == len(TINY.node_counts)
@@ -157,9 +163,14 @@ class TestSweepCaching:
         cache.store(key, point)
         cache.path_for(key).write_text("{not json", encoding="utf-8")
         assert cache.load(key) is None  # miss, not an error
-        # And the engine transparently recomputes through it.
-        sweep = run_sweep(TINY, "IA", jobs=1, cache=cache)
-        assert sweep.points[0] == point
+        # And the sweep pipeline transparently recomputes through
+        # corruption: poison every stored entry, rerun, same numbers.
+        cold = run_sweep(TINY, "IA", jobs=1, cache=cache)
+        for entry in tmp_path.rglob("*.json"):
+            entry.write_text("{not json", encoding="utf-8")
+        warm = run_sweep(TINY, "IA", jobs=1, cache=cache)
+        assert warm.points == cold.points
+        assert warm.points[0] == point
 
     def test_disabled_cache_writes_nothing(self, tmp_path):
         cache = ResultCache(tmp_path, enabled=False)

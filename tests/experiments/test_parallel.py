@@ -107,6 +107,14 @@ class TestParallelDeterminism:
         assert sweep.points == reference.points
         assert captured  # the factory really ran, in this process
 
+    def test_degenerate_model_lists_tolerated(self):
+        """Historical tolerance kept by the compat wrapper: empty
+        model lists yield empty results, duplicates collapse."""
+        assert run_sweeps(TINY, (), cache=_no_cache()) == {}
+        dup = run_sweeps(TINY, ("IA", "IA"), jobs=1, cache=_no_cache())
+        assert set(dup) == {"IA"}
+        assert dup["IA"].node_counts == TINY.node_counts
+
     def test_engine_counts_computed_units(self):
         engine = ExperimentEngine(jobs=1, cache=_no_cache())
         units = plan_units(TINY, ("IA",))
@@ -118,5 +126,27 @@ class TestParallelDeterminism:
     def test_progress_lines_emitted(self):
         lines = []
         run_sweep(TINY, "IA", progress=lines.append, jobs=1, cache=_no_cache())
-        assert len(lines) == len(TINY.node_counts)
+        # Serial runs announce each unit before computing it (so a
+        # minutes-long cell is visibly alive) and confirm it after.
+        assert len(lines) == 2 * len(TINY.node_counts)
         assert any("n=250" in line for line in lines)
+
+    def test_progress_events_are_structured(self):
+        """One protocol for every surface: events are strings (legacy
+        line sinks) *and* carry counters (Study.stream, CLI ETA)."""
+        from repro.experiments import ProgressEvent
+
+        events = []
+        engine = ExperimentEngine(
+            jobs=1, cache=_no_cache(), progress=events.append
+        )
+        engine.run(TINY, plan_units(TINY, ("IA",)))
+        assert all(isinstance(e, ProgressEvent) for e in events)
+        assert all(isinstance(e, str) for e in events)
+        assert [e.kind for e in events] == [
+            "start", "computed", "start", "computed",
+        ]
+        unit_events = [e for e in events if e.kind == "computed"]
+        assert [e.completed for e in unit_events] == [1, 2]
+        assert all(e.total == len(TINY.node_counts) for e in unit_events)
+        assert all(e.elapsed_s >= 0.0 for e in unit_events)

@@ -18,6 +18,26 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["--figures", "fig9"])
 
+    def test_duplicate_models_collapse(self, capsys, monkeypatch):
+        # Regression: repeated --models must not become a repeated
+        # study axis value (panels are per model, duplicates collapse).
+        import repro.cli as cli
+        from repro.experiments import ExperimentConfig
+
+        tiny = ExperimentConfig(
+            node_counts=(300,), networks_per_point=1, routes_per_network=3
+        )
+        monkeypatch.setattr(cli, "QUICK_CONFIG", tiny)
+        code = main(
+            [
+                "--figures", "fig6",
+                "--models", "IA", "IA",
+                "--no-chart", "--no-cache",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.count("FIG6") == 1
+
     def test_quick_single_panel(self, capsys, monkeypatch, tmp_path):
         # Shrink the quick config further for test speed.
         import repro.cli as cli

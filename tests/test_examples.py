@@ -60,6 +60,13 @@ class TestExamples:
         assert "conflicts" in out
         assert "SLGF2" in out
 
+    def test_parameter_study(self, capsys):
+        _load("parameter_study").main(["--tiny", "--no-cache"])
+        out = capsys.readouterr().out
+        assert "obstacle_count" in out
+        assert "delivery vs obstacle count" in out
+        assert "SLGF2" in out
+
     def test_construction_cost_exists_and_imports(self):
         module = _load("construction_cost")
         assert hasattr(module, "main")
