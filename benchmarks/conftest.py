@@ -23,7 +23,15 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments import active_config, run_sweep
+from repro.api import Study
+from repro.experiments import active_config
+
+
+def _density_sweep(config, model):
+    """One model's classic density sweep via the Study pipeline."""
+    return (
+        Study.from_config(config, (model,)).run().sweep_result(model)
+    )
 
 
 @pytest.fixture(scope="session")
@@ -33,12 +41,12 @@ def config():
 
 @pytest.fixture(scope="session")
 def ia_sweep(config):
-    return run_sweep(config, "IA")
+    return _density_sweep(config, "IA")
 
 
 @pytest.fixture(scope="session")
 def fa_sweep(config):
-    return run_sweep(config, "FA")
+    return _density_sweep(config, "FA")
 
 
 @pytest.fixture(scope="session")

@@ -75,7 +75,6 @@ from repro.api.study import (
     StudyResult,
     scenario_fingerprint,
 )
-from repro.api.sweeps import sweep, sweeps
 from repro.experiments.progress import ProgressEvent
 from repro.network.dynamic import DynamicTopology, TopologyDelta
 from repro.routing.base import HopEvent, PacketTrace, RouteResult
@@ -110,6 +109,4 @@ __all__ = [
     "router_order",
     "run_scenario",
     "scenario_fingerprint",
-    "sweep",
-    "sweeps",
 ]

@@ -361,8 +361,11 @@ class Session:
         out = RouteSet()
         for name in selected:
             router = self.router(name)
-            for s, d in pairs:
-                result = router.route(s, d)
+            # The whole batch runs through the scheme's columnar fast
+            # path (bit-identical to sequential route() calls — the
+            # equivalence suite pins it); schemes without one fall
+            # back to per-pair routing inside route_batch.
+            for result in router.route_batch(pairs):
                 out.add(
                     result,
                     energy=(

@@ -132,6 +132,86 @@ class SafetyModel:
         return safe / len(self.statuses)
 
 
+def _quadrant_tables(graph: WasnGraph):
+    """Per-type quadrant membership, forward and reverse.
+
+    ``forward[i-1][u]`` holds the neighbours of ``u`` inside the
+    closed quadrant ``Q_i(u)`` (neighbour order preserved);
+    ``reverse[i-1][v]`` the nodes whose ``Q_i`` contains ``v``.  The
+    sweep runs on the graph's columnar core — one coordinate-difference
+    per directed edge classifies all four quadrants at once — and
+    falls back to the object API for graphs without a core.  Either
+    path yields identical tables.
+    """
+    node_ids = graph.node_ids
+    forward: list[dict[NodeId, tuple[NodeId, ...]]] = [{} for _ in ZONE_TYPES]
+    reverse: list[dict[NodeId, list[NodeId]]] = [
+        {u: [] for u in node_ids} for _ in ZONE_TYPES
+    ]
+    try:
+        core = graph.core
+    except ValueError:
+        core = None
+    if core is not None:
+        xs, ys = core.coords_by_id()
+        rows = core.rows_by_id()
+        for u in node_ids:
+            xu = xs[u]
+            yu = ys[u]
+            in1: list[NodeId] = []
+            in2: list[NodeId] = []
+            in3: list[NodeId] = []
+            in4: list[NodeId] = []
+            for v in rows[u]:
+                dx = xs[v] - xu
+                dy = ys[v] - yu
+                if dx > 0.0:
+                    if dy >= 0.0:
+                        in1.append(v)
+                        if dy <= 0.0:
+                            in4.append(v)
+                    else:
+                        in4.append(v)
+                elif dx < 0.0:
+                    if dy >= 0.0:
+                        in2.append(v)
+                        if dy <= 0.0:
+                            in3.append(v)
+                    else:
+                        in3.append(v)
+                else:  # dx == 0: coincident or on the vertical boundary
+                    if dy > 0.0:
+                        in1.append(v)
+                        in2.append(v)
+                    elif dy < 0.0:
+                        in3.append(v)
+                        in4.append(v)
+                    # dy == 0: v sits exactly at u's position — a
+                    # member of no forwarding zone, like the object
+                    # path's ``p == u`` exclusion.
+            for index, inside in enumerate((in1, in2, in3, in4)):
+                forward[index][u] = tuple(inside)
+                rev = reverse[index]
+                for v in inside:
+                    rev[v].append(u)
+        return forward, reverse
+    positions = {u: graph.position(u) for u in node_ids}
+    for index, zone_type in enumerate(ZONE_TYPES):
+        fwd = forward[index]
+        rev = reverse[index]
+        for u in node_ids:
+            pu = positions[u]
+            inside = tuple(
+                v
+                for v in graph.neighbors(u)
+                if forwarding_zone_contains(pu, zone_type, positions[v])
+            )
+            fwd[u] = inside
+            for v in inside:
+                rev[v].append(u)
+    return forward, reverse
+
+
 def compute_safety(graph: WasnGraph) -> SafetyModel:
     """Run the labeling process of Definition 1 to its fixed point.
 
@@ -146,7 +226,6 @@ def compute_safety(graph: WasnGraph) -> SafetyModel:
     which the construction-cost benchmarks compare against BOUNDHOLE.
     """
     node_ids = graph.node_ids
-    positions = {u: graph.position(u) for u in node_ids}
     # status[i-1][u] — mutable working state per type.
     status: list[dict[NodeId, bool]] = [
         {u: True for u in node_ids} for _ in ZONE_TYPES
@@ -155,23 +234,7 @@ def compute_safety(graph: WasnGraph) -> SafetyModel:
     # Precompute quadrant neighbour lists once per type: the labeling
     # only ever asks "which neighbours of u lie in Q_i(u)" and the
     # reverse "which nodes have u in their Q_i".
-    quadrant_neighbors: list[dict[NodeId, tuple[NodeId, ...]]] = []
-    reverse_quadrant: list[dict[NodeId, list[NodeId]]] = []
-    for zone_type in ZONE_TYPES:
-        forward: dict[NodeId, tuple[NodeId, ...]] = {}
-        reverse: dict[NodeId, list[NodeId]] = {u: [] for u in node_ids}
-        for u in node_ids:
-            pu = positions[u]
-            inside = tuple(
-                v
-                for v in graph.neighbors(u)
-                if forwarding_zone_contains(pu, zone_type, positions[v])
-            )
-            forward[u] = inside
-            for v in inside:
-                reverse[v].append(u)
-        quadrant_neighbors.append(forward)
-        reverse_quadrant.append(reverse)
+    quadrant_neighbors, reverse_quadrant = _quadrant_tables(graph)
 
     total_rounds = 0
     for index, zone_type in enumerate(ZONE_TYPES):

@@ -11,9 +11,10 @@ project and render the paper's Figs. 5-7.
 
 The primary experiment surface is :class:`repro.api.study.Study` —
 declarative Scenario grids with streaming results, riding the same
-engine; :mod:`~repro.experiments.sweep` keeps the classic
-``run_sweeps`` entry point as a one-release compatibility wrapper
-over it.
+engine; ``Study.from_config(...).run().sweep_result(model)`` produces
+the :class:`~repro.experiments.sweep.SweepResult` panels the figure
+layer consumes.  (The one-release ``run_sweeps`` compatibility
+wrapper was removed on schedule.)
 """
 
 from repro.experiments.cache import (
@@ -57,7 +58,7 @@ from repro.experiments.runner import (
     evaluate_point,
     registry_routers,
 )
-from repro.experiments.sweep import SweepResult, run_sweep, run_sweeps
+from repro.experiments.sweep import SweepResult
 from repro.experiments.workload import (
     NetworkInstance,
     build_network,
@@ -100,8 +101,6 @@ __all__ = [
     "point_to_dict",
     "registry_routers",
     "resolve_jobs",
-    "run_sweep",
-    "run_sweeps",
     "sample_pairs",
     "to_chart",
     "to_csv",

@@ -202,8 +202,11 @@ def evaluate_network(
     tallies = {name: RouteTally() for name in routers}
     for name, router in routers.items():
         tally = tallies[name]
-        for s, d in pairs:
-            tally.add(router.route(s, d))
+        # Batched execution over the columnar core — bit-identical to
+        # the historical per-pair route() loop (pinned by the batch
+        # equivalence suite), which is what keeps cached points valid.
+        for result in router.route_batch(pairs):
+            tally.add(result)
     return tallies
 
 

@@ -1,39 +1,33 @@
-"""Density sweeps: the x-axis of every figure in Section 5.
+"""Density-sweep result container: the x-axis of every figure in Section 5.
 
 "We test the networks when the number of nodes in the interest area is
-varied from 400 to 800 in increments of 50."  A sweep evaluates every
-configured node count under one deployment model and keeps the full
-:class:`~repro.experiments.runner.PointResult` per point, so all three
-figures (and the phase/ablation benches) project from a single run.
+varied from 400 to 800 in increments of 50."  A :class:`SweepResult`
+holds one deployment model's full density sweep — every configured
+node count with its complete
+:class:`~repro.experiments.runner.PointResult` — so all three figures
+(and the phase/ablation benches) project from a single run.
 
-This module is now a *compatibility wrapper*: the primary experiment
-surface is :class:`repro.api.study.Study`, which expresses the same
-grid (and every richer one — failure schedules, obstacle fields,
-router options as axes) declaratively.  :func:`run_sweeps` keeps its
-historical signature for one more release by compiling the config ×
-deployment-model product into a density Study and adapting the result
-— bit-identically, as the golden tests pin.  Callers holding an
-*anonymous* router factory (a closure or partial, inexpressible as
-registry names) keep the classic
-:class:`~repro.experiments.engine.ExperimentEngine` unit path.
+Sweeps are *produced* by the declarative Study API:
+``Study.from_config(config, models).run().sweep_result(model)``
+compiles the classic config × deployment-model grid, evaluates it
+through the engine's cached task stream, and adapts the result into
+this container bit-identically to the historical ``run_sweeps``
+pipeline (golden-tested).  The one-release ``run_sweeps``/``run_sweep``
+compatibility wrappers that used to live here were removed on
+schedule; callers holding an anonymous router factory (a closure or
+partial, inexpressible as registry names) drive
+:class:`~repro.experiments.engine.ExperimentEngine` directly over
+:func:`~repro.experiments.engine.plan_units`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
-from repro.experiments.cache import ResultCache
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.engine import (
-    ExperimentEngine,
-    Progress,
-    WorkUnit,
-    plan_units,
-)
-from repro.experiments.runner import PointResult, RouterFactory
+from repro.experiments.runner import PointResult
 
-__all__ = ["SweepResult", "run_sweep", "run_sweeps"]
+__all__ = ["SweepResult"]
 
 
 @dataclass(frozen=True)
@@ -58,94 +52,3 @@ class SweepResult:
     def series(self, router: str, metric: str) -> list[float]:
         """One curve: ``metric`` for ``router`` across node counts."""
         return [p.metric(router, metric) for p in self.points]
-
-
-def _assemble(
-    config: ExperimentConfig,
-    deployment_model: str,
-    results: dict[WorkUnit, PointResult],
-) -> SweepResult:
-    """Order one model's points by node count, as the figures expect."""
-    points = tuple(
-        results[WorkUnit(deployment_model=deployment_model, node_count=n)]
-        for n in config.node_counts
-    )
-    return SweepResult(
-        deployment_model=deployment_model,
-        config=config,
-        points=points,
-    )
-
-
-def run_sweep(
-    config: ExperimentConfig,
-    deployment_model: str,
-    router_factory: RouterFactory | None = None,
-    progress: Progress | None = None,
-    jobs: int | None = None,
-    cache: ResultCache | None = None,
-) -> SweepResult:
-    """Evaluate every node count of ``config`` under one deployment."""
-    return run_sweeps(
-        config,
-        (deployment_model,),
-        router_factory=router_factory,
-        progress=progress,
-        jobs=jobs,
-        cache=cache,
-    )[deployment_model]
-
-
-def run_sweeps(
-    config: ExperimentConfig,
-    deployment_models: Sequence[str] = ("IA", "FA"),
-    router_factory: RouterFactory | None = None,
-    progress: Progress | None = None,
-    jobs: int | None = None,
-    cache: ResultCache | None = None,
-) -> dict[str, SweepResult]:
-    """Evaluate several deployment models over one shared worker pool.
-
-    Compatibility wrapper over :class:`repro.api.study.Study`: the
-    default (and any registry-backed) router selection compiles to a
-    density Study whose cells are cached under full scenario
-    fingerprints; an anonymous factory — not expressible as registry
-    names — runs through the classic work-unit engine instead (and,
-    exactly as before, without caching unless it declares an
-    identity).  Either way all models' points form a single task
-    stream, so ``--jobs N`` keeps N workers busy across panel
-    boundaries instead of draining per model.
-    """
-    # Imported here, not at module top: repro.api sits *above* the
-    # experiments layer (its package __init__ imports this module).
-    from repro.api.registry import RegistryRouterFactory
-    from repro.api.study import Study
-
-    from repro.experiments.runner import registry_routers
-
-    deployment_models = tuple(deployment_models)
-    if router_factory is None:
-        router_factory = registry_routers()
-    if isinstance(router_factory, RegistryRouterFactory):
-        # Historical tolerance: duplicates collapse (the result is a
-        # dict) and an empty selection is an empty result, while a
-        # Study axis requires distinct, non-empty values.
-        models = tuple(dict.fromkeys(deployment_models))
-        if not models:
-            return {}
-        study = Study.from_config(
-            config,
-            models,
-            routers=router_factory.names,
-            router_options=router_factory.options,
-            registry=router_factory.as_registry(),
-        )
-        result = study.run(jobs=jobs, cache=cache, progress=progress)
-        return {model: result.sweep_result(model) for model in models}
-    engine = ExperimentEngine(jobs=jobs, cache=cache, progress=progress)
-    units = plan_units(config, deployment_models)
-    results = engine.run(config, units, router_factory)
-    return {
-        model: _assemble(config, model, results)
-        for model in deployment_models
-    }

@@ -19,11 +19,38 @@ implementations are provided:
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Sequence
 
 from repro.geometry.point import Point
 
 __all__ = ["convex_hull", "alpha_shape_boundary", "hull_indices"]
+
+
+def _delaunay():
+    """The scipy/numpy trio the alpha shape needs, or ``None``.
+
+    Both imports live in one guard: scipy and numpy are *optional*
+    dependencies of this package (only the ``alpha`` edge strategy
+    wants them), and an environment missing either must degrade the
+    same way.  The degradation is loud — a concave deployment outline
+    silently approximated by its convex hull would mislabel boundary
+    nodes with no hint why.
+    """
+    try:
+        import numpy as np
+        from scipy.spatial import Delaunay, QhullError
+    except ImportError:
+        warnings.warn(
+            "scipy/numpy unavailable: alpha_shape_boundary falls back "
+            "to the convex hull, which cannot follow concave "
+            "deployment outlines (install scipy for exact alpha "
+            "shapes)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+    return np, Delaunay, QhullError
 
 
 def _cross(o: Point, a: Point, b: Point) -> float:
@@ -107,12 +134,10 @@ def alpha_shape_boundary(points: Sequence[Point], alpha: float) -> set[int]:
     if len(points) < 4:
         return set(hull_indices(points))
 
-    try:
-        from scipy.spatial import Delaunay, QhullError
-    except ImportError:  # pragma: no cover - scipy is a hard dependency
+    trio = _delaunay()
+    if trio is None:  # no scipy/numpy: convex-hull fallback (warned)
         return set(hull_indices(points))
-
-    import numpy as np
+    np, Delaunay, QhullError = trio
 
     coords = np.asarray([(p.x, p.y) for p in points], dtype=float)
     try:

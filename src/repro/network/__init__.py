@@ -18,6 +18,7 @@ Gabriel/RNG planarization for face routing, and failure injection for
 the dynamic-hole scenarios the introduction motivates.
 """
 
+from repro.network.core import TopologyCore, build_core
 from repro.network.deployment import (
     DeploymentResult,
     GridDeployment,
@@ -64,9 +65,11 @@ __all__ = [
     "RandomWaypointMobility",
     "RectObstacle",
     "SpatialGrid",
+    "TopologyCore",
     "TopologyDelta",
     "UniformDeployment",
     "WasnGraph",
+    "build_core",
     "build_unit_disk_graph",
     "deploy_forbidden_area_model",
     "deploy_uniform_model",

@@ -436,12 +436,7 @@ class DynamicTopology:
     def _build_snapshot(self) -> WasnGraph:
         alive = sorted(self._neighbors)
         adjacency = {u: self._sorted_neighbors(u) for u in alive}
-        graph = WasnGraph(
-            [self._node(u) for u in alive],
-            adjacency,
-            self._radius,
-            validate=False,
-        )
+        graph = self._snapshot_graph(alive, adjacency)
         if self._detector is None:
             return graph
         edge_ids = self._detector.detect(graph, self._area)
@@ -453,12 +448,32 @@ class DynamicTopology:
             for u in edge_ids ^ alive_flagged:
                 self._node_cache.pop(u, None)
             self._edge_ids = (self._edge_ids - alive_flagged) | edge_ids
-            graph = WasnGraph(
-                [self._node(u) for u in alive],
-                adjacency,
-                self._radius,
-                validate=False,
-            )
+            graph = self._snapshot_graph(alive, adjacency)
+        return graph
+
+    def _snapshot_graph(
+        self,
+        alive: list[NodeId],
+        adjacency: dict[NodeId, tuple[NodeId, ...]],
+    ) -> WasnGraph:
+        """One immutable snapshot over the incrementally maintained rows.
+
+        The adjacency values are the *same* tuple objects the 3x3-cell
+        local recompute maintains — rebuilt only where a delta touched
+        them, shared otherwise — and they feed the snapshot's columnar
+        core directly when (and only when) something columnar asks:
+        ``_sorted_rows`` vouches for their ordering, so the lazy
+        dict → core assembly skips its O(E) ordering sweep and a
+        snapshot that is never batch-routed never assembles columns
+        at all.
+        """
+        graph = WasnGraph(
+            [self._node(u) for u in alive],
+            adjacency,
+            self._radius,
+            validate=False,
+        )
+        graph._sorted_rows = True  # rows sorted by construction
         return graph
 
     # -- internals ------------------------------------------------------

@@ -12,6 +12,17 @@ neighbourhoods and positions, protocols enumerate links.  It is
 deliberately immutable after construction — failure injection and
 mobility produce *new* graphs (see :mod:`repro.network.failures`), so a
 routing run can never observe a half-updated topology.
+
+Since the columnar refactor the graph is a thin id ↔ index *view*
+over a :class:`~repro.network.core.TopologyCore`: the core owns the
+flat position columns, CSR adjacency and planarization masks; the
+view serves the object-shaped API (``Node``, ``Point``, per-node
+neighbour tuples) the algorithm layers read.  Either side is built
+lazily from the other — a graph constructed from explicit dicts only
+pays for the columns when something columnar (the batched routing
+executor, a planarization) first asks, and a graph built by
+:func:`build_unit_disk_graph` only materialises ``Node`` objects when
+the object API is first touched.
 """
 
 from __future__ import annotations
@@ -19,8 +30,8 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Sequence
 
 from repro.geometry import Point
+from repro.network.core import TopologyCore, build_core
 from repro.network.node import Node, NodeId
-from repro.network.spatial import SpatialGrid
 
 __all__ = ["WasnGraph", "build_unit_disk_graph"]
 
@@ -57,8 +68,84 @@ class WasnGraph:
             self._nodes[node.id] = node
         self._radius = radius
         self._adjacency = adjacency
+        self._core: TopologyCore | None = None
         if validate:
             self._validate()
+
+    @classmethod
+    def from_core(cls, core: TopologyCore) -> "WasnGraph":
+        """The id-view over an already-built columnar core.
+
+        No validation: a core's CSR is symmetric and self-loop-free by
+        construction.  ``Node``/adjacency dicts materialise lazily on
+        first touch of the object API.
+        """
+        graph = cls.__new__(cls)
+        graph._radius = core.radius
+        graph._core = core
+        # _nodes / _adjacency intentionally absent: __getattr__ builds
+        # them from the core when the object API is first used.
+        return graph
+
+    def __getattr__(self, name: str):
+        # Only the two view dicts are lazy; anything else missing is a
+        # genuine error (and pickling probes must fall through).
+        if name in ("_nodes", "_adjacency"):
+            self._materialise_view()
+            return self.__dict__[name]
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def _materialise_view(self) -> None:
+        core = self._core
+        ids = core.ids
+        xs = core.xs
+        ys = core.ys
+        flags = core.edge_flags
+        self._nodes = {
+            u: Node(u, Point(xs[i], ys[i]), flags[i])
+            for i, u in enumerate(ids)
+        }
+        # The adjacency dict shares the core's row tuples outright —
+        # one materialisation serves both representations.
+        self._adjacency = dict(zip(ids, core.rows()))
+
+    @property
+    def core(self) -> TopologyCore:
+        """The columnar core behind this graph (built lazily).
+
+        Requires every adjacency row to be sorted ascending — true for
+        every graph this package constructs; hand-built graphs with
+        unordered rows cannot take the columnar fast paths (the
+        batched executor falls back to sequential routing for them).
+        """
+        if self._core is None:
+            ids = sorted(self._nodes)
+            # Producers whose rows are sorted by construction (dynamic
+            # snapshots) set _sorted_rows to skip the ordering sweep.
+            trusted = getattr(self, "_sorted_rows", False)
+            rows = []
+            for u in ids:
+                row = tuple(self._adjacency[u])
+                if not trusted and any(
+                    row[i] >= row[i + 1] for i in range(len(row) - 1)
+                ):
+                    raise ValueError(
+                        f"adjacency row of node {u} is not sorted "
+                        "ascending; no columnar core for this graph"
+                    )
+                rows.append(row)
+            self._core = TopologyCore.from_rows(
+                ids,
+                {u: self._nodes[u].position for u in ids},
+                self._radius,
+                rows,
+                edge_ids=(
+                    u for u in ids if self._nodes[u].is_edge
+                ),
+            )
+        return self._core
 
     def _validate(self) -> None:
         for u, neighbors in self._adjacency.items():
@@ -89,14 +176,21 @@ class WasnGraph:
         return self._radius
 
     def __len__(self) -> int:
-        return len(self._nodes)
+        core = self._core
+        return len(core) if core is not None else len(self._nodes)
 
     def __contains__(self, node_id: NodeId) -> bool:
+        core = self._core
+        if core is not None:
+            return node_id in core
         return node_id in self._nodes
 
     @property
     def node_ids(self) -> list[NodeId]:
         """All node ids in ascending order (deterministic iteration)."""
+        core = self._core
+        if core is not None:
+            return list(core.ids)
         return sorted(self._nodes)
 
     def nodes(self) -> Iterator[Node]:
@@ -133,12 +227,15 @@ class WasnGraph:
                     yield (u, v)
 
     def edge_count(self) -> int:
+        core = self._core
+        if core is not None:
+            return core.edge_count()
         return sum(len(n) for n in self._adjacency.values()) // 2
 
     def average_degree(self) -> float:
-        if not self._nodes:
+        if not len(self):
             return 0.0
-        return 2.0 * self.edge_count() / len(self._nodes)
+        return 2.0 * self.edge_count() / len(self)
 
     def distance(self, u: NodeId, v: NodeId) -> float:
         """Euclidean distance ``|L(u) - L(v)|``."""
@@ -150,7 +247,7 @@ class WasnGraph:
 
     def connected_components(self) -> list[set[NodeId]]:
         """Connected components, largest first (ties by smallest member)."""
-        unseen = set(self._nodes)
+        unseen = set(self.node_ids)
         components: list[set[NodeId]] = []
         while unseen:
             start = min(unseen)
@@ -169,7 +266,7 @@ class WasnGraph:
         return components
 
     def is_connected(self) -> bool:
-        return len(self._nodes) <= 1 or len(self.connected_components()) == 1
+        return len(self) <= 1 or len(self.connected_components()) == 1
 
     def same_component(self, u: NodeId, v: NodeId) -> bool:
         """BFS reachability test between two nodes."""
@@ -228,12 +325,21 @@ class WasnGraph:
         return WasnGraph(nodes, adjacency, self._radius)
 
     def with_edge_nodes(self, edge_ids: Iterable[NodeId]) -> "WasnGraph":
-        """A new graph with the edge-node flags replaced by ``edge_ids``."""
+        """A new graph with the edge-node flags replaced by ``edge_ids``.
+
+        Shares the underlying structure (and, when present, the core's
+        planarization caches): flags never change the edge set, so the
+        structural work is never repeated.
+        """
         edge_set = set(edge_ids)
+        if self._core is not None:
+            return WasnGraph.from_core(self._core.with_edge_flags(edge_set))
         nodes = [
             node.with_edge_flag(node.id in edge_set) for node in self.nodes()
         ]
-        return WasnGraph(nodes, dict(self._adjacency), self._radius)
+        return WasnGraph(
+            nodes, dict(self._adjacency), self._radius, validate=False
+        )
 
     def to_networkx(self):
         """Export to a :mod:`networkx` graph (analysis / oracle layer).
@@ -262,22 +368,10 @@ def build_unit_disk_graph(
     Node ``i`` takes id ``i``; two nodes are adjacent iff their distance
     is at most ``radius`` (closed ball).  ``edge_ids`` marks nodes on
     the network edge (see :class:`repro.network.edges.EdgeDetector`).
+
+    The build goes straight into the columnar core (one bulk spatial
+    pass, no intermediate ``Point``/dict churn); the returned graph is
+    the lazy object view over it, bit-identical to the historical
+    dict-pipeline product.
     """
-    if radius <= 0:
-        raise ValueError("communication radius must be positive")
-    grid = SpatialGrid(cell_size=radius)
-    grid.bulk_insert(enumerate(positions))
-
-    neighbor_sets: dict[NodeId, list[NodeId]] = {i: [] for i in range(len(positions))}
-    for a, b in grid.all_pairs_within(radius):
-        neighbor_sets[a].append(b)
-        neighbor_sets[b].append(a)
-
-    edge_set = set(edge_ids)
-    nodes = [
-        Node(i, p, is_edge=i in edge_set) for i, p in enumerate(positions)
-    ]
-    adjacency = {
-        i: tuple(sorted(neighbor_sets[i])) for i in range(len(positions))
-    }
-    return WasnGraph(nodes, adjacency, radius)
+    return WasnGraph.from_core(build_core(positions, radius, edge_ids))

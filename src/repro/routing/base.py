@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Mapping
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping
 
 from repro.network.graph import WasnGraph
 from repro.network.node import NodeId
@@ -272,6 +272,7 @@ class Router(ABC):
 
     def __init__(self, graph: WasnGraph, ttl: int | None = None):
         self._graph = graph
+        self._batch_executor = None  # built lazily by route_batch
         if ttl is not None:
             # bool is an int subclass; ttl=True would silently mean 1.
             if isinstance(ttl, bool) or not isinstance(ttl, int):
@@ -316,6 +317,7 @@ class Router(ABC):
         them how local the change was.
         """
         self._graph = graph
+        self._batch_executor = None  # columns belong to the old graph
         if self._explicit_ttl is None:
             self._ttl = max(
                 MIN_TTL, int(DEFAULT_TTL_FACTOR * len(graph))
@@ -392,6 +394,41 @@ class Router(ABC):
             bound_escapes=trace.bound_escapes,
             failure_reason=failure,
         )
+
+    def route_batch(
+        self, pairs: "Iterable[tuple[NodeId, NodeId]]"
+    ) -> list[RouteResult]:
+        """Route a batch of (source, destination) pairs, in order.
+
+        Results are exactly those of sequential :meth:`route` calls —
+        the per-scheme equivalence suite pins this bit for bit — but
+        the four built-in schemes run their successor-selection inner
+        loops on the graph's columnar core
+        (:mod:`repro.routing.batch`), skipping the per-hop ``Point``
+        and dict churn of the object path.  Schemes without a fast
+        path (third-party routers, subclasses of the built-ins,
+        graphs without a columnar core) fall back to sequential
+        ``route`` calls transparently.
+
+        Batches trade instrumentation for speed: there are no
+        ``on_hop``/``on_phase_change`` observers here — use
+        :meth:`route` for instrumented packets.
+        """
+        executor = self._batch_executor
+        if executor is None:
+            # Local import: repro.routing.batch imports the concrete
+            # router classes, which import this module.
+            from repro.routing.batch import executor_for
+
+            executor = executor_for(self)
+            # Cache the negative outcome too (as False): probing for
+            # a fast path costs an O(E) core check on coreless graphs
+            # and must not be repeated per batch.
+            self._batch_executor = executor if executor else False
+        if not executor:
+            return [self.route(s, d) for s, d in pairs]
+        route = executor.route
+        return [route(s, d) for s, d in pairs]
 
     @abstractmethod
     def _run(self, trace: PacketTrace, destination: NodeId) -> str | None:

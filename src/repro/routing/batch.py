@@ -1,0 +1,967 @@
+"""Batched routing executors — the index-based successor-selection fast path.
+
+:meth:`Router.route_batch` routes whole (source, destination) batches
+over one :class:`~repro.network.core.TopologyCore`.  The per-scheme
+executors in this module run the hot forwarding loops — greedy/safe
+advance everywhere, plus LGF/SLGF's tried-set perimeter sweep —
+directly on the core's flat columns: neighbour-id tuples, plain-list
+coordinate reads, one ``math.hypot`` per surviving candidate.  No
+``Point`` objects, no per-hop dict lookups, no ``PacketTrace`` method
+dispatch.
+
+Exactness is non-negotiable: ``route_batch`` must return results
+bit-identical to sequential :meth:`Router.route` calls (the
+equivalence suite pins this per scheme).  Three mechanisms guarantee
+it:
+
+* **Conservative squared-distance prefilter.**  Greedy selection
+  compares ``hypot`` distances exactly as the object path does; the
+  fast loop merely *skips* candidates whose squared distance already
+  proves ``hypot`` would lose.  The filter bound carries a relative
+  margin of 1e-12 — four orders of magnitude wider than the ~1e-16
+  relative error of squaring vs. ``hypot`` — so no candidate that
+  could win (or tie) is ever skipped, and every surviving comparison
+  uses the same ``math.hypot`` values the legacy code computes.
+
+* **Operation-for-operation replicas.**  Where a phase is fast-pathed
+  (the ray-sweep perimeter of Algorithm 1 step 4, the superseding
+  splits gate of Algorithm 3 step 3), the replica performs the same
+  floating-point operations in the same order — ``atan2``/``fmod``
+  normalisation, tie-breaks, epsilon conventions — only on flat
+  columns instead of objects.
+
+* **Handover before divergence.**  The moment a scheme would do
+  anything the executor does not replicate — GF's face recovery,
+  SLGF2's backup/perimeter ladder — it materialises a
+  :class:`~repro.routing.base.PacketTrace` seeded with the hops
+  routed so far and hands the packet to the scheme's own ``_run``.
+  Every scheme's per-packet state is still at its initial value at
+  that moment, so the original loop continues exactly as if it had
+  routed the prefix itself.
+
+Executors dispatch on the *exact* router type: subclasses that
+override selection behaviour fall back to sequential ``route`` calls
+rather than inheriting a fast path that no longer matches them.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry import Point
+from repro.network.node import NodeId
+from repro.routing.base import (
+    PacketTrace,
+    Phase,
+    RouteResult,
+    Router,
+    RoutingError,
+)
+from repro.routing.greedy import GreedyRouter
+from repro.routing.lgf import LgfRouter
+from repro.routing.slgf import SlgfRouter
+from repro.routing.slgf2 import Slgf2Router
+
+__all__ = ["executor_for"]
+
+_EPS = 1e-9  # the routers' successor-selection tolerance (see greedy.py)
+
+# Relative margin of the squared-distance prefilter.  Squaring and
+# ``hypot`` each err by ~1 ulp (~1.1e-16 relative); a candidate whose
+# squared distance exceeds the bound by 1e-12 relative is therefore
+# provably farther than the incumbent, with ~1e4 slack.
+_GUARD = 1.0 + 1e-12
+
+_GREEDY = Phase.GREEDY
+_SAFE = Phase.SAFE
+_PERIMETER = Phase.PERIMETER
+
+_TAU = math.tau
+
+
+def _zone_type_rel(dx: float, dy: float) -> int:
+    """``zone_type_of(v, d)`` from ``dx = xv - xd``, ``dy = yv - yd``.
+
+    Returns 0 for the coincident case the callers treat as trivially
+    safe (``zone_type_of`` itself raises there).  The branch order
+    mirrors the original's sequential boundary tie-breaking exactly.
+    """
+    if dx == 0.0 and dy == 0.0:
+        return 0
+    if dx < 0.0 and dy <= 0.0:
+        return 1
+    if dy < 0.0:  # dx >= 0 here
+        return 2
+    if dx > 0.0:  # dy >= 0 here
+        return 3
+    return 4
+
+
+def _norm(theta: float) -> float:
+    """``normalize_angle`` replica: map onto ``[0, tau)`` bit-for-bit."""
+    theta = math.fmod(theta, _TAU)
+    if theta < 0.0:
+        theta += _TAU
+    if theta >= _TAU:
+        theta -= _TAU
+    return theta
+
+
+class _Executor:
+    """Shared per-batch state and the exact slow-path bridges."""
+
+    def __init__(self, router: Router, core) -> None:
+        self.router = router
+        self.xs, self.ys = core.coords_by_id()
+        self.rows = core.rows_by_id()
+
+    # -- bridges to the object path -------------------------------------
+
+    def _check(self, source: NodeId, destination: NodeId) -> None:
+        graph = self.router.graph
+        if source not in graph or destination not in graph:
+            raise RoutingError("source or destination not in graph")
+        if source == destination:
+            raise RoutingError("source equals destination")
+
+    def _handover(
+        self,
+        source: NodeId,
+        destination: NodeId,
+        path: list[NodeId],
+        phases: list[str],
+        length: float,
+    ) -> RouteResult:
+        """Finish the route through the scheme's own ``_run``.
+
+        The trace is seeded with the fast-path prefix; ``_run``
+        re-examines the current node from scratch, so the hop the fast
+        path declined to take is decided by the original code.
+        """
+        router = self.router
+        trace = PacketTrace(router.graph, source, router.ttl)
+        trace.path = path
+        trace.phases = phases
+        trace.length = length
+        failure = router._run(trace, destination)
+        delivered = trace.current == destination and failure is None
+        return RouteResult(
+            router=router.name,
+            source=source,
+            destination=destination,
+            delivered=delivered,
+            path=tuple(trace.path),
+            phases=tuple(trace.phases),
+            length=trace.length,
+            perimeter_entries=trace.perimeter_entries,
+            backup_entries=trace.backup_entries,
+            bound_escapes=trace.bound_escapes,
+            failure_reason=failure,
+        )
+
+    def _finish(
+        self,
+        source: NodeId,
+        destination: NodeId,
+        path: list[NodeId],
+        phases: list[str],
+        length: float,
+        arrived: bool,
+        perimeter_entries: int = 0,
+        failure: str | None = None,
+    ) -> RouteResult:
+        if failure is None and not arrived:
+            failure = "ttl_exceeded"
+        return RouteResult(
+            router=self.router.name,
+            source=source,
+            destination=destination,
+            delivered=arrived and failure is None,
+            path=tuple(path),
+            phases=tuple(phases),
+            length=length,
+            perimeter_entries=perimeter_entries,
+            failure_reason=failure,
+        )
+
+    # -- the tried-set perimeter phase (Algorithm 1 step 4) -------------
+
+    def _tried_perimeter(
+        self,
+        u: NodeId,
+        destination: NodeId,
+        path: list[NodeId],
+        phases: list[str],
+        length: float,
+        ttl: int,
+    ) -> tuple[NodeId, float, str | None, bool]:
+        """Exact replica of ``LgfRouter._tried_set_perimeter``.
+
+        Right-hand-rule sweep over untried neighbours with
+        backtracking; returns ``(current, length, failure, walking)``
+        where ``walking=False`` means the phase ended (resume greedy,
+        arrived, or failed) exactly as the object implementation
+        would.  Appends to ``path``/``phases`` in place.
+        """
+        xs = self.xs
+        ys = self.ys
+        rows = self.rows
+        hyp = math.hypot
+        atan2 = math.atan2
+        xd = xs[destination]
+        yd = ys[destination]
+        stuck_limit = hyp(xs[u] - xd, ys[u] - yd) - _EPS
+        tried = {u}
+        stack = [u]
+        hops = len(path) - 1
+        while hops < ttl:
+            xu = xs[u]
+            yu = ys[u]
+            if hyp(xu - xd, yu - yd) < stuck_limit:
+                return u, length, None, False  # resume greedy phase
+            row = rows[u]
+            if destination in row:
+                path.append(destination)
+                phases.append(_PERIMETER)
+                length += hyp(xu - xd, yu - yd)
+                return destination, length, None, False
+            # The CCW "first node hit by the ray ud" sweep, with the
+            # reference implementation's tie-breaks: smaller CCW
+            # offset first, Euclidean distance on exact angle ties,
+            # first-seen on full ties.  Candidates coincident with u
+            # are skipped (they have no direction).
+            ref = _norm(atan2(yd - yu, xd - xu))
+            best = -1
+            best_off = 0.0
+            best_dist = -1.0  # lazily computed, only on angle ties
+            saw_untried = False
+            for v in row:
+                if v in tried:
+                    continue
+                saw_untried = True
+                xv = xs[v]
+                yv = ys[v]
+                if xv == xu and yv == yu:
+                    continue
+                off = _norm(_norm(atan2(yv - yu, xv - xu)) - ref)
+                if best < 0 or off < best_off:
+                    best = v
+                    best_off = off
+                    best_dist = -1.0
+                elif off == best_off:
+                    if best_dist < 0.0:
+                        best_dist = hyp(xs[best] - xu, ys[best] - yu)
+                    dv = hyp(xv - xu, yv - yu)
+                    if dv < best_dist:
+                        best = v
+                        best_off = off
+                        best_dist = dv
+            if saw_untried:
+                if best < 0:
+                    # Every untried neighbour coincides with u: the
+                    # object path would advance(None) and raise.
+                    raise RoutingError(
+                        f"illegal hop {u} -> None: not an edge"
+                    )
+                tried.add(best)
+                stack.append(best)
+                path.append(best)
+                phases.append(_PERIMETER)
+                length += hyp(xu - xs[best], yu - ys[best])
+                u = best
+                hops += 1
+                continue
+            # Dead end: backtrack along the phase's own path.
+            stack.pop()
+            if not stack:
+                return u, length, "unreachable", False
+            prev = stack[-1]
+            path.append(prev)
+            phases.append(_PERIMETER)
+            length += hyp(xu - xs[prev], yu - ys[prev])
+            u = prev
+            hops += 1
+        return u, length, "ttl_exceeded", False
+
+
+class _GreedyExecutor(_Executor):
+    """GF fast path: greedy advance; recovery phases hand over."""
+
+    def route(self, source: NodeId, destination: NodeId) -> RouteResult:
+        self._check(source, destination)
+        xs = self.xs
+        ys = self.ys
+        rows = self.rows
+        hyp = math.hypot
+        ttl = self.router.ttl
+        xd = xs[destination]
+        yd = ys[destination]
+        path = [source]
+        phases: list[str] = []
+        length = 0.0
+        u = source
+        hops = 0
+        du = hyp(xs[u] - xd, ys[u] - yd)
+        while hops < ttl:
+            if u == destination:
+                break
+            row = rows[u]
+            xu = xs[u]
+            yu = ys[u]
+            if destination in row:
+                path.append(destination)
+                phases.append(_GREEDY)
+                length += hyp(xu - xd, yu - yd)
+                u = destination
+                hops += 1
+                continue
+            best = -1
+            best_dist = du - _EPS
+            cut = best_dist * best_dist * _GUARD
+            for v in row:
+                dx = xs[v] - xd
+                dy = ys[v] - yd
+                if dx * dx + dy * dy >= cut:
+                    continue
+                dv = hyp(dx, dy)
+                if dv < best_dist:
+                    best = v
+                    best_dist = dv
+                    cut = dv * dv * _GUARD
+            if best < 0:
+                # Local minimum: the original recovery machinery owns
+                # the rest of the packet (face walk or hole boundary).
+                return self._handover(
+                    source, destination, path, phases, length
+                )
+            path.append(best)
+            phases.append(_GREEDY)
+            length += hyp(xu - xs[best], yu - ys[best])
+            u = best
+            du = best_dist
+            hops += 1
+        return self._finish(
+            source, destination, path, phases, length, u == destination
+        )
+
+
+class _LgfExecutor(_Executor):
+    """LGF fast path: request-zone greedy advance + ray-sweep perimeter."""
+
+    def __init__(self, router: LgfRouter, core) -> None:
+        super().__init__(router, core)
+        self.zone_scope = router._scope == "zone"
+
+    def route(self, source: NodeId, destination: NodeId) -> RouteResult:
+        self._check(source, destination)
+        xs = self.xs
+        ys = self.ys
+        rows = self.rows
+        hyp = math.hypot
+        zone_scope = self.zone_scope
+        ttl = self.router.ttl
+        xd = xs[destination]
+        yd = ys[destination]
+        path = [source]
+        phases: list[str] = []
+        length = 0.0
+        u = source
+        hops = 0
+        perimeter_entries = 0
+        du = hyp(xs[u] - xd, ys[u] - yd)
+        while hops < ttl:
+            if u == destination:
+                break
+            row = rows[u]
+            xu = xs[u]
+            yu = ys[u]
+            if destination in row:
+                path.append(destination)
+                phases.append(_GREEDY)
+                length += hyp(xu - xd, yu - yd)
+                u = destination
+                hops += 1
+                continue
+            if xu == xd and yu == yd:
+                # Coincident with the destination: zone machinery is
+                # degenerate here; let the original code decide.
+                return self._handover(
+                    source, destination, path, phases, length
+                )
+            best = -1
+            if zone_scope:
+                # Z_k(u, d): the closed rectangle with u and d at
+                # opposite corners (Rect.from_corners + contains).
+                xlo, xhi = (xu, xd) if xu <= xd else (xd, xu)
+                ylo, yhi = (yu, yd) if yu <= yd else (yd, yu)
+                best_dist = math.inf
+                cut = math.inf
+                for v in row:
+                    xv = xs[v]
+                    if xv < xlo or xv > xhi:
+                        continue
+                    yv = ys[v]
+                    if yv < ylo or yv > yhi:
+                        continue
+                    dx = xv - xd
+                    dy = yv - yd
+                    if dx * dx + dy * dy >= cut:
+                        continue
+                    dv = hyp(dx, dy)
+                    if dv < best_dist:
+                        best = v
+                        best_dist = dv
+                        cut = dv * dv * _GUARD
+            else:
+                # Q_k(u) ∩ strictly-closer (quadrant scope).
+                ddx = xd - xu
+                ddy = yd - yu
+                if ddx > 0.0 and ddy >= 0.0:
+                    k = 1
+                elif ddx <= 0.0 and ddy > 0.0:
+                    k = 2
+                elif ddx < 0.0 and ddy <= 0.0:
+                    k = 3
+                else:
+                    k = 4
+                best_dist = du - _EPS
+                cut = best_dist * best_dist * _GUARD
+                for v in row:
+                    xv = xs[v]
+                    yv = ys[v]
+                    dx = xv - xu
+                    dy = yv - yu
+                    if k == 1:
+                        if dx < 0.0 or dy < 0.0:
+                            continue
+                    elif k == 2:
+                        if dx > 0.0 or dy < 0.0:
+                            continue
+                    elif k == 3:
+                        if dx > 0.0 or dy > 0.0:
+                            continue
+                    else:
+                        if dx < 0.0 or dy > 0.0:
+                            continue
+                    if dx == 0.0 and dy == 0.0:
+                        continue  # coincident with u: in no zone
+                    dx = xv - xd
+                    dy = yv - yd
+                    if dx * dx + dy * dy >= cut:
+                        continue
+                    dv = hyp(dx, dy)
+                    if dv < best_dist:
+                        best = v
+                        best_dist = dv
+                        cut = dv * dv * _GUARD
+            if best < 0:
+                # Local minimum: Algorithm 1 step 4.
+                perimeter_entries += 1
+                u, length, failure, _ = self._tried_perimeter(
+                    u, destination, path, phases, length, ttl
+                )
+                if failure is not None:
+                    return self._finish(
+                        source,
+                        destination,
+                        path,
+                        phases,
+                        length,
+                        False,
+                        perimeter_entries,
+                        failure,
+                    )
+                if u == destination:
+                    break
+                hops = len(path) - 1
+                du = hyp(xs[u] - xd, ys[u] - yd)
+                continue
+            path.append(best)
+            phases.append(_GREEDY)
+            length += hyp(xu - xs[best], yu - ys[best])
+            u = best
+            du = best_dist
+            hops += 1
+        return self._finish(
+            source,
+            destination,
+            path,
+            phases,
+            length,
+            u == destination,
+            perimeter_entries,
+        )
+
+
+def _statuses_by_id(model, size: int) -> list:
+    """Safety tuples indexed by node id (None where no node)."""
+    table: list = [None] * size
+    for u, status in model.safety.statuses.items():
+        table[u] = status
+    return table
+
+
+class _SlgfExecutor(_LgfExecutor):
+    """SLGF fast path: safe-preferred zone advance + ray-sweep perimeter."""
+
+    def __init__(self, router: SlgfRouter, core) -> None:
+        super().__init__(router, core)
+        # Touching .model here rebuilds it if a rebind left it stale,
+        # exactly as the first route() after a rebind would.
+        self.safety = _statuses_by_id(router.model, len(self.rows))
+
+    def route(self, source: NodeId, destination: NodeId) -> RouteResult:
+        self._check(source, destination)
+        xs = self.xs
+        ys = self.ys
+        rows = self.rows
+        safety = self.safety
+        hyp = math.hypot
+        zone_scope = self.zone_scope
+        ttl = self.router.ttl
+        xd = xs[destination]
+        yd = ys[destination]
+        path = [source]
+        phases: list[str] = []
+        length = 0.0
+        u = source
+        hops = 0
+        perimeter_entries = 0
+        du = hyp(xs[u] - xd, ys[u] - yd)
+        while hops < ttl:
+            if u == destination:
+                break
+            row = rows[u]
+            xu = xs[u]
+            yu = ys[u]
+            if destination in row:
+                path.append(destination)
+                phases.append(_SAFE)
+                length += hyp(xu - xd, yu - yd)
+                u = destination
+                hops += 1
+                continue
+            if xu == xd and yu == yd:
+                return self._handover(
+                    source, destination, path, phases, length
+                )
+            if zone_scope:
+                xlo, xhi = (xu, xd) if xu <= xd else (xd, xu)
+                ylo, yhi = (yu, yd) if yu <= yd else (yd, yu)
+                floor = math.inf
+            else:
+                ddx = xd - xu
+                ddy = yd - yu
+                if ddx > 0.0 and ddy >= 0.0:
+                    k = 1
+                elif ddx <= 0.0 and ddy > 0.0:
+                    k = 2
+                elif ddx < 0.0 and ddy <= 0.0:
+                    k = 3
+                else:
+                    k = 4
+                floor = du - _EPS
+            best_plain = -1
+            plain_dist = floor
+            best_safe = -1
+            safe_dist = floor
+            # The shared prefilter is anchored on the *safe* incumbent:
+            # plain_dist <= safe_dist holds throughout (plain updates
+            # on every admitted improvement), so nothing at or beyond
+            # safe_dist can improve either minimum.
+            cut = safe_dist * safe_dist * _GUARD
+            for v in row:
+                xv = xs[v]
+                yv = ys[v]
+                if zone_scope:
+                    if xv < xlo or xv > xhi or yv < ylo or yv > yhi:
+                        continue
+                else:
+                    dx = xv - xu
+                    dy = yv - yu
+                    if k == 1:
+                        if dx < 0.0 or dy < 0.0:
+                            continue
+                    elif k == 2:
+                        if dx > 0.0 or dy < 0.0:
+                            continue
+                    elif k == 3:
+                        if dx > 0.0 or dy > 0.0:
+                            continue
+                    else:
+                        if dx < 0.0 or dy > 0.0:
+                            continue
+                    if dx == 0.0 and dy == 0.0:
+                        continue
+                dx = xv - xd
+                dy = yv - yd
+                if dx * dx + dy * dy >= cut:
+                    continue
+                dv = hyp(dx, dy)
+                if dv < plain_dist:
+                    best_plain = v
+                    plain_dist = dv
+                if dv < safe_dist:
+                    # Safe for v's own request zone toward d (the zone
+                    # type is re-evaluated at v, per Section 4); a node
+                    # exactly at d's position is trivially safe.
+                    kv = _zone_type_rel(dx, dy)
+                    if kv == 0 or safety[v][kv - 1]:
+                        best_safe = v
+                        safe_dist = dv
+                        cut = dv * dv * _GUARD
+            if best_safe >= 0:
+                pick = best_safe
+                pick_dist = safe_dist
+                phase = _SAFE
+            elif best_plain >= 0:
+                pick = best_plain
+                pick_dist = plain_dist
+                phase = _GREEDY
+            else:
+                perimeter_entries += 1
+                u, length, failure, _ = self._tried_perimeter(
+                    u, destination, path, phases, length, ttl
+                )
+                if failure is not None:
+                    return self._finish(
+                        source,
+                        destination,
+                        path,
+                        phases,
+                        length,
+                        False,
+                        perimeter_entries,
+                        failure,
+                    )
+                if u == destination:
+                    break
+                hops = len(path) - 1
+                du = hyp(xs[u] - xd, ys[u] - yd)
+                continue
+            path.append(pick)
+            phases.append(phase)
+            length += hyp(xu - xs[pick], yu - ys[pick])
+            u = pick
+            du = pick_dist
+            hops += 1
+        return self._finish(
+            source,
+            destination,
+            path,
+            phases,
+            length,
+            u == destination,
+            perimeter_entries,
+        )
+
+
+class _Slgf2Executor(_Executor):
+    """SLGF2 fast path: the safe-forwarding rungs of Algorithm 3.
+
+    Handles hops where a safe zone candidate exists (steps 2-3, the
+    dominant case), including the superseding rule's split gathering
+    over precomputed per-node unsafe types; the first hop that needs
+    the detour ladder — unsafe greedy entry, backup paths, perimeter
+    routing — hands the packet to the original ``_run`` with all
+    per-packet state still at its initial value.
+    """
+
+    def __init__(self, router: Slgf2Router, core) -> None:
+        super().__init__(router, core)
+        self.quadrant_scope = router._scope == "quadrant"
+        self.superseding = router._use_superseding
+        model = router.model
+        self.safety = _statuses_by_id(model, len(self.rows))
+        # Unsafe zone types per node id, ascending (usually empty):
+        # the splits of the superseding rule can only come from these.
+        self.unsafe_types: list[tuple[int, ...]] = [
+            ()
+            if status is None
+            else tuple(t for t in (1, 2, 3, 4) if not status[t - 1])
+            for status in self.safety
+        ]
+
+    def _splits_at(self, u: NodeId, destination: NodeId):
+        """Exact replica of ``Slgf2Router._region_splits_at``.
+
+        Same (node, type) enumeration order — ``u`` first, then its
+        neighbours ascending, types ascending — but driven by the
+        precomputed unsafe-type tuples, so fully-safe neighbourhood
+        members cost one empty-tuple check instead of four model
+        calls.
+        """
+        router = self.router
+        xs = self.xs
+        ys = self.ys
+        unsafe_types = self.unsafe_types
+        xd = xs[destination]
+        yd = ys[destination]
+        splits = []
+        model = None
+        pd = None
+        for w in (u, *self.rows[u]):
+            types = unsafe_types[w]
+            if not types:
+                continue
+            xw = xs[w]
+            yw = ys[w]
+            dx = xd - xw
+            dy = yd - yw
+            if dx == 0.0 and dy == 0.0:
+                continue  # pd == pw: in no forwarding zone
+            for t in types:
+                if t == 1:
+                    if dx < 0.0 or dy < 0.0:
+                        continue
+                elif t == 2:
+                    if dx > 0.0 or dy < 0.0:
+                        continue
+                elif t == 3:
+                    if dx > 0.0 or dy > 0.0:
+                        continue
+                else:
+                    if dx < 0.0 or dy > 0.0:
+                        continue
+                if model is None:
+                    model = router.model
+                    pd = router.graph.position(destination)
+                split = model.region_split(w, t, pd)
+                if split is not None and split.destination_side != 0:
+                    splits.append(split)
+        return splits
+
+    def _superseded_pick(
+        self,
+        row,
+        xu: float,
+        yu: float,
+        xd: float,
+        yd: float,
+        k: int,
+        floor: float,
+        splits,
+    ) -> NodeId:
+        """Steps 2+3 with visible splits: exact flat-column replica.
+
+        Rebuilds the *ordered* safe candidate set (the cut-prefiltered
+        main scan only tracks the minimum), drops candidates inside
+        any split's forbidden region — a preference, not a constraint:
+        when every candidate is forbidden the unfiltered set is used —
+        and greedy-picks among the survivors, matching
+        ``_safe_zone_candidates`` → ``_prefer_non_forbidden`` →
+        ``_greedy_pick`` decision for decision.  ``k`` is the zone
+        type (0 = rectangle scope).
+        """
+        xs = self.xs
+        ys = self.ys
+        safety = self.safety
+        hyp = math.hypot
+        if k == 0:
+            xlo, xhi = (xu, xd) if xu <= xd else (xd, xu)
+            ylo, yhi = (yu, yd) if yu <= yd else (yd, yu)
+        safe: list[NodeId] = []
+        dists: list[float] = []
+        for v in row:
+            xv = xs[v]
+            yv = ys[v]
+            if k == 0:
+                if xv < xlo or xv > xhi or yv < ylo or yv > yhi:
+                    continue
+            else:
+                dx = xv - xu
+                dy = yv - yu
+                if k == 1:
+                    if dx < 0.0 or dy < 0.0:
+                        continue
+                elif k == 2:
+                    if dx > 0.0 or dy < 0.0:
+                        continue
+                elif k == 3:
+                    if dx > 0.0 or dy > 0.0:
+                        continue
+                else:
+                    if dx < 0.0 or dy > 0.0:
+                        continue
+                if dx == 0.0 and dy == 0.0:
+                    continue
+            dx = xv - xd
+            dy = yv - yd
+            dv = hyp(dx, dy)
+            if k != 0 and dv >= floor:
+                continue  # quadrant scope: strictly-closer only
+            kv = _zone_type_rel(dx, dy)
+            if kv == 0 or safety[v][kv - 1]:
+                safe.append(v)
+                dists.append(dv)
+        preferred = [
+            i
+            for i, v in enumerate(safe)
+            if not any(
+                split.in_forbidden_region(Point(xs[v], ys[v]))
+                for split in splits
+            )
+        ]
+        if not preferred:
+            preferred = range(len(safe))
+        best = -1
+        best_dist = math.inf
+        for i in preferred:
+            dv = dists[i]
+            if dv < best_dist:
+                best = safe[i]
+                best_dist = dv
+        return best
+
+    def route(self, source: NodeId, destination: NodeId) -> RouteResult:
+        self._check(source, destination)
+        router = self.router
+        xs = self.xs
+        ys = self.ys
+        rows = self.rows
+        safety = self.safety
+        unsafe_types = self.unsafe_types
+        superseding = self.superseding
+        hyp = math.hypot
+        quadrant_scope = self.quadrant_scope
+        ttl = router.ttl
+        xd = xs[destination]
+        yd = ys[destination]
+        path = [source]
+        phases: list[str] = []
+        length = 0.0
+        u = source
+        hops = 0
+        du = hyp(xs[u] - xd, ys[u] - yd)
+        while hops < ttl:
+            if u == destination:
+                break
+            row = rows[u]
+            xu = xs[u]
+            yu = ys[u]
+            if destination in row:
+                path.append(destination)
+                phases.append(_SAFE)  # in_backup is False on this path
+                length += hyp(xu - xd, yu - yd)
+                u = destination
+                hops += 1
+                continue
+            if xu == xd and yu == yd:
+                return self._handover(
+                    source, destination, path, phases, length
+                )
+            if quadrant_scope:
+                ddx = xd - xu
+                ddy = yd - yu
+                if ddx > 0.0 and ddy >= 0.0:
+                    k = 1
+                elif ddx <= 0.0 and ddy > 0.0:
+                    k = 2
+                elif ddx < 0.0 and ddy <= 0.0:
+                    k = 3
+                else:
+                    k = 4
+                floor = du - _EPS
+                cut = floor * floor * _GUARD
+            else:
+                xlo, xhi = (xu, xd) if xu <= xd else (xd, xu)
+                ylo, yhi = (yu, yd) if yu <= yd else (yd, yu)
+                floor = math.inf
+                cut = math.inf
+            best_safe = -1
+            safe_dist = floor
+            needs_splits = superseding and bool(unsafe_types[u])
+            for v in row:
+                if superseding and unsafe_types[v]:
+                    needs_splits = True
+                xv = xs[v]
+                yv = ys[v]
+                if quadrant_scope:
+                    dx = xv - xu
+                    dy = yv - yu
+                    if k == 1:
+                        if dx < 0.0 or dy < 0.0:
+                            continue
+                    elif k == 2:
+                        if dx > 0.0 or dy < 0.0:
+                            continue
+                    elif k == 3:
+                        if dx > 0.0 or dy > 0.0:
+                            continue
+                    else:
+                        if dx < 0.0 or dy > 0.0:
+                            continue
+                    if dx == 0.0 and dy == 0.0:
+                        continue
+                else:
+                    if xv < xlo or xv > xhi or yv < ylo or yv > yhi:
+                        continue
+                dx = xv - xd
+                dy = yv - yd
+                if dx * dx + dy * dy >= cut:
+                    continue
+                dv = hyp(dx, dy)
+                if dv < safe_dist:
+                    kv = _zone_type_rel(dx, dy)
+                    if kv == 0 or safety[v][kv - 1]:
+                        best_safe = v
+                        safe_dist = dv
+                        cut = dv * dv * _GUARD
+            if best_safe < 0:
+                # No safe zone successor (or, under adaptive greedy, a
+                # candidate set this loop does not model): steps 3-5
+                # belong to the original ladder.
+                return self._handover(
+                    source, destination, path, phases, length
+                )
+            pick = best_safe
+            if needs_splits:
+                splits = self._splits_at(u, destination)
+                if splits:
+                    # Splits visible: apply the paper's superseding
+                    # rule (step 3) over the full ordered safe set.
+                    pick = self._superseded_pick(
+                        row,
+                        xu,
+                        yu,
+                        xd,
+                        yd,
+                        k if quadrant_scope else 0,
+                        floor,
+                        splits,
+                    )
+            path.append(pick)
+            phases.append(_SAFE)
+            length += hyp(xu - xs[pick], yu - ys[pick])
+            u = pick
+            du = hyp(xs[u] - xd, ys[u] - yd)
+            hops += 1
+        return self._finish(
+            source, destination, path, phases, length, u == destination
+        )
+
+
+_BUILDERS = {
+    GreedyRouter: _GreedyExecutor,
+    LgfRouter: _LgfExecutor,
+    SlgfRouter: _SlgfExecutor,
+    Slgf2Router: _Slgf2Executor,
+}
+
+
+def executor_for(router: Router):
+    """A batch executor for ``router``, or ``None`` for no fast path.
+
+    ``None`` (sequential fallback) when the scheme has no registered
+    executor, when the router is a *subclass* of a known scheme (its
+    overridden behaviour must win), or when the graph cannot provide a
+    columnar core (hand-built, unsorted adjacency rows).
+    """
+    builder = _BUILDERS.get(type(router))
+    if builder is None:
+        return None
+    try:
+        core = router.graph.core
+    except ValueError:
+        return None
+    return builder(router, core)

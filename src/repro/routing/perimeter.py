@@ -60,6 +60,13 @@ class PlanarizationCache:
     :meth:`rebind` drops it when the owning router learns of a
     topology change — the next perimeter entry rebuilds against the
     current graph.
+
+    The computation itself lives on the graph's columnar core
+    (:meth:`~repro.network.core.TopologyCore.planar_adjacency`), so
+    every cache over the same core — GF's and SLGF2's, say — shares
+    one CSR-mask construction instead of planarizing separately.
+    Graphs without a core (hand-built, unsorted adjacency rows) fall
+    back to the dict-based reference construction.
     """
 
     def __init__(self, graph: WasnGraph, kind: str = "gabriel"):
@@ -81,7 +88,13 @@ class PlanarizationCache:
     def adjacency(self) -> dict[NodeId, tuple[NodeId, ...]]:
         """The planar adjacency, computed on first access."""
         if self._adjacency is None:
-            self._adjacency = _PLANARIZATIONS[self._kind](self._graph)
+            try:
+                self._adjacency = self._graph.core.planar_adjacency(
+                    self._kind
+                )
+            except ValueError:
+                # No columnar core for this graph: reference path.
+                self._adjacency = _PLANARIZATIONS[self._kind](self._graph)
         return self._adjacency
 
     def __getitem__(self, node: NodeId) -> tuple[NodeId, ...]:

@@ -13,6 +13,7 @@ from repro.api import (
     RegistryRouterFactory,
     Scenario,
     Session,
+    Study,
     default_registry,
     run_scenario,
 )
@@ -22,7 +23,6 @@ from repro.experiments import (
     evaluate_network,
     evaluate_point,
     figure_table,
-    run_sweep,
 )
 from repro.experiments.cache import factory_fingerprint, point_key
 from repro.routing import GreedyRouter
@@ -91,13 +91,22 @@ class TestFifthRouter:
         )
 
         # Sweep + report + figure legend, no harness edits.
-        sweep = run_sweep(TINY, "IA", router_factory=factory, cache=cache)
+        def registry_sweep():
+            study = Study.from_config(
+                TINY,
+                ("IA",),
+                routers=factory.names,
+                registry=factory.as_registry(),
+            )
+            return study.run(cache=cache).sweep_result("IA")
+
+        sweep = registry_sweep()
         table = figure_table(sweep, "fig6")
         assert table.routers == ("GF", "LGF", "SLGF", "SLGF2", fifth_router)
         assert len(table.values[fifth_router]) == len(TINY.node_counts)
 
         # Second run is served from the cache under the same key.
-        cached = run_sweep(TINY, "IA", router_factory=factory, cache=cache)
+        cached = registry_sweep()
         assert cache.hits >= 1
         assert cached.points == sweep.points
 

@@ -409,27 +409,15 @@ class TestFingerprints:
         assert len(digests.pop()) == 64  # sha256 hex
 
 
-class TestDeprecatedSweepShims:
-    def test_sweeps_warns_and_matches_study(self):
-        from repro.api import sweeps
+class TestSweepShimRemoval:
+    def test_shims_are_gone(self):
+        """The one-release deprecation window closed: repro.api no
+        longer exports sweeps()/sweep(); Study is the only surface."""
+        import repro.api
 
-        with pytest.warns(DeprecationWarning, match="Study"):
-            legacy = sweeps(
-                TINY, ("IA",), cache=ResultCache.disabled()
-            )
-        via_study = (
-            Study.from_config(TINY, ("IA",))
-            .run(cache=ResultCache.disabled())
-            .sweep_result("IA")
-        )
-        assert legacy["IA"].points == via_study.points
-
-    def test_sweep_singular_warns(self):
-        from repro.api import sweep
-
-        with pytest.warns(DeprecationWarning, match="Study"):
-            result = sweep(TINY, "IA", cache=ResultCache.disabled())
-        assert result.node_counts == TINY.node_counts
+        assert not hasattr(repro.api, "sweeps")
+        assert not hasattr(repro.api, "sweep")
+        assert "sweeps" not in repro.api.__all__
 
 
 class TestProgressEvent:

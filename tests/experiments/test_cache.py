@@ -4,17 +4,19 @@ import json
 
 import pytest
 
+from repro.api import Study
 from repro.experiments import (
     ExperimentConfig,
+    ExperimentEngine,
     ResultCache,
     default_cache,
     evaluate_point,
     factory_fingerprint,
     figure_table,
+    plan_units,
     point_from_dict,
     point_key,
     point_to_dict,
-    run_sweep,
 )
 from repro.experiments.cache import default_cache_root
 from repro.experiments.runner import registry_routers
@@ -24,6 +26,12 @@ TINY = ExperimentConfig(
     networks_per_point=2,
     routes_per_network=3,
 )
+
+
+def _sweep(model, jobs=None, cache=None):
+    """The classic density sweep, through its Study replacement."""
+    result = Study.from_config(TINY, (model,)).run(jobs=jobs, cache=cache)
+    return result.sweep_result(model)
 
 
 class TestKeying:
@@ -145,10 +153,10 @@ class TestSweepCaching:
 
         monkeypatch.setattr(study_module, "_evaluate_cell", counting)
 
-        cold = run_sweep(TINY, "IA", jobs=1, cache=cache)
+        cold = _sweep("IA", jobs=1, cache=cache)
         assert len(calls) == len(TINY.node_counts)
 
-        warm = run_sweep(TINY, "IA", jobs=1, cache=cache)
+        warm = _sweep("IA", jobs=1, cache=cache)
         assert len(calls) == len(TINY.node_counts)  # no new computation
         assert warm.points == cold.points
         for figure_id in ("fig5", "fig6", "fig7"):
@@ -165,46 +173,49 @@ class TestSweepCaching:
         assert cache.load(key) is None  # miss, not an error
         # And the sweep pipeline transparently recomputes through
         # corruption: poison every stored entry, rerun, same numbers.
-        cold = run_sweep(TINY, "IA", jobs=1, cache=cache)
+        cold = _sweep("IA", jobs=1, cache=cache)
         for entry in tmp_path.rglob("*.json"):
             entry.write_text("{not json", encoding="utf-8")
-        warm = run_sweep(TINY, "IA", jobs=1, cache=cache)
+        warm = _sweep("IA", jobs=1, cache=cache)
         assert warm.points == cold.points
         assert warm.points[0] == point
 
     def test_disabled_cache_writes_nothing(self, tmp_path):
         cache = ResultCache(tmp_path, enabled=False)
-        run_sweep(TINY, "IA", jobs=1, cache=cache)
+        _sweep("IA", jobs=1, cache=cache)
         assert not list(tmp_path.iterdir())
         assert cache.hits == cache.misses == cache.stores == 0
 
     def test_disabled_cache_accepts_anonymous_factory(self, tmp_path):
-        """--no-cache must not trip over unkeyable factories."""
+        """--no-cache must not trip over unkeyable factories.
+
+        Anonymous factories run through the classic work-unit engine
+        (no registry identity, hence no Study cell fingerprint)."""
         import functools
 
-        sweep = run_sweep(
-            TINY,
-            "IA",
-            router_factory=functools.partial(registry_routers()),
-            jobs=1,
-            cache=ResultCache(tmp_path, enabled=False),
+        engine = ExperimentEngine(
+            jobs=1, cache=ResultCache(tmp_path, enabled=False)
         )
-        assert sweep.node_counts == TINY.node_counts
+        units = plan_units(TINY, ("IA",))
+        results = engine.run(
+            TINY, units, functools.partial(registry_routers())
+        )
+        assert set(results) == set(units)
 
     def test_anonymous_factory_computes_without_caching(self, tmp_path):
         """An enabled cache is silently bypassed, never collided."""
         cache = ResultCache(tmp_path)
-        first = run_sweep(
-            TINY, "IA",
-            router_factory=lambda inst: registry_routers()(inst),
-            jobs=1, cache=cache,
+        engine = ExperimentEngine(jobs=1, cache=cache)
+        units = plan_units(TINY, ("IA",))
+        results = engine.run(
+            TINY, units, lambda inst: registry_routers()(inst)
         )
         assert not list(tmp_path.iterdir())  # nothing stored
         assert cache.hits == cache.stores == 0
-        reference = run_sweep(
-            TINY, "IA", jobs=1, cache=ResultCache.disabled()
-        )
-        assert first.points == reference.points
+        reference = _sweep("IA", jobs=1, cache=ResultCache.disabled())
+        assert tuple(
+            results[unit] for unit in units
+        ) == reference.points
 
 
 class TestDefaults:
@@ -220,7 +231,7 @@ class TestDefaults:
 
     def test_engine_without_cache_computes(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE", "0")
-        sweep = run_sweep(TINY, "IA", jobs=1)  # cache=None -> default (off)
+        sweep = _sweep("IA", jobs=1)  # cache=None -> default (off)
         assert sweep.node_counts == TINY.node_counts
 
     def test_validation_errors_still_raise(self):

@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro.api import Study
 from repro.experiments import (
     ExperimentConfig,
     FIGURES,
@@ -12,7 +13,6 @@ from repro.experiments import (
     evaluate_point,
     figure_table,
     format_table,
-    run_sweep,
     sample_pairs,
     to_chart,
     to_csv,
@@ -127,7 +127,11 @@ class TestSweepAndFigures:
     @pytest.fixture(scope="class")
     def sweep(self):
         # Tests mean "compute fresh": no on-disk cache side effects.
-        return run_sweep(TINY, "IA", cache=ResultCache.disabled())
+        return (
+            Study.from_config(TINY, ("IA",))
+            .run(cache=ResultCache.disabled())
+            .sweep_result("IA")
+        )
 
     def test_sweep_structure(self, sweep):
         assert sweep.node_counts == (300, 400)

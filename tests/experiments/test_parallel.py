@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.api import Study
 from repro.experiments import (
     ExperimentConfig,
     ExperimentEngine,
@@ -11,8 +12,6 @@ from repro.experiments import (
     plan_units,
     registry_routers,
     resolve_jobs,
-    run_sweep,
-    run_sweeps,
 )
 
 TINY = ExperimentConfig(
@@ -24,6 +23,14 @@ TINY = ExperimentConfig(
 
 def _no_cache():
     return ResultCache.disabled()
+
+
+def _sweep(model, jobs=None, cache=None, progress=None):
+    """The classic density sweep, through its Study replacement."""
+    result = Study.from_config(TINY, (model,)).run(
+        jobs=jobs, cache=cache, progress=progress
+    )
+    return result.sweep_result(model)
 
 
 class TestJobsResolution:
@@ -78,42 +85,47 @@ class TestParallelDeterminism:
     """ISSUE acceptance: identical Summary values at jobs=1 and jobs=2."""
 
     def test_jobs2_identical_to_serial(self):
-        serial = run_sweep(TINY, "IA", jobs=1, cache=_no_cache())
-        parallel = run_sweep(TINY, "IA", jobs=2, cache=_no_cache())
+        serial = _sweep("IA", jobs=1, cache=_no_cache())
+        parallel = _sweep("IA", jobs=2, cache=_no_cache())
         # Full structural equality: every Summary, every counter.
         assert serial.points == parallel.points
 
-    def test_run_sweeps_both_models(self):
-        sweeps = run_sweeps(TINY, ("IA", "FA"), jobs=2, cache=_no_cache())
-        assert set(sweeps) == {"IA", "FA"}
-        for model, sweep in sweeps.items():
+    def test_study_grid_both_models(self):
+        result = Study.from_config(TINY, ("IA", "FA")).run(
+            jobs=2, cache=_no_cache()
+        )
+        for model in ("IA", "FA"):
+            sweep = result.sweep_result(model)
             assert sweep.deployment_model == model
             assert sweep.node_counts == TINY.node_counts
         # Shared-pool execution must match a per-model serial run.
-        ia = run_sweep(TINY, "IA", jobs=1, cache=_no_cache())
-        assert sweeps["IA"].points == ia.points
+        ia = _sweep("IA", jobs=1, cache=_no_cache())
+        assert result.sweep_result("IA").points == ia.points
 
     def test_unpicklable_factory_degrades_to_serial(self):
+        """The classic engine path: anonymous factories cannot ride
+        the Study pipeline (no registry identity), so they drive the
+        work-unit engine directly — and, being unpicklable, serially."""
         captured = []
 
         def factory(instance):  # a closure: not picklable
             captured.append(instance.seed)
             return registry_routers()(instance)
 
-        sweep = run_sweep(
-            TINY, "IA", router_factory=factory, jobs=2, cache=_no_cache()
-        )
-        reference = run_sweep(TINY, "IA", jobs=1, cache=_no_cache())
-        assert sweep.points == reference.points
+        units = plan_units(TINY, ("IA",))
+        engine = ExperimentEngine(jobs=2, cache=_no_cache())
+        results = engine.run(TINY, units, factory)
+        reference = _sweep("IA", jobs=1, cache=_no_cache())
+        assert tuple(
+            results[unit] for unit in units
+        ) == reference.points
         assert captured  # the factory really ran, in this process
 
-    def test_degenerate_model_lists_tolerated(self):
-        """Historical tolerance kept by the compat wrapper: empty
-        model lists yield empty results, duplicates collapse."""
-        assert run_sweeps(TINY, (), cache=_no_cache()) == {}
-        dup = run_sweeps(TINY, ("IA", "IA"), jobs=1, cache=_no_cache())
-        assert set(dup) == {"IA"}
-        assert dup["IA"].node_counts == TINY.node_counts
+    def test_empty_model_list_rejected(self):
+        """The removed compat wrapper tolerated empty model lists;
+        the Study grid validates its axes eagerly instead."""
+        with pytest.raises(ValueError):
+            Study.from_config(TINY, ())
 
     def test_engine_counts_computed_units(self):
         engine = ExperimentEngine(jobs=1, cache=_no_cache())
@@ -125,7 +137,7 @@ class TestParallelDeterminism:
 
     def test_progress_lines_emitted(self):
         lines = []
-        run_sweep(TINY, "IA", progress=lines.append, jobs=1, cache=_no_cache())
+        _sweep("IA", progress=lines.append, jobs=1, cache=_no_cache())
         # Serial runs announce each unit before computing it (so a
         # minutes-long cell is visibly alive) and confirm it after.
         assert len(lines) == 2 * len(TINY.node_counts)

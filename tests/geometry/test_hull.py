@@ -137,3 +137,56 @@ class TestAlphaShape:
         pts = self._grid(n)
         boundary = alpha_shape_boundary(pts, alpha=1.5)
         assert set(hull_indices(pts)) <= boundary
+
+
+class TestOptionalScipy:
+    """scipy/numpy are optional: the alpha shape must degrade loudly."""
+
+    def _block_scientific_imports(self, monkeypatch):
+        import builtins
+
+        real_import = builtins.__import__
+
+        def blocked(name, *args, **kwargs):
+            if name == "numpy" or name.split(".")[0] == "scipy":
+                raise ImportError(f"blocked for test: {name}")
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "__import__", blocked)
+
+    def test_no_scipy_warns_and_falls_back_to_convex_hull(
+        self, monkeypatch
+    ):
+        import pytest
+
+        self._block_scientific_imports(monkeypatch)
+        pts = self._concave()
+        with pytest.warns(RuntimeWarning, match="convex hull"):
+            boundary = alpha_shape_boundary(pts, alpha=1.5)
+        # The fallback is exactly the convex hull: the notch edge a
+        # real alpha shape would report is *not* detected (which is
+        # why the degradation warns instead of staying silent).
+        assert boundary == set(hull_indices(pts))
+        assert pts.index(Point(3.0, 2.0)) not in boundary
+
+    def test_small_inputs_never_touch_scipy(self, monkeypatch):
+        """The < 4 point fallback must not import (or warn) at all."""
+        import warnings
+
+        self._block_scientific_imports(monkeypatch)
+        pts = [Point(0, 0), Point(1, 0), Point(0, 1)]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert alpha_shape_boundary(pts, alpha=1.0) == set(
+                hull_indices(pts)
+            )
+
+    @staticmethod
+    def _concave():
+        pts = []
+        for i in range(10):
+            for j in range(10):
+                if 3 <= i <= 9 and 3 <= j <= 6:
+                    continue  # notch carved out of the right side
+                pts.append(Point(float(i), float(j)))
+        return pts
