@@ -16,8 +16,16 @@ Two pinned speedups at the paper's densest setting (800 nodes,
   schemes end to end.  Both must produce identical ``RouteResult``
   lists — the speed is free, the numbers are the same.
 
+* **Vectorized backend** (skipped when numpy is absent):
+  ``route_batch(backend="numpy")`` vs. the scalar batch executor on a
+  2000-node field with 6000 long cross-field routes.  The workload is
+  deliberately large: the kernel's per-step array cost is amortized
+  over thousands of in-flight packets, and below ~6000 routes the
+  ratio is too noisy on a loaded box to pin.  Identity is asserted
+  before timing, same as the others.
+
 Regression policy: each speedup is pinned at the threshold measured
-when the columnar core landed, minus a 10% tolerance band
+when the corresponding fast path landed, minus a 10% tolerance band
 (``_TOLERANCE``); dropping below ``threshold * 0.9`` fails the bench
 (and the CI bench-smoke job).  Timings land in
 ``benchmarks/results/core.txt``; ``REPRO_FULL=1`` scales the route
@@ -30,6 +38,9 @@ import os
 import random
 import time
 
+import pytest
+
+from repro._optional import load_numpy
 from repro.core import InformationModel
 from repro.geometry import Rect
 from repro.network import (
@@ -51,6 +62,9 @@ SEED = 2009
 # below threshold * _TOLERANCE is a regression.
 PINNED_ROUTING_SPEEDUP = 3.4
 PINNED_CONSTRUCTION_SPEEDUP = 2.3
+# Pinned when the numpy kernel landed (measured 3.4-3.7x at 6000
+# cross-field routes over n=2000).
+PINNED_NUMPY_SPEEDUP = 3.0
 _TOLERANCE = 0.9
 
 # The ISSUE acceptance floors (>= 3x routing, >= 2x construction) sit
@@ -174,6 +188,59 @@ def test_batched_routing_speedup(results_dir):
         f"floor {floor:.2f}x)"
     )
     report = "\n".join(lines)
+    with (results_dir / "core.txt").open("a") as handle:
+        handle.write(report + "\n")
+    print()
+    print(report)
+    assert speedup >= floor, report
+
+
+def test_numpy_backend_speedup(results_dir):
+    if load_numpy() is None:
+        pytest.skip("numpy not installed; scalar backend is the only one")
+
+    # A wide field with traffic crossing it end to end: ~15-hop routes
+    # keep thousands of packets in flight at once, which is the regime
+    # the vectorized step loop exists for.
+    n, area, radius = 2000, 450.0, 30.0
+    rng = random.Random(0)
+    positions = UniformDeployment(Rect(0, 0, area, area)).sample(n, rng)
+    graph = EdgeDetector(strategy="convex").apply(
+        build_unit_disk_graph(positions, radius)
+    )
+    west = sorted(nd.id for nd in graph.nodes() if nd.position.x < 110.0)
+    east = sorted(nd.id for nd in graph.nodes() if nd.position.x > 340.0)
+    pair_rng = random.Random(42)
+    route_count = 6000
+    pairs = [
+        (pair_rng.choice(west), pair_rng.choice(east))
+        for _ in range(route_count)
+    ]
+
+    router = GreedyRouter(graph)
+    scalar = router.route_batch(pairs, backend="scalar")
+    assert router.route_batch(pairs, backend="numpy") == scalar
+
+    repeats = 7 if os.environ.get("REPRO_FULL", "") == "1" else 5
+    scalar_s = _best_of(
+        lambda: router.route_batch(pairs, backend="scalar"), repeats
+    )
+    numpy_s = _best_of(
+        lambda: router.route_batch(pairs, backend="numpy"), repeats
+    )
+    speedup = scalar_s / numpy_s if numpy_s else float("inf")
+
+    floor = PINNED_NUMPY_SPEEDUP * _TOLERANCE
+    report = "\n".join(
+        [
+            f"numpy backend at n={n}, r={radius}, "
+            f"{route_count} cross-field GF routes",
+            f"scalar batch:    {1e3 * scalar_s:8.2f} ms",
+            f"numpy kernel:    {1e3 * numpy_s:8.2f} ms",
+            f"speedup:         {speedup:8.2f}x "
+            f"(pinned {PINNED_NUMPY_SPEEDUP}x, floor {floor:.2f}x)",
+        ]
+    )
     with (results_dir / "core.txt").open("a") as handle:
         handle.write(report + "\n")
     print()

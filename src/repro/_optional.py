@@ -1,0 +1,62 @@
+"""One guard for the package's optional scientific dependencies.
+
+numpy (and, for the alpha shape, scipy) are *optional*: every
+feature that wants them has an exact dependency-free path, and an
+environment without them must degrade predictably — loudly where the
+fallback changes results (:func:`repro.geometry.hull.alpha_shape_boundary`),
+silently where it only changes speed (the vectorized routing backend
+behind ``route_batch(backend="auto")``).
+
+This module is the single place that decides whether numpy exists, so
+the guards of independent features cannot drift apart.  Two rules keep
+the behaviour testable:
+
+* **No module-level caching.**  :func:`load_numpy` attempts the import
+  on every call, so the no-numpy test suites can block the import with
+  a ``builtins.__import__`` monkeypatch at any point and every guard
+  sees the blocked world.  Long-lived consumers (a batch kernel, a
+  core's cached views) hold the returned module themselves; the probe
+  is a ``sys.modules`` hit when numpy is importable, which is cheap.
+* **Requirement errors are one type.**  :class:`MissingDependencyError`
+  subclasses ``ImportError``, so callers can catch either the specific
+  contract ("this feature needs numpy") or the general condition.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MissingDependencyError", "load_numpy", "require_numpy"]
+
+
+class MissingDependencyError(ImportError):
+    """An optional dependency is required for the requested feature."""
+
+
+def load_numpy():
+    """The ``numpy`` module, or ``None`` when it cannot be imported.
+
+    Use for features that *degrade* without numpy (e.g. backend
+    selection under ``backend="auto"``).  Callers that cannot degrade
+    want :func:`require_numpy` instead.
+    """
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy
+
+
+def require_numpy(feature: str):
+    """The ``numpy`` module, or :class:`MissingDependencyError`.
+
+    ``feature`` names what the caller was asked to do, so the error
+    explains itself at the call site that triggered it::
+
+        np = require_numpy("route_batch(backend='numpy')")
+    """
+    np = load_numpy()
+    if np is None:
+        raise MissingDependencyError(
+            f"{feature} requires numpy, which is not installed; "
+            "install numpy or use the scalar path"
+        )
+    return np

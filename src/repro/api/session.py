@@ -344,6 +344,7 @@ class Session:
         count: int | None = None,
         routers: Sequence[str] | None = None,
         energy: bool = False,
+        backend: str = "auto",
     ) -> RouteSet:
         """Route a batch of sampled pairs through the selected schemes.
 
@@ -352,7 +353,10 @@ class Session:
         ``energy=True`` additionally folds per-route radio energy
         (``scenario.packet_bits`` bits) into the set — off by default,
         since it costs an extra O(hops) walk per route that most
-        workloads never read.
+        workloads never read.  ``backend`` is handed to
+        :meth:`~repro.routing.base.Router.route_batch` unchanged
+        (``"auto"``/``"scalar"``/``"numpy"`` — every backend returns
+        bit-identical results, so it only selects speed).
         """
         pairs = self.sample_pairs(count)
         selected = (
@@ -365,7 +369,7 @@ class Session:
             # path (bit-identical to sequential route() calls — the
             # equivalence suite pins it); schemes without one fall
             # back to per-pair routing inside route_batch.
-            for result in router.route_batch(pairs):
+            for result in router.route_batch(pairs, backend=backend):
                 out.add(
                     result,
                     energy=(
@@ -383,9 +387,9 @@ class Session:
                 )
         return out
 
-    def run(self) -> RouteSet:
+    def run(self, backend: str = "auto") -> RouteSet:
         """The scenario's full per-network workload."""
-        return self.route_pairs()
+        return self.route_pairs(backend=backend)
 
     # -- mobility -------------------------------------------------------
 
@@ -452,7 +456,9 @@ class Session:
 
 
 def run_scenario(
-    scenario: Scenario, registry: RouterRegistry | None = None
+    scenario: Scenario,
+    registry: RouterRegistry | None = None,
+    backend: str = "auto",
 ) -> RouteSet:
     """Evaluate a scenario across all its networks, merged in order.
 
@@ -469,9 +475,9 @@ def run_scenario(
         session = Session(scenario, index, registry=registry)
         if scenario.mobility is not None:
             for epoch_session in session.epochs():
-                merged.merge(epoch_session.run())
+                merged.merge(epoch_session.run(backend=backend))
         else:
-            merged.merge(session.run())
+            merged.merge(session.run(backend=backend))
     return merged
 
 

@@ -184,6 +184,7 @@ def evaluate_network(
     node_count: int,
     index: int,
     router_factory: RouterFactory | None = None,
+    backend: str = "auto",
 ) -> dict[str, RouteTally]:
     """Evaluate every router over one generated network.
 
@@ -191,6 +192,9 @@ def evaluate_network(
     :func:`_network_seed`, so any shard of a point can be recomputed in
     isolation and merged back in index order.  ``router_factory=None``
     evaluates every registered scheme (:func:`registry_routers`).
+    ``backend`` selects the batch implementation per
+    :meth:`~repro.routing.base.Router.route_batch`; every backend is
+    bit-identical, so cached points stay valid whichever ran them.
     """
     if router_factory is None:
         router_factory = registry_routers()
@@ -205,7 +209,7 @@ def evaluate_network(
         # Batched execution over the columnar core — bit-identical to
         # the historical per-pair route() loop (pinned by the batch
         # equivalence suite), which is what keeps cached points valid.
-        for result in router.route_batch(pairs):
+        for result in router.route_batch(pairs, backend=backend):
             tally.add(result)
     return tallies
 
@@ -215,6 +219,7 @@ def evaluate_point(
     deployment_model: str,
     node_count: int,
     router_factory: RouterFactory | None = None,
+    backend: str = "auto",
 ) -> PointResult:
     """Evaluate every router at one (deployment, node count) point.
 
@@ -226,7 +231,12 @@ def evaluate_point(
     merged: dict[str, RouteTally] = {}
     for index in range(config.networks_per_point):
         per_router = evaluate_network(
-            config, deployment_model, node_count, index, router_factory
+            config,
+            deployment_model,
+            node_count,
+            index,
+            router_factory,
+            backend=backend,
         )
         for name, tally in per_router.items():
             merged.setdefault(name, RouteTally()).merge(tally)

@@ -22,6 +22,7 @@ import math
 import warnings
 from typing import Sequence
 
+from repro._optional import load_numpy
 from repro.geometry.point import Point
 
 __all__ = ["convex_hull", "alpha_shape_boundary", "hull_indices"]
@@ -30,17 +31,21 @@ __all__ = ["convex_hull", "alpha_shape_boundary", "hull_indices"]
 def _delaunay():
     """The scipy/numpy trio the alpha shape needs, or ``None``.
 
-    Both imports live in one guard: scipy and numpy are *optional*
-    dependencies of this package (only the ``alpha`` edge strategy
-    wants them), and an environment missing either must degrade the
-    same way.  The degradation is loud — a concave deployment outline
+    The numpy probe is the package-wide guard
+    (:func:`repro._optional.load_numpy` — shared with the vectorized
+    routing backend, so the two cannot drift); scipy rides the same
+    check because an environment missing either must degrade the same
+    way.  The degradation is loud — a concave deployment outline
     silently approximated by its convex hull would mislabel boundary
     nodes with no hint why.
     """
-    try:
-        import numpy as np
-        from scipy.spatial import Delaunay, QhullError
-    except ImportError:
+    np = load_numpy()
+    if np is not None:
+        try:
+            from scipy.spatial import Delaunay, QhullError
+        except ImportError:
+            np = None
+    if np is None:
         warnings.warn(
             "scipy/numpy unavailable: alpha_shape_boundary falls back "
             "to the convex hull, which cannot follow concave "

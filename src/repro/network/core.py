@@ -36,12 +36,29 @@ from __future__ import annotations
 
 import math
 from array import array
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
+from repro._optional import require_numpy
 from repro.geometry import Point
 from repro.network.node import NodeId
 
-__all__ = ["TopologyCore", "build_core"]
+__all__ = ["CoreArrays", "TopologyCore", "build_core"]
+
+
+@dataclass(frozen=True)
+class CoreArrays:
+    """Read-only numpy views over one core's columns (see
+    :meth:`TopologyCore.ndarray_views`).  Fields are ndarrays; the
+    class itself never imports numpy, so merely defining a core keeps
+    the dependency optional."""
+
+    xs: "object"
+    ys: "object"
+    indptr: "object"
+    indices: "object"
+    lengths: "object"
+    ids: "object"
 
 # Numerical slack for the planarization witness tests — must match
 # repro.network.planar exactly (the core masks are pinned bit-identical
@@ -78,6 +95,7 @@ class TopologyCore:
         "_coords_by_id",
         "_rows_by_id",
         "_flags_by_id",
+        "_ndarrays",
     )
 
     def __init__(
@@ -114,6 +132,7 @@ class TopologyCore:
         self._coords_by_id: tuple[list, list] | None = None
         self._rows_by_id: list | None = None
         self._flags_by_id: list | None = None
+        self._ndarrays = None
 
     # -- construction ---------------------------------------------------
 
@@ -328,6 +347,43 @@ class TopologyCore:
                     flags[u] = self._edge_flags[i]
                 self._flags_by_id = flags
         return self._flags_by_id
+
+    # -- numpy views (what the vectorized batch kernel consumes) --------
+
+    def ndarray_views(self) -> "CoreArrays":
+        """Zero-copy numpy views over the core's columns, cached.
+
+        ``xs``/``ys``/``lengths`` wrap the ``array('d')`` buffers and
+        ``indptr``/``indices`` the CSR ``array('q')`` buffers directly
+        (``np.frombuffer`` — no copy, no conversion); ``ids`` is the
+        one materialised column (int64, built once from the id tuple).
+        All views are marked read-only so the core stays immutable
+        even through its numpy face.
+
+        numpy is an *optional* dependency (guarded exactly like the
+        alpha shape in :mod:`repro.geometry.hull`, through
+        :mod:`repro._optional`): calling this without numpy raises
+        :class:`~repro._optional.MissingDependencyError`.
+        """
+        if self._ndarrays is None:
+            np = require_numpy("TopologyCore.ndarray_views()")
+            xs = np.frombuffer(self._xs, dtype=np.float64)
+            ys = np.frombuffer(self._ys, dtype=np.float64)
+            indptr = np.frombuffer(self.indptr, dtype=np.int64)
+            indices = np.frombuffer(self.indices, dtype=np.int64)
+            lengths = np.frombuffer(self.lengths, dtype=np.float64)
+            ids = np.asarray(self._ids, dtype=np.int64)
+            for view in (xs, ys, indptr, indices, lengths, ids):
+                view.flags.writeable = False
+            self._ndarrays = CoreArrays(
+                xs=xs,
+                ys=ys,
+                indptr=indptr,
+                indices=indices,
+                lengths=lengths,
+                ids=ids,
+            )
+        return self._ndarrays
 
     # -- planarization masks --------------------------------------------
 

@@ -273,6 +273,7 @@ class Router(ABC):
     def __init__(self, graph: WasnGraph, ttl: int | None = None):
         self._graph = graph
         self._batch_executor = None  # built lazily by route_batch
+        self._numpy_kernel = None  # likewise; False = probed, absent
         if ttl is not None:
             # bool is an int subclass; ttl=True would silently mean 1.
             if isinstance(ttl, bool) or not isinstance(ttl, int):
@@ -318,6 +319,7 @@ class Router(ABC):
         """
         self._graph = graph
         self._batch_executor = None  # columns belong to the old graph
+        self._numpy_kernel = None
         if self._explicit_ttl is None:
             self._ttl = max(
                 MIN_TTL, int(DEFAULT_TTL_FACTOR * len(graph))
@@ -396,7 +398,9 @@ class Router(ABC):
         )
 
     def route_batch(
-        self, pairs: "Iterable[tuple[NodeId, NodeId]]"
+        self,
+        pairs: "Iterable[tuple[NodeId, NodeId]]",
+        backend: str = "auto",
     ) -> list[RouteResult]:
         """Route a batch of (source, destination) pairs, in order.
 
@@ -410,10 +414,29 @@ class Router(ABC):
         graphs without a columnar core) fall back to sequential
         ``route`` calls transparently.
 
+        ``backend`` selects the batch implementation:
+
+        * ``"auto"`` (default) — the vectorized numpy kernel when
+          numpy is importable and the scheme has a fast path,
+          otherwise the scalar executor, otherwise sequential
+          :meth:`route`.  Selection is silent: all three produce
+          bit-identical results.
+        * ``"scalar"`` — never touch numpy (the scalar executor, or
+          sequential ``route`` without a fast path).
+        * ``"numpy"`` — the vectorized kernel, or an error:
+          :class:`~repro._optional.MissingDependencyError` when numpy
+          is not importable, :class:`RoutingError` when the scheme has
+          no fast path on this graph.
+
         Batches trade instrumentation for speed: there are no
         ``on_hop``/``on_phase_change`` observers here — use
         :meth:`route` for instrumented packets.
         """
+        if backend not in ("auto", "scalar", "numpy"):
+            raise ValueError(
+                f"unknown backend {backend!r}; "
+                "expected 'auto', 'scalar' or 'numpy'"
+            )
         executor = self._batch_executor
         if executor is None:
             # Local import: repro.routing.batch imports the concrete
@@ -425,6 +448,31 @@ class Router(ABC):
             # a fast path costs an O(E) core check on coreless graphs
             # and must not be repeated per batch.
             self._batch_executor = executor if executor else False
+        if backend == "numpy":
+            kernel = self._numpy_kernel
+            if not kernel:
+                from repro._optional import require_numpy
+                from repro.routing.batch import numpy_kernel_for
+
+                require_numpy("route_batch(backend='numpy')")
+                if not executor:
+                    raise RoutingError(
+                        "no vectorized fast path for "
+                        f"{type(self).__name__} on this graph; "
+                        "use backend='scalar' or backend='auto'"
+                    )
+                kernel = numpy_kernel_for(self, executor)
+                self._numpy_kernel = kernel
+            return kernel.route_batch(pairs)
+        if backend == "auto" and executor:
+            kernel = self._numpy_kernel
+            if kernel is None:
+                from repro.routing.batch import numpy_kernel_for
+
+                kernel = numpy_kernel_for(self, executor)
+                self._numpy_kernel = kernel if kernel else False
+            if kernel:
+                return kernel.route_batch(pairs)
         if not executor:
             return [self.route(s, d) for s, d in pairs]
         route = executor.route

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import math
 
+from repro._optional import load_numpy
 from repro.geometry import Point
 from repro.network.node import NodeId
 from repro.routing.base import (
@@ -62,7 +63,7 @@ from repro.routing.lgf import LgfRouter
 from repro.routing.slgf import SlgfRouter
 from repro.routing.slgf2 import Slgf2Router
 
-__all__ = ["executor_for"]
+__all__ = ["executor_for", "numpy_kernel_for"]
 
 _EPS = 1e-9  # the routers' successor-selection tolerance (see greedy.py)
 
@@ -965,3 +966,554 @@ def executor_for(router: Router):
     except ValueError:
         return None
     return builder(router, core)
+
+
+# ---------------------------------------------------------------------------
+# The vectorized (numpy) batch backend.
+# ---------------------------------------------------------------------------
+
+# A packet this close to the destination defects: the quadrant-scope
+# floor ``du - _EPS`` stops being meaningfully positive, and coincident
+# geometry (the executors' hand-over cases) hides below it.  Far larger
+# than the decision bands, far smaller than any real hop.
+_NEAR_DEST = 1e-6
+
+# The two sides of the squared-distance decision band.  A comparison
+# against a threshold ``t`` is only trusted when the squared distance
+# clears ``t**2`` by a relative ``1e-12`` margin on the matching side;
+# the gap between the kernel's ``sqrt(dx*dx + dy*dy)`` and the scalar
+# executors' ``math.hypot`` is a few ulp (~1e-16 relative), so a clear
+# verdict here is the scalar verdict.  Anything inside the band — and
+# any near-tie between candidates — defects to the scalar replica.
+_BAND_LO = 1.0 - 1e-12
+_BAND_HI = _GUARD
+
+# Packets vectorized per wave.  A memory guard, not a tuning knob:
+# per-step working arrays are (max_degree, active) float64, so an
+# unbounded batch of a million packets would allocate gigabytes.
+# Below this size one wave is fastest — per-element cost is flat while
+# per-wave numpy dispatch is not.
+_WAVE = 32768
+
+
+class _NumpyBatchKernel:
+    """Vectorized batch backend: one array step advances every packet.
+
+    The CSR columns are re-laid once per kernel into degree-padded
+    neighbour matrices of shape ``(max_degree, n)``; padding entries
+    point at a phantom node at ``(inf, inf)``, so their squared
+    distance to any destination is ``inf`` and every mask ignores them
+    for free.  Each step gathers the active packets' columns into
+    ``(max_degree, active)`` working arrays, applies the scheme's
+    forwarding-zone filter (and safety statuses for SLGF/SLGF2) as
+    elementwise sign tests, and takes per-packet tier minima of the
+    squared distance to the destination along ``axis=0`` — the long
+    contiguous axis, which numpy reduces far faster than short rows.
+    Delivered packets (destination adjacent) finish; packets whose
+    winning candidate *provably* matches the scalar executors' choice
+    advance.
+
+    Exactness comes from proof, not replication: every floating-point
+    decision is checked against the conservative bands above, and any
+    packet the kernel cannot decide bit-identically — recovery or
+    safe-ladder entry, (near-)ties, coincident geometry, near-destination
+    thresholds, SLGF2's superseding gate — *defects*: it is re-routed
+    from the source by the wrapped scalar executor, which is exact by
+    construction.  Hop lengths are gathered from the core's
+    ``math.hypot``-computed ``lengths`` column and accumulated one add
+    per hop in path order, so delivered lengths are bit-identical too.
+    """
+
+    def __init__(self, np, mode: str, router: Router, core, scalar) -> None:
+        self.np = np
+        self.mode = mode
+        self.router = router
+        self.scalar = scalar
+        self.ids = core.ids  # python-int tuple: index -> node id
+        views = core.ndarray_views()
+        self.xs = views.xs
+        self.ys = views.ys
+        self.ids_np = views.ids
+        indptr = views.indptr
+        indices = views.indices
+        n = len(core.ids)
+        self.n = n
+        deg = indptr[1:] - indptr[:-1]
+        self.deg = deg
+        # Degree-padded columns, stored *transposed*: column u of the
+        # ``(max_degree, n)`` matrices holds u's neighbour data in CSR
+        # order, padded with a phantom node at (inf, inf).  Squared
+        # distances through the padding are inf, so it never wins a
+        # minimum, never matches a destination, and needs no mask of
+        # its own.  Neighbour coordinates (and, for the safety modes,
+        # packed safety bits) are materialised per (slot, node) here so
+        # a step's working arrays are ``(max_degree, active)`` and the
+        # per-packet reductions run along ``axis=0`` — over the long
+        # contiguous axis, where numpy's reductions vectorise roughly
+        # an order of magnitude better than along short rows.
+        width = int(deg.max()) if n else 0
+        pad_mask = np.arange(width)[None, :] < deg[:, None]
+        nb_pad = np.full((n, width), n, dtype=np.int64)
+        nb_pad[pad_mask] = indices
+        len_pad = np.zeros((n, width))
+        len_pad[pad_mask] = views.lengths
+        xs_pad = np.concatenate((self.xs, [np.inf]))
+        ys_pad = np.concatenate((self.ys, [np.inf]))
+        self.width = width
+        self.nb_t = np.ascontiguousarray(nb_pad.T)
+        self.len_t = np.ascontiguousarray(len_pad.T)
+        # Both coordinate planes in one (2, max_degree, n) block, so a
+        # step fetches every candidate coordinate with a single gather
+        # and differences both axes in a single ufunc pass.
+        self.xy_t = np.ascontiguousarray(
+            np.stack((xs_pad[nb_pad].T, ys_pad[nb_pad].T))
+        )
+        # (2*width, n) alias of the coordinate block: one 2-D ``take``
+        # along axis 1 fetches both planes of a step's columns, which
+        # measures ~30% faster than the equivalent 3-D fancy index.
+        self.xy_take = self.xy_t.reshape(2 * width, n)
+        # Step working buffers (gather, differences, minima, tie band),
+        # grown on demand in _route_wave: reusing warm pages beats
+        # fresh megabyte allocations, which hit mmap'd zero pages and
+        # page-fault on every first touch.
+        self._buf_cap = 0
+        self._bufs = None
+        if mode == "gf":
+            self.quadrant = False
+            self.rect = False  # full neighbourhood, no zone filter
+        elif mode in ("lgf", "slgf"):
+            self.rect = router._scope == "zone"
+            self.quadrant = not self.rect
+        else:  # slgf2
+            self.quadrant = router._scope == "quadrant"
+            self.rect = not self.quadrant
+        if mode in ("slgf", "slgf2"):
+            # Touching .model rebuilds it if a rebind left it stale,
+            # exactly as the scalar executors do.  The phantom row is
+            # all-safe; its inf distance already excludes it.
+            statuses = router.model.safety.statuses
+            safety = np.ones((n + 1, 4), dtype=bool)
+            for i, u in enumerate(core.ids):
+                safety[i] = statuses[u]
+            self.safety = safety
+            # Zone-type-t safety of neighbour (u, slot), packed as bits
+            # t-1 of one int8 (phantom: all-safe 0b1111).
+            packed = (
+                (safety.astype(np.uint8) << np.arange(4, dtype=np.uint8))
+                .sum(axis=1)
+                .astype(np.int8)
+            )
+            self.safe_t = np.ascontiguousarray(packed[nb_pad].T)
+        else:
+            self.safety = None
+            self.safe_t = None
+        if mode == "slgf2" and router._use_superseding:
+            # needs_splits gate, precomputed per node: u or any row
+            # neighbour has an unsafe zone type.
+            unsafe = ~self.safety[:n].all(axis=1)
+            csum = np.concatenate(
+                ([0], np.cumsum(unsafe[indices], dtype=np.int64))
+            )
+            gate = unsafe | (csum[indptr[1:]] > csum[indptr[:-1]])
+            self.gate = gate if gate.any() else None
+        else:
+            self.gate = None
+        # Per-hop phase label for single-phase schemes (SLGF labels
+        # per hop: safe picks _SAFE, plain picks _GREEDY), plus a cache
+        # of ready-made ``(phase,) * hops`` tuples — building one per
+        # result is a measurable share of a large batch.
+        self.hop_phase = _GREEDY if mode in ("gf", "lgf") else _SAFE
+        self._phases: dict[int, tuple] = {}
+
+    def _locate(self, pairs):
+        """(sources, destinations) as index arrays, pairs validated.
+
+        The happy path is one vectorized membership-plus-distinctness
+        sweep (binary search against the sorted id column); anything
+        suspicious falls back to the scalar ``_check`` loop, which
+        raises the exact sequential-path error for the first offending
+        pair in order.
+        """
+        np = self.np
+        n = self.n
+        try:
+            flat = np.asarray(pairs, dtype=np.int64)
+        except (TypeError, ValueError, OverflowError):
+            flat = None
+        if flat is not None and flat.shape == (len(pairs), 2) and n:
+            pos = np.searchsorted(self.ids_np, flat)
+            pos[pos >= n] = 0  # clamp for the gather; id 0 mismatches
+            member = self.ids_np[pos] == flat
+            if member.all() and (flat[:, 0] != flat[:, 1]).all():
+                return pos[:, 0], pos[:, 1]
+        for s, d in pairs:
+            self.scalar._check(s, d)
+        index_of = self.router.graph.core.index_of
+        count = len(pairs)
+        cur = np.fromiter(
+            (index_of(s) for s, _ in pairs), dtype=np.int64, count=count
+        )
+        dst = np.fromiter(
+            (index_of(d) for _, d in pairs), dtype=np.int64, count=count
+        )
+        return cur, dst
+
+    def route_batch(self, pairs) -> list[RouteResult]:
+        pairs = list(pairs)
+        if len(pairs) <= _WAVE:
+            return self._route_wave(pairs)
+        # Bounded memory for unbounded batches; see _WAVE.
+        results: list[RouteResult] = []
+        for start in range(0, len(pairs), _WAVE):
+            results.extend(self._route_wave(pairs[start : start + _WAVE]))
+        return results
+
+    def _tiers(self, np, cur, dst, dval, safe_t):
+        """One step's candidate evaluation: masks and tier minima.
+
+        Returns ``(m_sel, d2t, m_band, ok, deliver, use_safe)``: the
+        selected tier's per-packet minimum and candidate matrix, the
+        tie band around that minimum, the banded progress verdict, the
+        delivery trigger, and (SLGF only) the per-packet safe-tier
+        flags.
+        """
+        mode = self.mode
+        xs, ys = self.xs, self.ys
+        active = cur.shape[0]
+        width = self.width
+        g_flat, d_flat, m_flat, _ = self._bufs
+        span = 2 * width * active
+        # Candidate block: active packets' padded neighbour columns as
+        # (width, active) working arrays, both coordinate planes
+        # gathered and differenced in one pass each, into the wave's
+        # persistent buffers (see __init__).
+        xy = g_flat[:span].reshape(2 * width, active)
+        np.take(self.xy_take, cur, axis=1, out=xy)
+        xy = xy.reshape(2, width, active)
+        xv = xy[0]
+        yv = xy[1]
+        xd = xs[dst]
+        yd = ys[dst]
+        dxy = d_flat[:span].reshape(2, width, active)
+        np.subtract(xy, np.stack((xd, yd))[:, None, :], out=dxy)
+        dx = dxy[0]
+        dy = dxy[1]
+
+        # Forwarding-zone and safety masks (exact: sign tests only)
+        # come before the in-place squaring consumes dx/dy; padding
+        # rides through every mask with d2 == inf.
+        valid = None
+        if mode == "gf":
+            pass  # full neighbourhood, no zone filter
+        elif self.quadrant:
+            xu = xs[cur]
+            yu = ys[cur]
+            ddx = xd - xu
+            ddy = yd - yu
+            k = np.select(
+                [
+                    (ddx > 0.0) & (ddy >= 0.0),
+                    (ddx <= 0.0) & (ddy > 0.0),
+                    (ddx < 0.0) & (ddy <= 0.0),
+                ],
+                [1, 2, 3],
+                default=4,
+            )
+            dxu = xv - xu
+            dyu = yv - yu
+            px = dxu >= 0.0
+            py = dyu >= 0.0
+            nx = dxu <= 0.0
+            ny = dyu <= 0.0
+            valid = (
+                ((k == 1) & px & py)
+                | ((k == 2) & nx & py)
+                | ((k == 3) & nx & ny)
+                | ((k == 4) & px & ny)
+            )
+            valid &= ~((dxu == 0.0) & (dyu == 0.0))
+        else:
+            xu = xs[cur]
+            yu = ys[cur]
+            xlo = np.minimum(xu, xd)
+            xhi = np.maximum(xu, xd)
+            ylo = np.minimum(yu, yd)
+            yhi = np.maximum(yu, yd)
+            valid = (
+                (xv >= xlo)
+                & (xv <= xhi)
+                & (yv >= ylo)
+                & (yv <= yhi)
+            )
+
+        safe_ok = None
+        if safe_t is not None:
+            # _zone_type_rel, branch for branch, on (dx, dy); the
+            # candidate's own safety bit comes out of the packed
+            # per-slot bits by the zone type's shift.
+            kv = np.select(
+                [
+                    (dx == 0.0) & (dy == 0.0),
+                    (dx < 0.0) & (dy <= 0.0),
+                    dy < 0.0,
+                    dx > 0.0,
+                ],
+                [0, 1, 2, 3],
+                default=4,
+            )
+            bit = safe_t[:, cur] >> np.maximum(kv - 1, 0)
+            safe_ok = (kv == 0) | (bit & 1).astype(bool)
+
+        # Squared distance to the destination, both planes in one
+        # pass; the in-place square frees dx/dy.
+        np.multiply(dxy, dxy, out=dxy)
+        d2 = np.add(dxy[0], dxy[1], out=dxy[0])
+        d2v = d2 if valid is None else np.where(valid, d2, np.inf)
+        if safe_ok is not None:
+            d2s = np.where(safe_ok, d2v, np.inf)
+
+        # Tier minima and the banded clear/defect verdicts.
+        banded = self.quadrant or mode == "gf"
+        if banded:
+            thr = dval - _EPS
+            thr2 = thr * thr
+            lo2 = thr2 * _BAND_LO
+            hi2 = thr2 * _BAND_HI
+        if mode in ("gf", "lgf"):
+            m_all = np.minimum.reduce(d2v, axis=0, out=m_flat[:active])
+            ok = m_all < lo2 if banded else np.isfinite(m_all)
+            m_sel = m_all
+            d2t = d2v
+            use_safe = None
+        elif mode == "slgf":
+            m_all = d2v.min(axis=0)
+            m_safe = d2s.min(axis=0)
+            if banded:
+                safe_clear = m_safe < lo2
+                safe_empty = m_safe >= hi2
+                plain_clear = m_all < lo2
+            else:
+                safe_clear = np.isfinite(m_safe)
+                safe_empty = ~safe_clear
+                plain_clear = np.isfinite(m_all)
+            use_safe = safe_clear
+            ok = safe_clear | (safe_empty & plain_clear)
+            m_sel = np.where(use_safe, m_safe, m_all)
+            d2t = np.where(use_safe, d2s, d2v)
+        else:  # slgf2: safe tier only
+            m_safe = d2s.min(axis=0)
+            ok = m_safe < lo2 if banded else np.isfinite(m_safe)
+            m_sel = m_safe
+            d2t = d2s
+            use_safe = None
+
+        # Delivery: a destination adjacent to its packet.  Its
+        # candidate entry has squared distance exactly 0.0 and passes
+        # every zone and safety filter, so ``m_sel == 0.0`` is a
+        # complete (and cheap) trigger; the caller's column scan then
+        # tells a true destination from a node merely coincident with
+        # it.
+        deliver = m_sel == 0.0
+        return m_sel, d2t, m_sel * _BAND_HI, ok, deliver, use_safe
+
+    def _route_wave(self, pairs: list) -> list[RouteResult]:
+        np = self.np
+        mode = self.mode
+        scalar = self.scalar
+        count = len(pairs)
+        if count == 0:
+            return []
+        ids = self.ids
+        n = self.n
+        xs, ys = self.xs, self.ys
+        nb_t, len_t, deg = self.nb_t, self.len_t, self.deg
+        nb_flat, len_flat = nb_t.ravel(), len_t.ravel()
+        safe_t = self.safe_t
+        gate = self.gate
+        rname = self.router.name
+        phase_cache = self._phases
+        results: list[RouteResult | None] = [None] * count
+        defects: list[int] = []
+        paths: list[list[NodeId]] = [[s] for s, _ in pairs]
+        phase_rows = [[] for _ in range(count)] if mode == "slgf" else None
+
+        if count > self._buf_cap:
+            plane = 2 * self.width * count
+            self._bufs = (
+                np.empty(plane),
+                np.empty(plane),
+                np.empty(count),
+                np.empty(self.width * count, dtype=bool),
+            )
+            self._buf_cap = count
+
+        slot = np.arange(count, dtype=np.int64)
+        cur, dst = self._locate(pairs)
+        length = np.zeros(count)
+        dval = np.hypot(xs[cur] - xs[dst], ys[cur] - ys[dst])
+
+        first = True
+        for _ in range(self.router.ttl):
+            if not slot.size:
+                break
+            # Pre-decision defects: (near-)coincident with the
+            # destination, SLGF2 superseding gate, and — only possible
+            # on the first hop, every later node has a neighbour —
+            # isolated sources.
+            bad = dval <= _NEAR_DEST
+            if first:
+                bad |= deg[cur] == 0
+                first = False
+            if gate is not None:
+                bad |= gate[cur]
+            if bad.any():
+                defects.extend(slot[bad].tolist())
+                keep = ~bad
+                slot = slot[keep]
+                cur = cur[keep]
+                dst = dst[keep]
+                dval = dval[keep]
+                length = length[keep]
+                if not slot.size:
+                    break
+
+            m_sel, d2t, m_band, ok, deliver, use_safe = self._tiers(
+                np, cur, dst, dval, safe_t
+            )
+
+            dmatch = None
+            if deliver.any():
+                zrows = np.nonzero(deliver)[0]
+                dmatch = nb_t[:, cur[zrows]] == dst[zrows]
+                deliver[zrows] = dmatch.any(axis=0)
+
+            # A winner must be *uniquely* within the tie band of the
+            # tier minimum, or the scalar scan-order tie-break decides.
+            within = self._bufs[3][: d2t.size].reshape(d2t.shape)
+            np.less_equal(d2t, m_band, out=within)
+            cnt = within.sum(axis=0)
+            advance = ok & (cnt == 1) & ~deliver
+            defect = ~deliver & ~advance
+            if defect.any():
+                defects.extend(slot[defect].tolist())
+            if dmatch is not None and deliver.any():
+                hit = deliver[zrows]
+                done = zrows[hit]
+                dcol = dmatch[:, hit].argmax(axis=0)
+                fin_len = (
+                    length[done] + len_flat[dcol * n + cur[done]]
+                ).tolist()
+                # Delivered results are built directly (positional
+                # dataclass call, cached phase tuples): the ergonomic
+                # ``_finish`` wrapper costs more than every array op
+                # of a step combined when thousands of packets finish.
+                for s_slot, flen in zip(slot[done].tolist(), fin_len):
+                    source, destination = pairs[s_slot]
+                    path = paths[s_slot]
+                    path.append(destination)
+                    if phase_rows is not None:
+                        ph = phase_rows[s_slot]
+                        ph.append(_SAFE)
+                        ph = tuple(ph)
+                    else:
+                        hops = len(path) - 1
+                        ph = phase_cache.get(hops)
+                        if ph is None:
+                            phase_cache[hops] = ph = (
+                                self.hop_phase,
+                            ) * hops
+                    results[s_slot] = RouteResult(
+                        rname,
+                        source,
+                        destination,
+                        True,
+                        tuple(path),
+                        ph,
+                        flen,
+                    )
+
+            adv = np.nonzero(advance)[0]
+            if adv.size:
+                # The advancing packets' unique in-band candidate is
+                # the tier minimum; its padded slot (first along the
+                # CSR axis, matching the scalar first-wins scan) keys
+                # the flat neighbour/length lookups.
+                wrow = within.argmax(axis=0)
+                wflat = wrow[adv] * n + cur[adv]
+                wnb = nb_flat[wflat]
+                widx = wnb.tolist()
+                if phase_rows is not None:
+                    safe_flags = use_safe[adv].tolist()
+                    for s_slot, wi, sflag in zip(
+                        slot[adv].tolist(), widx, safe_flags
+                    ):
+                        paths[s_slot].append(ids[wi])
+                        phase_rows[s_slot].append(
+                            _SAFE if sflag else _GREEDY
+                        )
+                else:
+                    for s_slot, wi in zip(slot[adv].tolist(), widx):
+                        paths[s_slot].append(ids[wi])
+                length = length[adv] + len_flat[wflat]
+                cur = wnb
+                dval = np.sqrt(m_sel[adv])
+            slot = slot[adv]
+            dst = dst[adv]
+
+        # TTL-exhausted survivors.
+        for j in range(slot.size):
+            s_slot = int(slot[j])
+            source, destination = pairs[s_slot]
+            path = paths[s_slot]
+            if phase_rows is not None:
+                ph = tuple(phase_rows[s_slot])
+            else:
+                ph = (self.hop_phase,) * (len(path) - 1)
+            results[s_slot] = RouteResult(
+                rname,
+                source,
+                destination,
+                False,
+                tuple(path),
+                ph,
+                float(length[j]),
+                failure_reason="ttl_exceeded",
+            )
+
+        # Defected packets: the scalar replica re-routes from scratch
+        # (its first hops recompute exactly what the kernel already
+        # proved, so re-walking the prefix cannot diverge).
+        for s_slot in sorted(defects):
+            source, destination = pairs[s_slot]
+            results[s_slot] = scalar.route(source, destination)
+        return results
+
+
+def numpy_kernel_for(router: Router, executor=None):
+    """A vectorized batch kernel for ``router``, or ``None``.
+
+    ``None`` when numpy is unavailable or when the router has no scalar
+    fast path (``executor_for`` rules: unknown scheme, subclass, no
+    columnar core) — the kernel defects packets to the scalar replica,
+    so it cannot exist without one.  ``executor`` reuses an
+    already-built scalar executor instead of building a fresh one.
+    """
+    np = load_numpy()
+    if np is None:
+        return None
+    if executor is None:
+        executor = executor_for(router)
+    if executor is None:
+        return None
+    mode = _KERNEL_MODES.get(type(router))
+    if mode is None:
+        return None
+    return _NumpyBatchKernel(np, mode, router, router.graph.core, executor)
+
+
+_KERNEL_MODES = {
+    GreedyRouter: "gf",
+    LgfRouter: "lgf",
+    SlgfRouter: "slgf",
+    Slgf2Router: "slgf2",
+}

@@ -1,0 +1,87 @@
+"""Structural route invariants over every batch backend.
+
+The differential suites prove the backends agree with each other;
+this suite proves the properties every route must satisfy regardless
+of any reference implementation: paths start at the requested source
+and (when delivered) end at the requested destination, hop counts
+respect the TTL, every consecutive path pair is an actual edge, and
+phase labels line up one-per-hop.  An agreement bug that slipped past
+the differential suites (all backends wrong the same way) still has
+to get past these.
+
+Scenarios are seeded property sweeps: random pair streams over dense,
+sparse (recovery-heavy), tie-heavy (grid) and TTL-starved networks.
+The base seed runs in tier 1; the wider seed sweep is ``slow``.
+"""
+
+import pytest
+
+from _backend_diff import BACKENDS, assert_invariants, sample_pairs
+from repro.core import InformationModel
+from repro.routing import (
+    GreedyRouter,
+    LgfRouter,
+    SlgfRouter,
+    Slgf2Router,
+)
+
+
+def backend_router_grid(graph, model, ttl=None):
+    """(router, backend) combinations under test."""
+    kwargs = {} if ttl is None else {"ttl": ttl}
+    routers = [
+        GreedyRouter(graph, **kwargs),
+        LgfRouter(graph, **kwargs),
+        SlgfRouter(model, **kwargs),
+        Slgf2Router(model, **kwargs),
+    ]
+    return [(r, b) for r in routers for b in BACKENDS]
+
+
+def check_network(graph, model, seed, pair_count=40, ttl=None):
+    pairs = sample_pairs(graph, pair_count, seed)
+    for router, backend in backend_router_grid(graph, model, ttl=ttl):
+        results = router.route_batch(pairs, backend=backend)
+        assert_invariants(router, graph, results, pairs)
+
+
+class TestRouteInvariants:
+    def test_dense_random(self, random_net):
+        graph, _, model = random_net
+        check_network(graph, model, seed=0)
+
+    def test_grid_ties(self, grid):
+        graph, _, model = grid
+        check_network(graph, model, seed=0)
+
+    def test_pocket_grid(self, pocket_grid):
+        graph, _, model = pocket_grid
+        check_network(graph, model, seed=0)
+
+    def test_obstacle(self, obstacle_net):
+        graph, _, model = obstacle_net
+        check_network(graph, model, seed=0)
+
+    def test_ttl_starved(self, random_net):
+        """A TTL far below the network diameter: most routes die of
+        ``ttl_exceeded``, and ``hops <= ttl`` carries the weight."""
+        graph, _, model = random_net
+        check_network(graph, model, seed=0, ttl=4)
+
+    def test_failure_restricted(self, random_net):
+        graph, _, _ = random_net
+        survivor = graph.without_nodes(range(0, 400, 7))
+        model = InformationModel.build(survivor)
+        check_network(survivor, model, seed=0, pair_count=30)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", range(1, 8))
+    def test_dense_random_seed_sweep(self, random_net, seed):
+        graph, _, model = random_net
+        check_network(graph, model, seed=seed)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", range(1, 5))
+    def test_ttl_starved_seed_sweep(self, random_net, seed):
+        graph, _, model = random_net
+        check_network(graph, model, seed=seed, ttl=7)
