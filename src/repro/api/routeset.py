@@ -219,6 +219,21 @@ class RouteSet:
         )
         return f"RouteSet({per_router or 'empty'})"
 
+    def __eq__(self, other: object) -> bool:
+        """Value equality: same routes, energies and grouping order.
+
+        Makes the wire round-trip contract directly assertable:
+        ``RouteSet.from_dict(rs.to_dict()) == rs``.
+        """
+        if not isinstance(other, RouteSet):
+            return NotImplemented
+        return (
+            self._results == other._results
+            and self._energies == other._energies
+        )
+
+    __hash__ = None  # mutable collection; value equality forbids hashing
+
     # -- interop with the legacy harness --------------------------------
 
     def point_result(
@@ -282,6 +297,27 @@ class RouteSet:
                 router=record.get("registry_router"),
             )
         return out
+
+    def to_dict(self) -> dict:
+        """The whole set as one JSON-ready document.
+
+        The wire form used by the serve layer
+        (:mod:`repro.serve`): the route records of
+        :meth:`to_dicts` under a ``"routes"`` key, so the document
+        can grow siblings (versioning, per-set metadata) without
+        breaking readers that index into it.
+        """
+        return {"routes": self.to_dicts()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RouteSet":
+        """Rebuild a set from :meth:`to_dict` output.
+
+        Raises ``KeyError`` on a document without ``"routes"`` —
+        a truncated or foreign payload must not decode as an empty
+        (successful-looking) set.
+        """
+        return cls.from_dicts(data["routes"])
 
     def to_json(self, path: str | Path) -> Path:
         """Write the set as a JSON array of route records."""

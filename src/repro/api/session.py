@@ -22,7 +22,7 @@ IA/FA scenarios — the golden tests pin this.
 from __future__ import annotations
 
 import random
-from typing import Iterator, Sequence
+from typing import Iterator, Mapping, Sequence
 
 from repro.api.registry import RouterRegistry, default_registry
 from repro.api.routeset import RouteSet
@@ -56,6 +56,19 @@ from repro.routing.base import OnHop, OnPhaseChange
 from repro.routing.metrics import path_energy
 
 __all__ = ["Session", "connected_session", "run_scenario"]
+
+#: Scenario fields :meth:`Session.clone` may change: they affect which
+#: routes are asked for and how routers are configured, but never the
+#: materialised network itself (deployment, failures, topology).
+_ROUTING_SIDE_FIELDS = frozenset(
+    {
+        "routers",
+        "router_options",
+        "routes_per_network",
+        "packet_bits",
+        "networks",
+    }
+)
 
 
 def _apply_failures(
@@ -223,20 +236,76 @@ class Session:
         scenario: Scenario | None = None,
         seed: int = 0,
         registry: RouterRegistry | None = None,
+        routers: "Mapping[str, Router] | None" = None,
     ) -> "Session":
         """Session over an already-built graph (mobility snapshots,
         externally generated topologies).  The information model and
         hole boundaries are built lazily, on first need; the scenario
-        contributes router selection and workload parameters only."""
+        contributes router selection and workload parameters only.
+
+        ``routers`` injects already-constructed routers instead of
+        building fresh ones — the resident-session path of
+        :mod:`repro.serve`, whose routers track a live
+        :class:`~repro.network.dynamic.DynamicTopology` and rebind
+        incrementally.  The caller guarantees they are bound to
+        ``graph``; the rebind == fresh contract (pinned by the router
+        fuzz suite) is what makes the shortcut exact.
+        """
         scenario = scenario if scenario is not None else Scenario()
         instance = _PreparedNetwork(
             graph, scenario.deployment_model, seed
         )
-        return cls(
+        session = cls(
             scenario,
             network_index=0,
             registry=registry,
             _instance=instance,
+        )
+        if routers is not None:
+            session._routers_cache = dict(routers)
+        return session
+
+    def clone(self, **changes) -> "Session":
+        """A Session sharing this one's materialised network.
+
+        Materialisation — deployment, failure schedule, unit-disk
+        construction, the columnar TopologyCore and the lazy
+        information bases — is the expensive part of a Session, and it
+        is a pure function of the scenario's *network-side* fields.
+        ``clone`` reuses it: the returned Session answers routing
+        queries over the very same prepared network (O(1) startup,
+        pinned by ``benchmarks/bench_serve.py``), optionally with
+        different *routing-side* fields::
+
+            fast = session.clone(routers=("GF",), routes_per_network=100)
+
+        Only routing-side changes are accepted — ``routers``,
+        ``router_options``, ``routes_per_network``, ``packet_bits``
+        and ``networks``.  Changing a network-side field (density,
+        seed, failures, …) raises ``ValueError``: the shared network
+        would not match the new scenario, and silently serving stale
+        topology under a fresh label is exactly the bug this guard
+        exists to prevent.  Results are bit-identical to a
+        from-scratch ``Session`` of the same scenario (same network
+        seed, same pair stream); the golden serve tests pin this.
+        """
+        unsupported = set(changes) - _ROUTING_SIDE_FIELDS
+        if unsupported:
+            allowed = ", ".join(sorted(_ROUTING_SIDE_FIELDS))
+            raise ValueError(
+                "clone() only changes routing-side fields "
+                f"({allowed}); got network-side change(s): "
+                f"{', '.join(sorted(unsupported))} — build a new "
+                "Session for a different network"
+            )
+        scenario = (
+            self.scenario.with_(**changes) if changes else self.scenario
+        )
+        return Session(
+            scenario,
+            self.network_index,
+            registry=self._registry,
+            _instance=self.instance,
         )
 
     # -- materialised state ---------------------------------------------

@@ -10,6 +10,7 @@ figure tables::
     repro-wasn --list-routers          # what the registry knows
     repro-wasn --full --jobs 8         # 8 worker processes
     repro-wasn --full                  # second run: served from cache
+    repro-wasn serve --port 8707       # routing-as-a-service (HTTP)
 
 The CLI drives everything through :mod:`repro.api`: router selection
 is by registered name (schemes added via
@@ -156,7 +157,20 @@ def _list_routers() -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point: run sweeps and print/persist the figure panels."""
+    """Entry point: figure sweeps, or the routing service.
+
+    ``repro-wasn serve ...`` hands over to the service CLI
+    (:mod:`repro.serve.cli`) — a resident-session query server over
+    HTTP; everything else is the figure pipeline below.
+    """
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        # Imported on demand: the figure pipeline must not pay for
+        # (or depend on) the service layer.
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(argv[1:])
     parser = _parser()
     args = parser.parse_args(argv)
     if args.list_routers:

@@ -1,0 +1,502 @@
+"""JSON wire format for the routing service.
+
+The serve layer speaks plain JSON over HTTP, so every request body
+must decode into the same value objects the Python API uses —
+:class:`~repro.api.scenario.Scenario`, failure specs, obstacle shapes,
+topology events — with *clear* errors for malformed documents: a
+client typo answers with a 400 naming the offending key, never a
+traceback or (worse) a silently defaulted field.
+
+The codec is strict both ways:
+
+* :func:`scenario_from_dict` rejects unknown keys, wrong types and
+  semantically invalid combinations (delegating the latter to the
+  Scenario's own validation), raising :class:`WireError` with an
+  HTTP-ready status code;
+* :func:`scenario_to_dict` is its exact inverse —
+  ``scenario_from_dict(scenario_to_dict(s)) == s`` for every
+  serialisable scenario, pinned by the round-trip tests.
+
+Route results ride the :meth:`repro.api.RouteSet.to_dict` /
+``from_dict`` pair, so the service's responses decode into the same
+objects a direct :class:`~repro.api.Session` call returns.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.api.scenario import (
+    MobilitySchedule,
+    NodesFailure,
+    RandomFailure,
+    RegionFailure,
+    Scenario,
+)
+from repro.geometry import Point, Rect
+from repro.network.obstacles import (
+    CompositeObstacle,
+    DiscObstacle,
+    RectObstacle,
+)
+
+__all__ = [
+    "WireError",
+    "scenario_from_dict",
+    "scenario_to_dict",
+    "topology_events_from_dict",
+]
+
+
+class WireError(Exception):
+    """A malformed wire document, with the HTTP status it deserves.
+
+    ``status`` is always a 4xx — wire errors are the client's fault
+    by definition; server faults raise normally and surface as 500.
+    """
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+# -- primitive field decoding -------------------------------------------------
+
+
+def _require_mapping(value, where: str) -> Mapping:
+    if not isinstance(value, Mapping):
+        raise WireError(f"{where} must be a JSON object, got {value!r}")
+    return value
+
+
+def _int_field(data: Mapping, key: str, where: str) -> int:
+    value = data[key]
+    # bool is an int subclass; "node_count": true must not mean 1.
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise WireError(f"{where}.{key} must be an integer, got {value!r}")
+    return value
+
+
+def _float_field(data: Mapping, key: str, where: str) -> float:
+    value = data[key]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise WireError(f"{where}.{key} must be a number, got {value!r}")
+    return float(value)
+
+
+def _int_tuple(value, where: str) -> tuple[int, ...]:
+    if not isinstance(value, Sequence) or isinstance(value, (str, bytes)):
+        raise WireError(f"{where} must be an array of node ids")
+    out = []
+    for item in value:
+        if isinstance(item, bool) or not isinstance(item, int):
+            raise WireError(f"{where} must contain integers, got {item!r}")
+        out.append(item)
+    return tuple(out)
+
+
+def _check_keys(data: Mapping, allowed: frozenset, where: str) -> None:
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise WireError(
+            f"{where} has unknown key(s) {', '.join(map(repr, unknown))}; "
+            f"allowed: {', '.join(sorted(allowed))}"
+        )
+
+
+def _rect_from_wire(value, where: str) -> Rect:
+    """``[x_min, y_min, x_max, y_max]``, validated by Rect itself."""
+    if (
+        not isinstance(value, Sequence)
+        or isinstance(value, (str, bytes))
+        or len(value) != 4
+        or any(
+            isinstance(v, bool) or not isinstance(v, (int, float))
+            for v in value
+        )
+    ):
+        raise WireError(
+            f"{where} must be [x_min, y_min, x_max, y_max], got {value!r}"
+        )
+    try:
+        return Rect(*(float(v) for v in value))
+    except ValueError as error:
+        raise WireError(f"{where}: {error}") from None
+
+
+def _rect_to_wire(rect: Rect) -> list[float]:
+    return [rect.x_min, rect.y_min, rect.x_max, rect.y_max]
+
+
+# -- obstacles ----------------------------------------------------------------
+
+_RECT_OBSTACLE_KEYS = frozenset({"kind", "rect"})
+_DISC_OBSTACLE_KEYS = frozenset({"kind", "x", "y", "radius"})
+_UNION_OBSTACLE_KEYS = frozenset({"kind", "parts"})
+
+
+def _obstacle_from_wire(value, where: str):
+    data = _require_mapping(value, where)
+    kind = data.get("kind")
+    try:
+        if kind == "rect":
+            _check_keys(data, _RECT_OBSTACLE_KEYS, where)
+            return RectObstacle(_rect_from_wire(data["rect"], f"{where}.rect"))
+        if kind == "disc":
+            _check_keys(data, _DISC_OBSTACLE_KEYS, where)
+            return DiscObstacle(
+                Point(
+                    _float_field(data, "x", where),
+                    _float_field(data, "y", where),
+                ),
+                _float_field(data, "radius", where),
+            )
+        if kind == "union":
+            _check_keys(data, _UNION_OBSTACLE_KEYS, where)
+            parts = data["parts"]
+            if not isinstance(parts, Sequence) or isinstance(parts, str):
+                raise WireError(f"{where}.parts must be an array")
+            return CompositeObstacle(
+                tuple(
+                    _obstacle_from_wire(part, f"{where}.parts[{i}]")
+                    for i, part in enumerate(parts)
+                )
+            )
+    except KeyError as error:
+        raise WireError(f"{where} is missing key {error}") from None
+    except ValueError as error:
+        raise WireError(f"{where}: {error}") from None
+    raise WireError(
+        f"{where}.kind must be 'rect', 'disc' or 'union', got {kind!r}"
+    )
+
+
+def _obstacle_to_wire(obstacle) -> dict:
+    if isinstance(obstacle, RectObstacle):
+        return {"kind": "rect", "rect": _rect_to_wire(obstacle.rect)}
+    if isinstance(obstacle, DiscObstacle):
+        return {
+            "kind": "disc",
+            "x": obstacle.center.x,
+            "y": obstacle.center.y,
+            "radius": obstacle.radius,
+        }
+    if isinstance(obstacle, CompositeObstacle):
+        return {
+            "kind": "union",
+            "parts": [_obstacle_to_wire(part) for part in obstacle.parts],
+        }
+    raise WireError(
+        f"obstacle {type(obstacle).__name__} has no wire encoding", 500
+    )
+
+
+# -- failure schedule ---------------------------------------------------------
+
+_REGION_FAILURE_KEYS = frozenset({"kind", "x", "y", "radius", "protect"})
+_NODES_FAILURE_KEYS = frozenset({"kind", "nodes"})
+_RANDOM_FAILURE_KEYS = frozenset({"kind", "count", "protect"})
+
+
+def _failure_from_wire(value, where: str):
+    data = _require_mapping(value, where)
+    kind = data.get("kind")
+    try:
+        if kind == "region":
+            _check_keys(data, _REGION_FAILURE_KEYS, where)
+            return RegionFailure(
+                x=_float_field(data, "x", where),
+                y=_float_field(data, "y", where),
+                radius=_float_field(data, "radius", where),
+                protect=_int_tuple(
+                    data.get("protect", ()), f"{where}.protect"
+                ),
+            )
+        if kind == "nodes":
+            _check_keys(data, _NODES_FAILURE_KEYS, where)
+            return NodesFailure(_int_tuple(data["nodes"], f"{where}.nodes"))
+        if kind == "random":
+            _check_keys(data, _RANDOM_FAILURE_KEYS, where)
+            return RandomFailure(
+                count=_int_field(data, "count", where),
+                protect=_int_tuple(
+                    data.get("protect", ()), f"{where}.protect"
+                ),
+            )
+    except KeyError as error:
+        raise WireError(f"{where} is missing key {error}") from None
+    except ValueError as error:
+        raise WireError(f"{where}: {error}") from None
+    raise WireError(
+        f"{where}.kind must be 'region', 'nodes' or 'random', got {kind!r}"
+    )
+
+
+def _failure_to_wire(spec) -> dict:
+    if isinstance(spec, RegionFailure):
+        return {
+            "kind": "region",
+            "x": spec.x,
+            "y": spec.y,
+            "radius": spec.radius,
+            "protect": list(spec.protect),
+        }
+    if isinstance(spec, NodesFailure):
+        return {"kind": "nodes", "nodes": list(spec.nodes)}
+    if isinstance(spec, RandomFailure):
+        return {
+            "kind": "random",
+            "count": spec.count,
+            "protect": list(spec.protect),
+        }
+    raise WireError(
+        f"failure spec {type(spec).__name__} has no wire encoding", 500
+    )
+
+
+# -- the scenario document ----------------------------------------------------
+
+_SCALAR_INT_FIELDS = (
+    "node_count",
+    "seed",
+    "networks",
+    "routes_per_network",
+    "obstacle_count",
+    "packet_bits",
+)
+_SCALAR_FLOAT_FIELDS = (
+    "radius",
+    "min_obstacle_size",
+    "max_obstacle_size",
+)
+_SCENARIO_KEYS = frozenset(
+    (
+        "deployment_model",
+        "area",
+        "obstacles",
+        "failures",
+        "mobility",
+        "routers",
+        "router_options",
+    )
+    + _SCALAR_INT_FIELDS
+    + _SCALAR_FLOAT_FIELDS
+)
+
+_MOBILITY_KEYS = frozenset({"speed_min", "speed_max", "pause", "dt", "epochs"})
+
+
+def scenario_from_dict(data: Mapping) -> Scenario:
+    """Decode a scenario document, validating every field.
+
+    Every key is optional (defaults are the paper's setting, exactly
+    as the :class:`Scenario` constructor's); every *present* key must
+    be well-formed.  Semantic validation — unknown deployment model,
+    obstacles under IA, mobility plus failures — is the Scenario's
+    own ``__post_init__``, surfaced as a :class:`WireError` so the
+    HTTP layer answers 400, not 500.
+    """
+    data = _require_mapping(data, "scenario")
+    _check_keys(data, _SCENARIO_KEYS, "scenario")
+    kwargs: dict = {}
+    if "deployment_model" in data:
+        value = data["deployment_model"]
+        if not isinstance(value, str):
+            raise WireError(
+                f"scenario.deployment_model must be a string, got {value!r}"
+            )
+        kwargs["deployment_model"] = value
+    for key in _SCALAR_INT_FIELDS:
+        if key in data:
+            kwargs[key] = _int_field(data, key, "scenario")
+    for key in _SCALAR_FLOAT_FIELDS:
+        if key in data:
+            kwargs[key] = _float_field(data, key, "scenario")
+    if "area" in data:
+        kwargs["area"] = _rect_from_wire(data["area"], "scenario.area")
+    if "obstacles" in data:
+        value = data["obstacles"]
+        if not isinstance(value, Sequence) or isinstance(value, str):
+            raise WireError("scenario.obstacles must be an array")
+        kwargs["obstacles"] = tuple(
+            _obstacle_from_wire(item, f"scenario.obstacles[{i}]")
+            for i, item in enumerate(value)
+        )
+    if "failures" in data:
+        value = data["failures"]
+        if not isinstance(value, Sequence) or isinstance(value, str):
+            raise WireError("scenario.failures must be an array")
+        kwargs["failures"] = tuple(
+            _failure_from_wire(item, f"scenario.failures[{i}]")
+            for i, item in enumerate(value)
+        )
+    if "mobility" in data and data["mobility"] is not None:
+        mob = _require_mapping(data["mobility"], "scenario.mobility")
+        _check_keys(mob, _MOBILITY_KEYS, "scenario.mobility")
+        mob_kwargs: dict = {}
+        for key in ("speed_min", "speed_max", "pause", "dt"):
+            if key in mob:
+                mob_kwargs[key] = _float_field(mob, key, "scenario.mobility")
+        if "epochs" in mob:
+            mob_kwargs["epochs"] = _int_field(
+                mob, "epochs", "scenario.mobility"
+            )
+        try:
+            kwargs["mobility"] = MobilitySchedule(**mob_kwargs)
+        except ValueError as error:
+            raise WireError(f"scenario.mobility: {error}") from None
+    if "routers" in data:
+        value = data["routers"]
+        if not isinstance(value, Sequence) or isinstance(value, str):
+            raise WireError("scenario.routers must be an array of names")
+        if not all(isinstance(name, str) for name in value):
+            raise WireError("scenario.routers must contain strings")
+        kwargs["routers"] = tuple(value)
+    if "router_options" in data:
+        options = _require_mapping(
+            data["router_options"], "scenario.router_options"
+        )
+        kwargs["router_options"] = {
+            str(name): dict(
+                _require_mapping(
+                    opts, f"scenario.router_options[{name!r}]"
+                )
+            )
+            for name, opts in options.items()
+        }
+    try:
+        return Scenario(**kwargs)
+    except (TypeError, ValueError) as error:
+        raise WireError(f"invalid scenario: {error}") from None
+
+
+def scenario_to_dict(scenario: Scenario) -> dict:
+    """Encode a scenario as its wire document (inverse of
+    :func:`scenario_from_dict`; defaults are written out explicitly,
+    so the document is self-contained)."""
+    out: dict = {
+        "deployment_model": scenario.deployment_model,
+        "area": _rect_to_wire(scenario.area),
+    }
+    for key in _SCALAR_INT_FIELDS:
+        out[key] = getattr(scenario, key)
+    for key in _SCALAR_FLOAT_FIELDS:
+        out[key] = getattr(scenario, key)
+    out["obstacles"] = [
+        _obstacle_to_wire(obstacle) for obstacle in scenario.obstacles
+    ]
+    out["failures"] = [
+        _failure_to_wire(spec) for spec in scenario.failures
+    ]
+    if scenario.mobility is not None:
+        mob = scenario.mobility
+        out["mobility"] = {
+            "speed_min": mob.speed_min,
+            "speed_max": mob.speed_max,
+            "pause": mob.pause,
+            "dt": mob.dt,
+            "epochs": mob.epochs,
+        }
+    else:
+        out["mobility"] = None
+    out["routers"] = list(scenario.routers)
+    out["router_options"] = {
+        name: dict(opts) for name, opts in scenario.router_options.items()
+    }
+    return out
+
+
+# -- topology events ----------------------------------------------------------
+
+_MOVE_EVENT_KEYS = frozenset({"op", "node", "x", "y"})
+_FAIL_EVENT_KEYS = frozenset({"op", "nodes"})
+_RESTORE_EVENT_KEYS = frozenset({"op", "nodes", "positions"})
+
+
+def topology_events_from_dict(data: Mapping) -> list[tuple]:
+    """Decode a topology-update request body.
+
+    Returns the validated event list as tagged tuples —
+    ``("move", node, Point)``, ``("fail", ids)``,
+    ``("restore", ids, {id: Point} | None)`` — ready for
+    :class:`~repro.network.dynamic.DynamicTopology` application.
+    Shape validation happens here (wrong types, unknown ops → 400);
+    *state* validation (unknown node, failing a down node) happens at
+    application time against the live topology.
+    """
+    data = _require_mapping(data, "body")
+    _check_keys(data, frozenset({"events"}), "body")
+    try:
+        events = data["events"]
+    except KeyError:
+        raise WireError("body is missing key 'events'") from None
+    if not isinstance(events, Sequence) or isinstance(events, str):
+        raise WireError("events must be an array")
+    if not events:
+        raise WireError("events must not be empty")
+    out: list[tuple] = []
+    for i, value in enumerate(events):
+        where = f"events[{i}]"
+        event = _require_mapping(value, where)
+        op = event.get("op")
+        try:
+            if op == "move":
+                _check_keys(event, _MOVE_EVENT_KEYS, where)
+                out.append(
+                    (
+                        "move",
+                        _int_field(event, "node", where),
+                        Point(
+                            _float_field(event, "x", where),
+                            _float_field(event, "y", where),
+                        ),
+                    )
+                )
+            elif op == "fail":
+                _check_keys(event, _FAIL_EVENT_KEYS, where)
+                out.append(
+                    ("fail", _int_tuple(event["nodes"], f"{where}.nodes"))
+                )
+            elif op == "restore":
+                _check_keys(event, _RESTORE_EVENT_KEYS, where)
+                positions = None
+                if event.get("positions") is not None:
+                    raw = _require_mapping(
+                        event["positions"], f"{where}.positions"
+                    )
+                    positions = {}
+                    for key, coords in raw.items():
+                        try:
+                            node = int(key)
+                        except ValueError:
+                            raise WireError(
+                                f"{where}.positions keys must be node "
+                                f"ids, got {key!r}"
+                            ) from None
+                        if (
+                            not isinstance(coords, Sequence)
+                            or isinstance(coords, str)
+                            or len(coords) != 2
+                        ):
+                            raise WireError(
+                                f"{where}.positions[{key!r}] must be "
+                                "[x, y]"
+                            )
+                        positions[node] = Point(
+                            float(coords[0]), float(coords[1])
+                        )
+                out.append(
+                    (
+                        "restore",
+                        _int_tuple(event["nodes"], f"{where}.nodes"),
+                        positions,
+                    )
+                )
+            else:
+                raise WireError(
+                    f"{where}.op must be 'move', 'fail' or 'restore', "
+                    f"got {op!r}"
+                )
+        except KeyError as error:
+            raise WireError(f"{where} is missing key {error}") from None
+    return out

@@ -162,3 +162,52 @@ class TestRouteSet:
             restored.aggregate("LGF").hops.mean
             == routes.aggregate("LGF").hops.mean
         )
+
+
+class TestRouteSetDictDocument:
+    """The single-document wire form (``to_dict``/``from_dict``) and
+    the value equality that makes its round trip assertable."""
+
+    def test_document_wraps_the_records(self):
+        routes = RouteSet()
+        routes.add(make_result())
+        document = routes.to_dict()
+        assert set(document) == {"routes"}
+        assert document["routes"] == routes.to_dicts()
+
+    def test_round_trip_is_equal(self):
+        routes = RouteSet()
+        routes.add(make_result(), energy=1.25)
+        routes.add(make_result(delivered=False, reason="stuck", router="LGF"))
+        routes.add(make_result(router="GF"), router="GF-VARIANT")
+        assert RouteSet.from_dict(routes.to_dict()) == routes
+
+    def test_round_trip_through_json_text(self):
+        import json
+
+        routes = RouteSet()
+        routes.add(make_result(), energy=7.5)
+        blob = json.dumps(routes.to_dict())
+        assert RouteSet.from_dict(json.loads(blob)) == routes
+
+    def test_session_routeset_round_trips(self):
+        scenario = Scenario(
+            node_count=100, seed=8, routers=("GF",), routes_per_network=3
+        )
+        routes = Session(scenario).run()
+        assert RouteSet.from_dict(routes.to_dict()) == routes
+
+    def test_equality_is_by_value(self):
+        a, b = RouteSet(), RouteSet()
+        a.add(make_result())
+        b.add(make_result())
+        assert a == b
+        b.add(make_result(router="LGF"))
+        assert a != b
+        assert a != ["not a routeset"]
+
+    def test_energy_differences_break_equality(self):
+        a, b = RouteSet(), RouteSet()
+        a.add(make_result(), energy=1.0)
+        b.add(make_result(), energy=2.0)
+        assert a != b

@@ -274,3 +274,50 @@ class TestFromGraph:
         )
         assert session.routers.keys() == {"LGF"}
         assert len(session.graph) == len(donor.graph)
+
+
+class TestClone:
+    def test_shares_the_materialised_network(self):
+        session = Session(Scenario(**TINY))
+        clone = session.clone()
+        assert clone is not session
+        assert clone.instance is session.instance
+        assert clone.graph is session.graph
+
+    def test_routing_side_changes_apply(self):
+        session = Session(Scenario(**TINY, routers=("GF", "SLGF2")))
+        clone = session.clone(routers=("SLGF2",), routes_per_network=9)
+        assert clone.instance is session.instance
+        assert clone.routers.keys() == {"SLGF2"}
+        assert clone.scenario.routes_per_network == 9
+        # The original is untouched.
+        assert session.routers.keys() == {"GF", "SLGF2"}
+
+    def test_clone_equals_a_fresh_session_bit_for_bit(self):
+        # The whole point: the shared network is a pure function of
+        # the network-side fields, so cloning must be invisible in
+        # the answers.
+        base = Scenario(**TINY, routers=("GF", "SLGF2"))
+        clone = Session(base).clone(routers=("SLGF2",))
+        direct = Session(base.with_(routers=("SLGF2",)))
+        assert clone.route_pairs() == direct.route_pairs()
+
+    def test_network_side_changes_are_rejected(self):
+        session = Session(Scenario(**TINY))
+        with pytest.raises(ValueError, match="node_count"):
+            session.clone(node_count=300)
+        with pytest.raises(ValueError, match="seed"):
+            session.clone(seed=99, routers=("GF",))
+
+    def test_router_options_change(self):
+        session = Session(Scenario(**TINY, routers=("SLGF2",)))
+        clone = session.clone(router_options={"SLGF2": {"ttl": 3}})
+        assert clone.instance is session.instance
+        direct = Session(
+            Scenario(
+                **TINY,
+                routers=("SLGF2",),
+                router_options={"SLGF2": {"ttl": 3}},
+            )
+        )
+        assert clone.route_pairs() == direct.route_pairs()

@@ -1,0 +1,223 @@
+"""Wire codec: strict decoding, exact round-trips, 400-grade errors."""
+
+import pytest
+
+from repro.api import (
+    MobilitySchedule,
+    NodesFailure,
+    RandomFailure,
+    RegionFailure,
+    Scenario,
+)
+from repro.geometry import Point, Rect
+from repro.network import CompositeObstacle, DiscObstacle, RectObstacle
+from repro.serve import (
+    WireError,
+    scenario_from_dict,
+    scenario_to_dict,
+    topology_events_from_dict,
+)
+
+
+class TestScenarioRoundTrip:
+    def test_empty_document_is_the_paper_default(self):
+        assert scenario_from_dict({}) == Scenario()
+
+    def test_default_scenario_round_trips(self):
+        scenario = Scenario()
+        assert scenario_from_dict(scenario_to_dict(scenario)) == scenario
+
+    def test_kitchen_sink_round_trips(self):
+        scenario = Scenario(
+            deployment_model="FA",
+            node_count=150,
+            seed=42,
+            networks=2,
+            routes_per_network=7,
+            radius=25.0,
+            area=Rect(0, 0, 300, 250),
+            obstacle_count=0,
+            obstacles=(
+                RectObstacle(Rect(10, 10, 40, 40)),
+                DiscObstacle(Point(100, 100), 15.0),
+                CompositeObstacle(
+                    (
+                        RectObstacle(Rect(200, 0, 220, 30)),
+                        DiscObstacle(Point(210, 40), 8.0),
+                    )
+                ),
+            ),
+            failures=(
+                RegionFailure(x=50.0, y=50.0, radius=20.0, protect=(1, 2)),
+                NodesFailure((3, 4, 5)),
+                RandomFailure(count=4, protect=(0,)),
+            ),
+            routers=("GF", "SLGF2"),
+            router_options={"SLGF2": {"ttl": 9}},
+            packet_bits=2048,
+        )
+        # CompositeObstacle has identity equality, so the round-trip
+        # contract is document stability: decode(encode(s)) encodes to
+        # the same document, and every non-obstacle field survives.
+        document = scenario_to_dict(scenario)
+        back = scenario_from_dict(document)
+        assert scenario_to_dict(back) == document
+        assert back.with_(obstacles=()) == scenario.with_(obstacles=())
+
+    def test_mobility_round_trips(self):
+        scenario = Scenario(
+            mobility=MobilitySchedule(
+                speed_min=1.0, speed_max=3.0, pause=0.5, dt=1.0, epochs=4
+            )
+        )
+        assert scenario_from_dict(scenario_to_dict(scenario)) == scenario
+
+    def test_document_survives_json_types_only(self):
+        # The encoded form is pure JSON scalars/arrays/objects.
+        import json
+
+        scenario = Scenario(
+            deployment_model="FA",
+            obstacles=(RectObstacle(Rect(0, 0, 10, 10)),),
+            obstacle_count=0,
+        )
+        blob = json.dumps(scenario_to_dict(scenario))
+        assert scenario_from_dict(json.loads(blob)) == scenario
+
+
+class TestScenarioErrors:
+    def test_non_object_rejected(self):
+        with pytest.raises(WireError, match="JSON object"):
+            scenario_from_dict([1, 2])
+
+    def test_unknown_key_is_named(self):
+        with pytest.raises(WireError, match="'node_cuont'"):
+            scenario_from_dict({"node_cuont": 100})
+
+    def test_bool_is_not_an_integer(self):
+        # JSON true decodes to Python True, an int subclass; a typo'd
+        # boolean must not silently become node_count=1.
+        with pytest.raises(WireError, match="node_count"):
+            scenario_from_dict({"node_count": True})
+
+    def test_string_count_rejected(self):
+        with pytest.raises(WireError, match="integer"):
+            scenario_from_dict({"node_count": "250"})
+
+    def test_bad_area_shape(self):
+        with pytest.raises(WireError, match="x_min"):
+            scenario_from_dict({"area": [0, 0, 200]})
+
+    def test_unknown_obstacle_kind(self):
+        with pytest.raises(WireError, match="obstacles\\[0\\].kind"):
+            scenario_from_dict(
+                {"obstacles": [{"kind": "triangle"}]}
+            )
+
+    def test_obstacle_missing_field_is_located(self):
+        with pytest.raises(WireError, match="obstacles\\[1\\]"):
+            scenario_from_dict(
+                {
+                    "obstacles": [
+                        {"kind": "rect", "rect": [0, 0, 5, 5]},
+                        {"kind": "disc", "x": 1.0},
+                    ]
+                }
+            )
+
+    def test_unknown_failure_kind(self):
+        with pytest.raises(WireError, match="'region', 'nodes' or"):
+            scenario_from_dict({"failures": [{"kind": "emp"}]})
+
+    def test_semantic_validation_is_a_wire_error(self):
+        # Obstacles under IA: Scenario's own rule, surfaced as 400.
+        with pytest.raises(WireError, match="invalid scenario"):
+            scenario_from_dict(
+                {
+                    "deployment_model": "IA",
+                    "obstacles": [{"kind": "rect", "rect": [0, 0, 5, 5]}],
+                }
+            )
+
+    def test_routers_must_be_names(self):
+        with pytest.raises(WireError, match="routers"):
+            scenario_from_dict({"routers": "GF"})
+        with pytest.raises(WireError, match="strings"):
+            scenario_from_dict({"routers": ["GF", 3]})
+
+    def test_wire_error_status_defaults_to_400(self):
+        try:
+            scenario_from_dict({"bogus": 1})
+        except WireError as error:
+            assert error.status == 400
+        else:  # pragma: no cover
+            pytest.fail("expected WireError")
+
+
+class TestTopologyEvents:
+    def test_decodes_tagged_tuples(self):
+        events = topology_events_from_dict(
+            {
+                "events": [
+                    {"op": "move", "node": 3, "x": 10.0, "y": 20.0},
+                    {"op": "fail", "nodes": [1, 2]},
+                    {"op": "restore", "nodes": [1]},
+                    {
+                        "op": "restore",
+                        "nodes": [2],
+                        "positions": {"2": [5.0, 6.0]},
+                    },
+                ]
+            }
+        )
+        assert events == [
+            ("move", 3, Point(10.0, 20.0)),
+            ("fail", (1, 2)),
+            ("restore", (1,), None),
+            ("restore", (2,), {2: Point(5.0, 6.0)}),
+        ]
+
+    def test_missing_events_key(self):
+        with pytest.raises(WireError, match="events"):
+            topology_events_from_dict({})
+
+    def test_empty_events_rejected(self):
+        with pytest.raises(WireError, match="not be empty"):
+            topology_events_from_dict({"events": []})
+
+    def test_unknown_op_is_located(self):
+        with pytest.raises(WireError, match="events\\[1\\].op"):
+            topology_events_from_dict(
+                {
+                    "events": [
+                        {"op": "fail", "nodes": [1]},
+                        {"op": "explode", "nodes": [2]},
+                    ]
+                }
+            )
+
+    def test_move_requires_coordinates(self):
+        with pytest.raises(WireError, match="events\\[0\\]"):
+            topology_events_from_dict(
+                {"events": [{"op": "move", "node": 1}]}
+            )
+
+    def test_fail_nodes_must_be_integers(self):
+        with pytest.raises(WireError, match="integers"):
+            topology_events_from_dict(
+                {"events": [{"op": "fail", "nodes": ["a"]}]}
+            )
+
+    def test_restore_position_keys_must_be_ids(self):
+        with pytest.raises(WireError, match="node ids"):
+            topology_events_from_dict(
+                {
+                    "events": [
+                        {
+                            "op": "restore",
+                            "nodes": [1],
+                            "positions": {"one": [0, 0]},
+                        }
+                    ]
+                }
+            )

@@ -1,0 +1,383 @@
+#!/usr/bin/env python3
+"""Concurrent load generator for the routing service (stdlib only).
+
+Drives a running ``repro-wasn serve`` instance with a deterministic,
+seeded query stream and reports throughput and latency as JSON::
+
+    PYTHONPATH=src python -m repro.cli serve --port 0 --port-file /tmp/p &
+    python tools/loadgen.py --server 127.0.0.1:$(cat /tmp/p) \
+        --clients 8 --requests 50 --mix route=3,route_pairs=1
+
+Two loop disciplines:
+
+* **closed** (default): each client issues its next request when the
+  previous one answers — measures the server's sustainable throughput
+  under a fixed concurrency level;
+* **open**: each client fires requests on a fixed schedule
+  (``--rate`` per second per client) regardless of responses —
+  measures latency under offered load, the discipline that actually
+  exposes queueing collapse.
+
+Determinism: the query *content* (kinds, source/destination pairs) is
+a pure function of ``--seed``; latencies of course are not.  The
+session is created (idempotently) before any load, so runs against a
+warm server measure serving, not materialisation.
+
+``--verify`` additionally asks the server for one ``route_pairs``
+answer and replays the same call on a direct in-process
+:class:`repro.api.Session`, exiting non-zero on any difference — the
+script doubles as an end-to-end identity check for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+DEFAULT_SCENARIO = {
+    "deployment_model": "IA",
+    "node_count": 250,
+    "seed": 11,
+    "routers": ["GF", "SLGF2"],
+    "routes_per_network": 20,
+}
+
+
+class HttpClient:
+    """One keep-alive HTTP/1.1 connection speaking JSON."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._writer = None
+
+    async def request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict]:
+        if self._writer is None:
+            await self.connect()
+        payload = b"" if body is None else json.dumps(body).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "\r\n"
+        ).encode()
+        self._writer.write(head + payload)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        status = int(status_line.split()[1])
+        length = 0
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value)
+        raw = await self._reader.readexactly(length) if length else b""
+        return status, (json.loads(raw) if raw else {})
+
+
+def _percentile(sorted_values: list[float], p: float) -> float:
+    """Exact (nearest-rank) percentile over the collected latencies."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, round(p * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+class _Recorder:
+    def __init__(self) -> None:
+        self.latencies: list[float] = []
+        self.statuses: dict[int, int] = {}
+        self.kinds: dict[str, int] = {}
+
+    def note(self, kind: str, status: int, elapsed: float) -> None:
+        self.latencies.append(elapsed)
+        self.statuses[status] = self.statuses.get(status, 0) + 1
+        self.kinds[kind] = self.kinds.get(kind, 0) + 1
+
+
+def _pick_query(
+    rng: random.Random,
+    mix: list[tuple[str, float]],
+    node_ids: list[int],
+    routers: list[str],
+    session_id: str,
+    pair_count: int,
+) -> tuple[str, str, dict]:
+    """One deterministic query: (kind, path, body)."""
+    total = sum(weight for _, weight in mix)
+    roll = rng.random() * total
+    kind = mix[-1][0]
+    for name, weight in mix:
+        roll -= weight
+        if roll <= 0:
+            kind = name
+            break
+    if kind == "route":
+        source, destination = rng.sample(node_ids, 2)
+        return kind, f"/sessions/{session_id}/route", {
+            "source": source,
+            "destination": destination,
+            "router": rng.choice(routers),
+        }
+    return kind, f"/sessions/{session_id}/route_pairs", {
+        "count": pair_count,
+    }
+
+
+async def _closed_loop_client(
+    index: int, args, session_id: str, node_ids: list[int],
+    routers: list[str], recorder: _Recorder,
+) -> None:
+    rng = random.Random(args.seed * 7919 + index)
+    client = HttpClient(args.host, args.port)
+    try:
+        for _ in range(args.requests):
+            kind, path, body = _pick_query(
+                rng, args.mix, node_ids, routers, session_id, args.count
+            )
+            started = time.perf_counter()
+            status, _ = await client.request("POST", path, body)
+            recorder.note(kind, status, time.perf_counter() - started)
+    finally:
+        await client.close()
+
+
+async def _open_loop_client(
+    index: int, args, session_id: str, node_ids: list[int],
+    routers: list[str], recorder: _Recorder,
+) -> None:
+    """Fire on schedule; each in-flight request gets its own task."""
+    rng = random.Random(args.seed * 7919 + index)
+    interval = 1.0 / args.rate
+    pending: list[asyncio.Task] = []
+
+    async def fire(kind: str, path: str, body: dict) -> None:
+        client = HttpClient(args.host, args.port)
+        try:
+            started = time.perf_counter()
+            status, _ = await client.request("POST", path, body)
+            recorder.note(kind, status, time.perf_counter() - started)
+        except (ConnectionError, OSError):
+            recorder.note(kind, 0, 0.0)
+        finally:
+            await client.close()
+
+    next_at = time.perf_counter()
+    for _ in range(args.requests):
+        now = time.perf_counter()
+        if next_at > now:
+            await asyncio.sleep(next_at - now)
+        next_at += interval
+        pending.append(
+            asyncio.ensure_future(
+                fire(*_pick_query(rng, args.mix, node_ids, routers,
+                                  session_id, args.count))
+            )
+        )
+    await asyncio.gather(*pending)
+
+
+async def _run(args) -> dict:
+    setup = HttpClient(args.host, args.port)
+    status, created = await setup.request(
+        "POST", "/sessions", {"scenario": args.scenario}
+    )
+    if status not in (200, 201):
+        raise SystemExit(
+            f"loadgen: session creation failed ({status}): {created}"
+        )
+    session_id = created["session"]
+    node_ids = created["node_ids"]
+    routers = created["routers"]
+    recorder = _Recorder()
+    client_fn = (
+        _open_loop_client if args.mode == "open" else _closed_loop_client
+    )
+    started = time.perf_counter()
+    await asyncio.gather(
+        *(
+            client_fn(i, args, session_id, node_ids, routers, recorder)
+            for i in range(args.clients)
+        )
+    )
+    elapsed = time.perf_counter() - started
+    latencies = sorted(recorder.latencies)
+    ok = sum(
+        count
+        for status, count in recorder.statuses.items()
+        if 200 <= status < 300
+    )
+    report = {
+        "mode": args.mode,
+        "clients": args.clients,
+        "requests": len(latencies),
+        "ok": ok,
+        "statuses": {
+            str(status): count
+            for status, count in sorted(recorder.statuses.items())
+        },
+        "kinds": recorder.kinds,
+        "elapsed_s": elapsed,
+        "qps": len(latencies) / elapsed if elapsed > 0 else 0.0,
+        "latency_ms": {
+            "p50": _percentile(latencies, 0.50) * 1e3,
+            "p90": _percentile(latencies, 0.90) * 1e3,
+            "p99": _percentile(latencies, 0.99) * 1e3,
+            "mean": (
+                sum(latencies) / len(latencies) * 1e3 if latencies else 0.0
+            ),
+            "max": latencies[-1] * 1e3 if latencies else 0.0,
+        },
+    }
+    if args.verify:
+        report["verified"] = await _verify(setup, session_id, args)
+    await setup.close()
+    return report
+
+
+async def _verify(client: HttpClient, session_id: str, args) -> bool:
+    """Server answer == direct in-process Session answer, bit for bit."""
+    status, answer = await client.request(
+        "POST",
+        f"/sessions/{session_id}/route_pairs",
+        {"count": args.count},
+    )
+    if status != 200:
+        print(f"loadgen: verify request failed ({status}): {answer}",
+              file=sys.stderr)
+        return False
+    from repro.api import Session  # deferred: needs PYTHONPATH=src
+    from repro.serve.wire import scenario_from_dict
+
+    session = Session(scenario_from_dict(args.scenario))
+    direct = session.route_pairs(count=args.count).to_dict()
+    if direct != answer["routeset"]:
+        print("loadgen: served routeset differs from direct Session",
+              file=sys.stderr)
+        return False
+    return True
+
+
+def _parse_mix(text: str) -> list[tuple[str, float]]:
+    mix = []
+    for part in text.split(","):
+        name, _, weight = part.partition("=")
+        name = name.strip()
+        if name not in ("route", "route_pairs"):
+            raise argparse.ArgumentTypeError(
+                f"unknown query kind {name!r} (route, route_pairs)"
+            )
+        mix.append((name, float(weight) if weight else 1.0))
+    return mix
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Seeded load generator for repro-wasn serve."
+    )
+    parser.add_argument(
+        "--server",
+        default="127.0.0.1:8707",
+        help="host:port of a running repro-wasn serve",
+    )
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=50,
+        help="requests per client",
+    )
+    parser.add_argument(
+        "--mode", choices=["closed", "open"], default="closed"
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=50.0,
+        help="open loop: requests per second per client",
+    )
+    parser.add_argument(
+        "--mix",
+        type=_parse_mix,
+        default=[("route", 3.0), ("route_pairs", 1.0)],
+        help="query mix weights, e.g. route=3,route_pairs=1",
+    )
+    parser.add_argument(
+        "--count",
+        type=int,
+        default=10,
+        help="pairs per route_pairs query",
+    )
+    parser.add_argument("--seed", type=int, default=2009)
+    parser.add_argument(
+        "--scenario",
+        type=Path,
+        default=None,
+        help="scenario JSON document (default: built-in small IA)",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="after the load, assert server == direct Session "
+        "(needs repro importable, e.g. PYTHONPATH=src)",
+    )
+    parser.add_argument(
+        "--fail-on-error",
+        action="store_true",
+        help="exit 1 if any request answered outside 2xx",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    host, _, port = args.server.partition(":")
+    args.host = host or "127.0.0.1"
+    try:
+        args.port = int(port)
+    except ValueError:
+        print(f"loadgen: bad --server {args.server!r} (want host:port)",
+              file=sys.stderr)
+        return 2
+    if args.scenario is not None:
+        args.scenario = json.loads(args.scenario.read_text("utf-8"))
+    else:
+        args.scenario = dict(DEFAULT_SCENARIO)
+    report = asyncio.run(_run(args))
+    print(json.dumps(report, indent=2))
+    if args.verify and not report.get("verified"):
+        return 1
+    if args.fail_on_error and report["ok"] != report["requests"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
