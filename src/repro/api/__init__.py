@@ -61,6 +61,7 @@ from repro.api.registry import (
 )
 from repro.api.routeset import RouteSet, RouterAggregate
 from repro.api.scenario import (
+    FailureSpec,
     MobilitySchedule,
     NodesFailure,
     RandomFailure,
@@ -76,15 +77,32 @@ from repro.api.study import (
     scenario_fingerprint,
 )
 from repro.experiments.progress import ProgressEvent
+from repro.network.channel import (
+    CommunicationModel,
+    DeadLinks,
+    DutyCycle,
+    IntermittentLinks,
+    LinkFaultModel,
+    LogNormalShadowing,
+    Transmission,
+    UnitDisk,
+)
 from repro.network.dynamic import DynamicTopology, TopologyDelta
 from repro.routing.base import HopEvent, PacketTrace, RouteResult
 
 __all__ = [
     "Cell",
     "CellResult",
+    "CommunicationModel",
+    "DeadLinks",
+    "DutyCycle",
     "DynamicTopology",
     "EnergyMeter",
+    "FailureSpec",
     "HopEvent",
+    "IntermittentLinks",
+    "LinkFaultModel",
+    "LogNormalShadowing",
     "MobilitySchedule",
     "NodesFailure",
     "PacketTrace",
@@ -95,6 +113,8 @@ __all__ = [
     "RouteResult",
     "TopologyDelta",
     "RouteSet",
+    "Transmission",
+    "UnitDisk",
     "RouterAggregate",
     "RouterRegistry",
     "RouterSpec",

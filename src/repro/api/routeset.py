@@ -19,6 +19,7 @@ from pathlib import Path
 from typing import Iterable, Iterator, Mapping
 
 from repro.analysis.stats import Summary, summarize
+from repro.network.channel import Transmission
 from repro.routing.base import RouteResult
 
 __all__ = ["RouteSet", "RouterAggregate"]
@@ -39,6 +40,7 @@ class RouterAggregate:
         router: str,
         results: list[RouteResult],
         energies: "list[float | None]",
+        transmissions: "list[Transmission | None] | None" = None,
     ) -> None:
         self.router = router
         # Snapshot the lists: an aggregate is a consistent view of the
@@ -46,6 +48,12 @@ class RouterAggregate:
         # after a later add()/merge().
         self._results = list(results)
         self._energies = list(energies)  # parallel; None = unmeasured
+        # Parallel channel accounting; None = perfect-link route.
+        self._transmissions = (
+            list(transmissions)
+            if transmissions is not None
+            else [None] * len(self._results)
+        )
         self._cache: dict[str, object] = {}
 
     @property
@@ -95,6 +103,74 @@ class RouterAggregate:
             ],
         )
 
+    # -- channel/retransmission aggregates (lossy scenarios) -----------
+
+    @property
+    def channel_delivered(self) -> int:
+        """Routes delivered end to end: routing found the destination
+        *and* every hop survived the channel.  Equals :attr:`delivered`
+        for perfect-link routes (no transmission record)."""
+        return sum(
+            1
+            for r, t in zip(self._results, self._transmissions)
+            if r.delivered and (t is None or t.delivered)
+        )
+
+    @property
+    def channel_delivery_rate(self) -> float:
+        return self.channel_delivered / self.samples if self.samples else 0.0
+
+    @property
+    def retransmits(self) -> Summary:
+        """Retransmissions per route, over transmission-carrying routes.
+
+        Undelivered routes count too — a packet that burned its whole
+        budget into a dead link is exactly the energy story this
+        aggregate exists to tell.  Zeros when the set has no channel
+        accounting (perfect links).
+        """
+        return self._summary(
+            "retransmits",
+            [
+                float(t.retransmits)
+                for t in self._transmissions
+                if t is not None
+            ],
+        )
+
+    @property
+    def effective_hops(self) -> Summary:
+        """Hops actually crossed, over channel-delivered routes.
+
+        The lossy counterpart of :attr:`hops` (which reports the
+        routing layer's path over delivered routes).
+        """
+        return self._summary(
+            "effective_hops",
+            [
+                float(t.effective_hops)
+                for r, t in zip(self._results, self._transmissions)
+                if t is not None and r.delivered and t.delivered
+            ],
+        )
+
+    @property
+    def retransmit_energy(self) -> Summary:
+        """Radio energy incl. retransmissions/acks (J), where measured.
+
+        Summarised over every transmission-carrying route whose energy
+        was computed (``energy=True`` workloads) — dropped packets
+        included, since their failed attempts cost real energy.
+        """
+        return self._summary(
+            "retransmit_energy",
+            [
+                t.energy
+                for t in self._transmissions
+                if t is not None and t.energy is not None
+            ],
+        )
+
     @property
     def max_hops(self) -> int:
         return max(
@@ -134,6 +210,9 @@ class RouteSet:
         # Always index-aligned with _results (None = no energy measured
         # for that route), so merged/mixed sets can never mispair.
         self._energies: dict[str, list[float | None]] = {}
+        # Likewise index-aligned: channel/retransmission accounting
+        # (None = perfect-link route, no accounting).
+        self._transmissions: dict[str, list[Transmission | None]] = {}
 
     # -- collection -----------------------------------------------------
 
@@ -142,8 +221,10 @@ class RouteSet:
         result: RouteResult,
         energy: float | None = None,
         router: str | None = None,
+        transmission: Transmission | None = None,
     ) -> None:
-        """Append one routed packet (optionally with its radio energy).
+        """Append one routed packet (optionally with its radio energy
+        and its lossy-channel :class:`Transmission` accounting).
 
         ``router`` overrides the grouping key — the Session passes the
         *registry* name, which may differ from the scheme's own
@@ -152,6 +233,7 @@ class RouteSet:
         key = router if router is not None else result.router
         self._results.setdefault(key, []).append(result)
         self._energies.setdefault(key, []).append(energy)
+        self._transmissions.setdefault(key, []).append(transmission)
 
     def extend(self, results: Iterable[RouteResult]) -> None:
         for result in results:
@@ -163,6 +245,8 @@ class RouteSet:
             self._results.setdefault(router, []).extend(results)
         for router, energies in other._energies.items():
             self._energies.setdefault(router, []).extend(energies)
+        for router, transmissions in other._transmissions.items():
+            self._transmissions.setdefault(router, []).extend(transmissions)
 
     # -- access ---------------------------------------------------------
 
@@ -191,6 +275,7 @@ class RouteSet:
             router,
             self._results[router],
             self._energies[router],
+            self._transmissions[router],
         )
 
     def aggregates(self) -> dict[str, RouterAggregate]:
@@ -230,6 +315,7 @@ class RouteSet:
         return (
             self._results == other._results
             and self._energies == other._energies
+            and self._transmissions == other._transmissions
         )
 
     __hash__ = None  # mutable collection; value equality forbids hashing
@@ -272,17 +358,24 @@ class RouteSet:
         Each record is the route's :meth:`RouteResult.to_dict` plus,
         when present, the set-level extras: ``registry_router`` (the
         grouping key, only when it differs from the scheme's own
-        label) and ``energy`` — so a round-trip loses nothing.
+        label), ``energy`` and ``transmission`` (the lossy-channel
+        retransmission accounting) — so a round-trip loses nothing,
+        and perfect-link sets serialise exactly as before.
         """
         records = []
         for name, results in self._results.items():
             energies = self._energies[name]
-            for result, energy in zip(results, energies):
+            transmissions = self._transmissions[name]
+            for result, energy, transmission in zip(
+                results, energies, transmissions
+            ):
                 record = result.to_dict()
                 if name != result.router:
                     record["registry_router"] = name
                 if energy is not None:
                     record["energy"] = energy
+                if transmission is not None:
+                    record["transmission"] = transmission.to_dict()
                 records.append(record)
         return records
 
@@ -291,10 +384,16 @@ class RouteSet:
         """Rebuild a set from :meth:`to_dicts` output."""
         out = cls()
         for record in records:
+            transmission = record.get("transmission")
             out.add(
                 RouteResult.from_dict(record),
                 energy=record.get("energy"),
                 router=record.get("registry_router"),
+                transmission=(
+                    Transmission.from_dict(transmission)
+                    if transmission is not None
+                    else None
+                ),
             )
         return out
 

@@ -18,13 +18,19 @@ golden equivalence tests pin.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Mapping
+from typing import Mapping, TypeAlias, Union
 
 from repro.experiments.config import ExperimentConfig
 from repro.geometry import Rect
+from repro.network.channel import (
+    CommunicationModel,
+    LinkFaultModel,
+    UnitDisk,
+)
 from repro.network.obstacles import Obstacle
 
 __all__ = [
+    "FailureSpec",
     "MobilitySchedule",
     "NodesFailure",
     "RandomFailure",
@@ -67,8 +73,10 @@ class RandomFailure:
     protect: tuple[int, ...] = ()
 
 
-#: Any one entry of a Scenario failure schedule.
-FailureSpec = "RegionFailure | NodesFailure | RandomFailure"
+#: Any one entry of a Scenario failure schedule.  A real alias (not a
+#: string): usable in ``isinstance``-free annotations throughout the
+#: Session and wire layers, and introspectable via ``typing.get_args``.
+FailureSpec: TypeAlias = Union[RegionFailure, NodesFailure, RandomFailure]
 
 
 @dataclass(frozen=True)
@@ -126,8 +134,15 @@ class Scenario:
     # … or explicit obstacle shapes (overrides the random field).
     obstacles: tuple[Obstacle, ...] = ()
     # Dynamic schedules.
-    failures: tuple = ()
+    failures: tuple[FailureSpec, ...] = ()
     mobility: MobilitySchedule | None = None
+    # Radio channel: per-link delivery model, attempt-level link
+    # faults, per-hop retransmission budget.  The default is the
+    # paper's perfect unit-disk radio — bit-identical to the
+    # historical pipeline, with no transmission accounting at all.
+    channel: CommunicationModel = field(default_factory=UnitDisk)
+    link_faults: LinkFaultModel | None = None
+    max_retransmits: int = 3
     # Router selection (names from the registry; () = all registered).
     routers: tuple[str, ...] = ()
     router_options: Mapping[str, Mapping] = field(default_factory=dict)
@@ -148,6 +163,27 @@ class Scenario:
             raise ValueError("networks and routes_per_network must be >= 1")
         if self.packet_bits < 1:
             raise ValueError("packet_bits must be >= 1")
+        if not isinstance(self.channel, CommunicationModel):
+            raise ValueError(
+                f"channel must be a CommunicationModel, "
+                f"got {self.channel!r}"
+            )
+        if self.link_faults is not None and not isinstance(
+            self.link_faults, LinkFaultModel
+        ):
+            raise ValueError(
+                f"link_faults must be a LinkFaultModel or None, "
+                f"got {self.link_faults!r}"
+            )
+        if isinstance(self.max_retransmits, bool) or not isinstance(
+            self.max_retransmits, int
+        ):
+            raise ValueError(
+                f"max_retransmits must be an integer, "
+                f"got {self.max_retransmits!r}"
+            )
+        if self.max_retransmits < 0:
+            raise ValueError("max_retransmits must be >= 0")
         if self.obstacles and self.deployment_model == "IA":
             raise ValueError(
                 "explicit obstacles need the FA deployment model"
@@ -204,6 +240,9 @@ class Scenario:
                 self.routers,
                 options,
                 self.packet_bits,
+                self.channel,
+                self.link_faults,
+                self.max_retransmits,
             )
         )
 
@@ -259,3 +298,13 @@ class Scenario:
     def is_dynamic(self) -> bool:
         """Whether any schedule diverges from the paper's static setup."""
         return bool(self.failures or self.obstacles or self.mobility)
+
+    @property
+    def is_lossy(self) -> bool:
+        """Whether routed packets need channel/retransmission accounting.
+
+        ``False`` exactly when the channel is perfect (``UnitDisk``
+        with no link faults) — the bit-identity guarantee: such
+        scenarios skip the channel layer entirely.
+        """
+        return not (self.channel.is_perfect and self.link_faults is None)

@@ -27,6 +27,7 @@ from typing import Iterator, Mapping, Sequence
 from repro.api.registry import RouterRegistry, default_registry
 from repro.api.routeset import RouteSet
 from repro.api.scenario import (
+    FailureSpec,
     NodesFailure,
     RandomFailure,
     RegionFailure,
@@ -36,6 +37,7 @@ from repro.core.model import InformationModel
 from repro.experiments.runner import _network_seed
 from repro.experiments.workload import sample_pairs
 from repro.geometry import Point
+from repro.network.channel import ChannelState, channel_seed
 from repro.network.dynamic import DynamicTopology
 from repro.network.edges import EdgeDetector
 from repro.network.failures import (
@@ -53,7 +55,7 @@ from repro.network.node import NodeId
 from repro.protocols.boundhole import build_hole_boundaries
 from repro.routing import RouteResult, Router
 from repro.routing.base import OnHop, OnPhaseChange
-from repro.routing.metrics import path_energy
+from repro.routing.metrics import path_energy, retransmission_energy
 
 __all__ = ["Session", "connected_session", "run_scenario"]
 
@@ -67,8 +69,38 @@ _ROUTING_SIDE_FIELDS = frozenset(
         "routes_per_network",
         "packet_bits",
         "networks",
+        # The channel sits *on top of* the materialised network: it
+        # changes what transmissions cost, never which nodes and edges
+        # exist — so clones may swap it freely.
+        "channel",
+        "link_faults",
+        "max_retransmits",
     }
 )
+
+
+def _apply_failure(
+    topology: DynamicTopology, event: FailureSpec, rng: random.Random
+) -> None:
+    """Apply one failure-schedule entry to the live topology."""
+    if isinstance(event, RegionFailure):
+        fail_region_dynamic(
+            topology,
+            (Point(event.x, event.y), event.radius),
+            protect=event.protect,
+        )
+    elif isinstance(event, NodesFailure):
+        fail_nodes_dynamic(topology, event.nodes)
+    elif isinstance(event, RandomFailure):
+        protected = set(event.protect)
+        pool = [u for u in topology.alive_ids if u not in protected]
+        count = min(event.count, len(pool))
+        fail_nodes_dynamic(topology, rng.sample(pool, count))
+    else:
+        raise TypeError(
+            f"unknown failure spec {event!r}; expected RegionFailure, "
+            "NodesFailure or RandomFailure"
+        )
 
 
 def _apply_failures(
@@ -86,26 +118,7 @@ def _apply_failures(
     would fake a "with failures" run.
     """
     for event in scenario.failures:
-        if isinstance(event, RegionFailure):
-            fail_region_dynamic(
-                topology,
-                (Point(event.x, event.y), event.radius),
-                protect=event.protect,
-            )
-        elif isinstance(event, NodesFailure):
-            fail_nodes_dynamic(topology, event.nodes)
-        elif isinstance(event, RandomFailure):
-            protected = set(event.protect)
-            pool = [
-                u for u in topology.alive_ids if u not in protected
-            ]
-            count = min(event.count, len(pool))
-            fail_nodes_dynamic(topology, rng.sample(pool, count))
-        else:
-            raise TypeError(
-                f"unknown failure spec {event!r}; expected RegionFailure, "
-                "NodesFailure or RandomFailure"
-            )
+        _apply_failure(topology, event, rng)
 
 
 class _PreparedNetwork:
@@ -228,6 +241,7 @@ class Session:
         )
         self._instance_cache = _instance
         self._routers_cache: dict[str, Router] | None = None
+        self._channel_cache: ChannelState | None = None
 
     @classmethod
     def from_graph(
@@ -280,8 +294,12 @@ class Session:
             fast = session.clone(routers=("GF",), routes_per_network=100)
 
         Only routing-side changes are accepted — ``routers``,
-        ``router_options``, ``routes_per_network``, ``packet_bits``
-        and ``networks``.  Changing a network-side field (density,
+        ``router_options``, ``routes_per_network``, ``packet_bits``,
+        ``networks``, ``channel``, ``link_faults`` and
+        ``max_retransmits`` (the channel layers on top of the
+        materialised network without altering it, so lossy variants of
+        one deployment share its topology).  Changing a network-side
+        field (density,
         seed, failures, …) raises ``ValueError``: the shared network
         would not match the new scenario, and silently serving stale
         topology under a fresh label is exactly the bug this guard
@@ -330,6 +348,32 @@ class Session:
     @property
     def boundaries(self):
         return self.instance.boundaries
+
+    @property
+    def channel(self) -> ChannelState | None:
+        """The materialised lossy channel, or ``None`` for perfect links.
+
+        Built lazily per session (cheap: link probabilities price on
+        first touch) and seeded from the network seed via
+        :func:`~repro.network.channel.channel_seed`, so the same
+        scenario reproduces the same channel across processes — and a
+        mobility epoch, whose session carries its own seed, gets its
+        own channel.  ``None`` exactly when ``scenario.is_lossy`` is
+        false: perfect-link sessions never touch the channel layer,
+        which is the bit-identity guarantee the golden tests pin.
+        """
+        if not self.scenario.is_lossy:
+            return None
+        if self._channel_cache is None:
+            self._channel_cache = ChannelState(
+                self.graph,
+                self.scenario.radius,
+                self.scenario.channel,
+                faults=self.scenario.link_faults,
+                seed=channel_seed(self.instance.seed),
+                max_retransmits=self.scenario.max_retransmits,
+            )
+        return self._channel_cache
 
     def _router_map(self) -> dict[str, Router]:
         if self._routers_cache is None:
@@ -431,6 +475,11 @@ class Session:
         selected = (
             tuple(self._router_map()) if routers is None else tuple(routers)
         )
+        # Lossy scenarios replay every routed path over the seeded
+        # channel (a pure function of seed/link/slot — identical across
+        # backends and processes); perfect channels skip the layer
+        # entirely, keeping default runs bit-identical to the seed.
+        state = self.channel
         out = RouteSet()
         for name in selected:
             router = self.router(name)
@@ -439,6 +488,21 @@ class Session:
             # equivalence suite pins it); schemes without one fall
             # back to per-pair routing inside route_batch.
             for result in router.route_batch(pairs, backend=backend):
+                transmission = None
+                if state is not None:
+                    transmission = state.transmit_route(
+                        result.path, result.delivered
+                    )
+                    if energy:
+                        transmission = state.with_energy(
+                            transmission,
+                            retransmission_energy(
+                                result,
+                                self.graph,
+                                transmission,
+                                bits=self.scenario.packet_bits,
+                            ),
+                        )
                 out.add(
                     result,
                     energy=(
@@ -453,6 +517,7 @@ class Session:
                     # Group under the registry name (the legend name),
                     # which may differ from the scheme's own label.
                     router=name,
+                    transmission=transmission,
                 )
         return out
 

@@ -18,6 +18,18 @@ Gabriel/RNG planarization for face routing, and failure injection for
 the dynamic-hole scenarios the introduction motivates.
 """
 
+from repro.network.channel import (
+    ChannelState,
+    CommunicationModel,
+    DeadLinks,
+    DutyCycle,
+    IntermittentLinks,
+    LinkFaultModel,
+    LogNormalShadowing,
+    Transmission,
+    UnitDisk,
+    channel_seed,
+)
 from repro.network.core import TopologyCore, build_core
 from repro.network.deployment import (
     DeploymentResult,
@@ -52,12 +64,19 @@ from repro.network.planar import gabriel_graph, relative_neighborhood_graph
 from repro.network.spatial import SpatialGrid
 
 __all__ = [
+    "ChannelState",
+    "CommunicationModel",
     "CompositeObstacle",
+    "DeadLinks",
     "DeploymentResult",
     "DiscObstacle",
+    "DutyCycle",
     "DynamicTopology",
     "EdgeDetector",
     "GridDeployment",
+    "IntermittentLinks",
+    "LinkFaultModel",
+    "LogNormalShadowing",
     "Node",
     "NodeId",
     "Obstacle",
@@ -67,10 +86,13 @@ __all__ = [
     "SpatialGrid",
     "TopologyCore",
     "TopologyDelta",
+    "Transmission",
     "UniformDeployment",
+    "UnitDisk",
     "WasnGraph",
     "build_core",
     "build_unit_disk_graph",
+    "channel_seed",
     "deploy_forbidden_area_model",
     "deploy_uniform_model",
     "fail_nodes",

@@ -1,0 +1,586 @@
+"""Lossy-radio channel layer: link quality, faults, retransmission.
+
+Every scenario before this module assumed perfect unit-disk links —
+exactly the idealisation that hides differences between the paper's
+schemes.  This module adds the imperfection as a *channel* the routing
+layer transmits through:
+
+* a :class:`CommunicationModel` gives each link a per-attempt delivery
+  probability.  :class:`UnitDisk` (the default) keeps today's perfect
+  radio; :class:`LogNormalShadowing` derives the probability from the
+  link distance, the path-loss exponent and a per-link shadowing draw
+  (the classic log-normal shadowing radio of the WSN literature);
+* a :class:`LinkFaultModel` degrades *attempts* beyond whole-node
+  failure: :class:`IntermittentLinks` (a seeded subset of links is
+  flaky), :class:`DutyCycle` (receivers sleep on a seeded phase) and
+  :class:`DeadLinks` (a seeded drop schedule of permanently dead
+  links);
+* a :class:`ChannelState` materialises both for one network and
+  simulates sending a routed packet hop by hop with stop-and-wait
+  ARQ: each hop is retransmitted until an acknowledgement arrives or
+  the per-hop retransmission budget runs out, and the resulting
+  :class:`Transmission` record carries the full accounting
+  (attempts per hop, retransmissions, where the packet died).
+
+Determinism contract
+--------------------
+
+Every draw is a pure function of ``(channel seed, link, slot)`` via a
+keyed :func:`hashlib.blake2b` stream — never Python's salted
+``hash()``, never RNG state threaded through evaluation order.  Two
+consequences the tests pin:
+
+* the same scenario seed reproduces bit-identical outcomes across
+  processes, platforms and hash seeds;
+* the channel is one shared "world": every routing scheme crossing
+  the same link at the same slot sees the same outcome, and the
+  scalar and numpy routing backends (which produce identical paths)
+  produce identical transmissions.
+
+The *slot* is the channel's clock.  For a routed packet it is the
+cumulative attempt index along that route; for the protocol engine
+(:class:`~repro.protocols.engine.SyncEngine`) it is the round number.
+Duty cycles and intermittent links key their schedules off it.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, replace
+from hashlib import blake2b
+from typing import Mapping, Sequence
+
+from repro.network.graph import WasnGraph
+from repro.network.node import NodeId
+
+__all__ = [
+    "ChannelState",
+    "CommunicationModel",
+    "DeadLinks",
+    "DutyCycle",
+    "IntermittentLinks",
+    "LinkFaultModel",
+    "LogNormalShadowing",
+    "Transmission",
+    "UnitDisk",
+    "channel_seed",
+]
+
+# Domain-separation salts: every family of draws hashes a distinct
+# constant first, so e.g. the link-noise stream can never collide with
+# the attempt stream of the same link.
+_SALT_CHANNEL = 0x10C0
+_SALT_NOISE = 1
+_SALT_ATTEMPT = 2
+_SALT_FLAKY = 3
+_SALT_FLAKY_SLOT = 4
+_SALT_PHASE = 5
+_SALT_DEAD = 6
+
+
+def _mix(*parts: int) -> int:
+    """A 64-bit digest of integer parts, stable across processes.
+
+    Channel draws must reproduce bit-identically from the scenario
+    seed everywhere, so nothing here may touch ``hash()`` (salted) or
+    depend on iteration order.
+    """
+    digest = blake2b(digest_size=8)
+    for part in parts:
+        digest.update(part.to_bytes(16, "little", signed=True))
+    return int.from_bytes(digest.digest(), "little")
+
+
+def _unit(*parts: int) -> float:
+    """Deterministic uniform draw in [0, 1) indexed by ``parts``."""
+    return _mix(*parts) / 2.0**64
+
+
+def _standard_normal(*parts: int) -> float:
+    """Deterministic standard-normal draw indexed by ``parts``.
+
+    Box-Muller over two indexed uniforms — self-contained, so the
+    value never depends on :mod:`random` internals across versions.
+    """
+    u1 = _unit(*parts, 0)
+    u2 = _unit(*parts, 1)
+    # u1 == 0.0 would take log(0); nudge into (0, 1].
+    return math.sqrt(-2.0 * math.log(1.0 - u1)) * math.cos(2.0 * math.pi * u2)
+
+
+def channel_seed(network_seed: int) -> int:
+    """The channel's seed for one materialised network.
+
+    Derived (not equal to) the network seed, so channel draws can
+    never correlate with deployment or workload sampling.
+    """
+    return _mix(_SALT_CHANNEL, network_seed)
+
+
+def _phi(z: float) -> float:
+    """Standard normal CDF."""
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+
+# -- communication models -----------------------------------------------------
+
+
+class CommunicationModel(ABC):
+    """Per-attempt delivery probability of one link.
+
+    Concrete models are frozen dataclasses: hashable, picklable and
+    canonically encodable, so they ride Scenario fingerprints, Study
+    axes and the wire codec like any other scenario field.
+    """
+
+    @property
+    def is_perfect(self) -> bool:
+        """Whether every attempt on every edge succeeds (no accounting)."""
+        return False
+
+    @abstractmethod
+    def link_delivery(
+        self, distance: float, radius: float, noise: float
+    ) -> float:
+        """Delivery probability of one attempt over ``distance``.
+
+        ``radius`` is the scenario's nominal communication range;
+        ``noise`` is the link's seeded standard-normal shadowing draw
+        (the same value for every attempt on that link).
+        """
+
+
+@dataclass(frozen=True)
+class UnitDisk(CommunicationModel):
+    """The paper's perfect radio: every attempt on an edge succeeds.
+
+    The default channel.  Scenarios under it behave bit-identically
+    to the historical perfect-link pipeline — no transmission records
+    are even produced (see ``Scenario.is_lossy``).
+    """
+
+    @property
+    def is_perfect(self) -> bool:
+        return True
+
+    def link_delivery(
+        self, distance: float, radius: float, noise: float
+    ) -> float:
+        return 1.0
+
+
+@dataclass(frozen=True)
+class LogNormalShadowing(CommunicationModel):
+    """Log-normal shadowing radio: delivery falls off inside the disk.
+
+    The link's realised SNR margin (dB) over the decoding threshold is
+
+    ``margin = 10 * alpha * log10(radius / d) + sigma * noise``
+
+    — the mean path-loss margin of a radio whose nominal range
+    ``radius`` is the distance where mean received power meets the
+    threshold, plus a static per-link shadowing draw
+    (``noise ~ N(0, 1)``, seeded once per link).  Fast fading with the
+    same deviation then gives the per-attempt delivery probability
+
+    ``p = Phi(margin / sigma)``
+
+    so a zero-shadowing link at the edge of the disk delivers half
+    its attempts, close links approach 1, and unlucky links can be
+    far worse — the heterogeneity that separates the schemes.
+    """
+
+    sigma: float = 4.0
+    path_loss_exponent: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0:
+            raise ValueError("sigma must be positive")
+        if self.path_loss_exponent <= 0:
+            raise ValueError("path_loss_exponent must be positive")
+
+    def link_delivery(
+        self, distance: float, radius: float, noise: float
+    ) -> float:
+        if distance <= 0.0:
+            return 1.0
+        margin = 10.0 * self.path_loss_exponent * math.log10(
+            radius / distance
+        )
+        margin += self.sigma * noise
+        return _phi(margin / self.sigma)
+
+
+# -- link fault models --------------------------------------------------------
+
+
+class LinkFaultModel(ABC):
+    """Per-attempt link faults beyond whole-node failure.
+
+    A fault model can only *veto* attempts (availability, sleep
+    schedules, dead links); link quality itself is the communication
+    model's business.  Concrete models are frozen dataclasses for the
+    same fingerprint/wire/axis reasons as communication models.
+    """
+
+    @abstractmethod
+    def attempt_allowed(
+        self,
+        state: "ChannelState",
+        sender: NodeId,
+        receiver: NodeId,
+        slot: int,
+    ) -> bool:
+        """Whether attempt ``slot`` can reach ``receiver`` at all."""
+
+
+@dataclass(frozen=True)
+class IntermittentLinks(LinkFaultModel):
+    """A seeded ``fraction`` of links is flaky.
+
+    Membership is one draw per (undirected) link; a flaky link is then
+    up for any given slot with probability ``availability`` — both
+    directions together, like a physically obstructed link.
+    """
+
+    fraction: float = 0.2
+    availability: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        if not 0.0 <= self.availability <= 1.0:
+            raise ValueError("availability must be within [0, 1]")
+
+    def attempt_allowed(
+        self,
+        state: "ChannelState",
+        sender: NodeId,
+        receiver: NodeId,
+        slot: int,
+    ) -> bool:
+        if state.link_unit(_SALT_FLAKY, sender, receiver) >= self.fraction:
+            return True  # not one of the flaky links
+        return (
+            state.link_unit(_SALT_FLAKY_SLOT, sender, receiver, slot)
+            < self.availability
+        )
+
+
+@dataclass(frozen=True)
+class DutyCycle(LinkFaultModel):
+    """Receivers sleep: awake ``on_slots`` out of every ``period`` slots.
+
+    Each node gets a seeded phase offset, so neighbourhoods do not
+    wake in lockstep; an attempt reaches its receiver only while the
+    receiver is awake.  Senders are assumed to wake on demand (they
+    have a packet to push), which is the asymmetry of real low-power
+    listening MACs.
+    """
+
+    on_slots: int = 4
+    period: int = 8
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ValueError("period must be >= 1")
+        if not 1 <= self.on_slots <= self.period:
+            raise ValueError("on_slots must be within [1, period]")
+
+    def attempt_allowed(
+        self,
+        state: "ChannelState",
+        sender: NodeId,
+        receiver: NodeId,
+        slot: int,
+    ) -> bool:
+        phase = state.node_phase(receiver, self.period)
+        return (slot + phase) % self.period < self.on_slots
+
+
+@dataclass(frozen=True)
+class DeadLinks(LinkFaultModel):
+    """A seeded drop schedule: ``count`` links are permanently dead.
+
+    The victims are drawn deterministically from the network's edge
+    set (seeded per scenario/network), so the same scenario always
+    kills the same links — but routing does not know: geographic
+    schemes still believe the edge exists, and packets crossing it
+    burn their whole retransmission budget.  That gap between the
+    topology a scheme trusts and the channel it gets is the scenario
+    this model exists to create.
+    """
+
+    count: int = 10
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("count must be >= 0")
+
+    def attempt_allowed(
+        self,
+        state: "ChannelState",
+        sender: NodeId,
+        receiver: NodeId,
+        slot: int,
+    ) -> bool:
+        return not state.link_is_dead(sender, receiver, self.count)
+
+
+# -- transmission accounting --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """Channel-level outcome of sending one routed packet.
+
+    ``attempts_per_hop[i]`` counts the transmissions over path edge
+    ``i`` (1 = the first try was acknowledged).  A packet that
+    exhausts a hop's retransmission budget dies there:
+    ``dropped_at`` names the hop and the record stops — hops the
+    packet never reached cost nothing.  ``delivered`` is the
+    end-to-end verdict: the routing layer found the destination *and*
+    every hop crossed.  ``energy`` is the radio energy of the whole
+    exchange (retransmissions and acks included) when the caller
+    asked for energy accounting, else ``None``.
+    """
+
+    delivered: bool
+    attempts_per_hop: tuple[int, ...]
+    dropped_at: int | None = None
+    energy: float | None = None
+
+    def __post_init__(self) -> None:
+        if any(a < 1 for a in self.attempts_per_hop):
+            raise ValueError("every attempted hop has at least one attempt")
+        if self.dropped_at is not None:
+            if self.dropped_at != len(self.attempts_per_hop) - 1:
+                raise ValueError(
+                    "dropped_at must name the last attempted hop"
+                )
+            if self.delivered:
+                raise ValueError("a dropped packet cannot be delivered")
+
+    @property
+    def attempts(self) -> int:
+        """Total transmissions, retransmissions included."""
+        return sum(self.attempts_per_hop)
+
+    @property
+    def hops_attempted(self) -> int:
+        return len(self.attempts_per_hop)
+
+    @property
+    def effective_hops(self) -> int:
+        """Hops the packet actually crossed."""
+        if self.dropped_at is not None:
+            return len(self.attempts_per_hop) - 1
+        return len(self.attempts_per_hop)
+
+    @property
+    def retransmits(self) -> int:
+        """Transmissions beyond the first try of each attempted hop."""
+        return self.attempts - self.hops_attempted
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (inverse of :meth:`from_dict`)."""
+        return {
+            "delivered": self.delivered,
+            "attempts_per_hop": list(self.attempts_per_hop),
+            "dropped_at": self.dropped_at,
+            "energy": self.energy,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Transmission":
+        """Rebuild a record from :meth:`to_dict` output (validated)."""
+        return cls(
+            delivered=data["delivered"],
+            attempts_per_hop=tuple(data["attempts_per_hop"]),
+            dropped_at=data.get("dropped_at"),
+            energy=data.get("energy"),
+        )
+
+
+# -- the materialised channel -------------------------------------------------
+
+
+class ChannelState:
+    """One network's lossy channel, materialised and seeded.
+
+    Holds the per-link delivery probabilities (cached lazily — a
+    session routing ten pairs never prices the whole edge set) and
+    answers the two questions the stack asks:
+
+    * :meth:`transmit_route` — simulate one routed packet hop by hop
+      with stop-and-wait ARQ, returning the :class:`Transmission`
+      accounting;
+    * :meth:`broadcast_delivered` — one directed reception draw for
+      the protocol engine's local broadcasts.
+
+    Perfect channels (``UnitDisk`` and no fault model) shortcut every
+    draw; callers that want zero overhead skip the state entirely via
+    ``Scenario.is_lossy``.
+    """
+
+    def __init__(
+        self,
+        graph: WasnGraph,
+        radius: float,
+        model: CommunicationModel,
+        faults: LinkFaultModel | None = None,
+        seed: int = 0,
+        max_retransmits: int = 3,
+    ) -> None:
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        if max_retransmits < 0:
+            raise ValueError("max_retransmits must be >= 0")
+        self.graph = graph
+        self.radius = radius
+        self.model = model
+        self.faults = faults
+        self.seed = seed
+        self.max_retransmits = max_retransmits
+        self._link_delivery: dict[tuple[NodeId, NodeId], float] = {}
+        self._dead_links: frozenset[tuple[NodeId, NodeId]] | None = None
+
+    @property
+    def is_perfect(self) -> bool:
+        return self.model.is_perfect and self.faults is None
+
+    # -- seeded draws (all pure functions of seed + index) ---------------
+
+    def link_unit(self, salt: int, a: NodeId, b: NodeId, *extra: int) -> float:
+        """Uniform draw attached to the *undirected* link ``{a, b}``."""
+        lo, hi = (a, b) if a <= b else (b, a)
+        return _unit(self.seed, salt, lo, hi, *extra)
+
+    def node_phase(self, node: NodeId, period: int) -> int:
+        """Seeded phase offset of one node in ``[0, period)``."""
+        return _mix(self.seed, _SALT_PHASE, node) % period
+
+    def link_delivery(self, a: NodeId, b: NodeId) -> float:
+        """Per-attempt delivery probability of edge ``{a, b}`` (cached)."""
+        key = (a, b) if a <= b else (b, a)
+        cached = self._link_delivery.get(key)
+        if cached is None:
+            noise = _standard_normal(self.seed, _SALT_NOISE, *key)
+            cached = self.model.link_delivery(
+                self.graph.distance(a, b), self.radius, noise
+            )
+            cached = min(1.0, max(0.0, cached))
+            self._link_delivery[key] = cached
+        return cached
+
+    def link_is_dead(self, a: NodeId, b: NodeId, count: int) -> bool:
+        """Whether ``{a, b}`` is one of the ``count`` seeded dead links."""
+        if self._dead_links is None:
+            edges = [
+                (u, v)
+                for u in self.graph.node_ids
+                for v in sorted(self.graph.neighbors(u))
+                if u < v
+            ]
+            # Order-free seeded selection: rank every edge by its own
+            # indexed draw and kill the lowest `count` — no sampling
+            # state, no dependence on edge enumeration order.
+            edges.sort(
+                key=lambda e: (_unit(self.seed, _SALT_DEAD, *e), e)
+            )
+            self._dead_links = frozenset(edges[:count])
+        key = (a, b) if a <= b else (b, a)
+        return key in self._dead_links
+
+    # -- per-attempt outcome ---------------------------------------------
+
+    def attempt_succeeds(
+        self, sender: NodeId, receiver: NodeId, slot: int
+    ) -> bool:
+        """Outcome of one transmission attempt at channel slot ``slot``.
+
+        A pure function of ``(seed, sender, receiver, slot)`` — the
+        shared-world property: any scheme (or backend) attempting the
+        same directed link at the same slot sees the same outcome.
+        """
+        if self.faults is not None and not self.faults.attempt_allowed(
+            self, sender, receiver, slot
+        ):
+            return False
+        p = self.link_delivery(sender, receiver)
+        if p >= 1.0:
+            return True
+        if p <= 0.0:
+            return False
+        return _unit(self.seed, _SALT_ATTEMPT, sender, receiver, slot) < p
+
+    # -- routed packets ---------------------------------------------------
+
+    def transmit_route(
+        self,
+        path: Sequence[NodeId],
+        delivered: bool = True,
+        max_retransmits: int | None = None,
+    ) -> Transmission:
+        """Send one routed packet along ``path`` with stop-and-wait ARQ.
+
+        Each hop retries until an attempt succeeds or the budget
+        (``max_retransmits`` extra tries per hop) is spent; the slot
+        counter advances per attempt, so duty cycles and intermittent
+        links see the packet's real timeline.  ``delivered`` is the
+        routing layer's verdict — a routing failure (TTL, perimeter
+        loop) stays undelivered even over a perfect channel.
+        """
+        budget = (
+            self.max_retransmits
+            if max_retransmits is None
+            else max_retransmits
+        )
+        attempts_per_hop: list[int] = []
+        slot = 0
+        for index, (a, b) in enumerate(zip(path, path[1:])):
+            tries = 0
+            crossed = False
+            while tries <= budget:
+                tries += 1
+                ok = self.attempt_succeeds(a, b, slot)
+                slot += 1
+                if ok:
+                    crossed = True
+                    break
+            attempts_per_hop.append(tries)
+            if not crossed:
+                return Transmission(
+                    delivered=False,
+                    attempts_per_hop=tuple(attempts_per_hop),
+                    dropped_at=index,
+                )
+        return Transmission(
+            delivered=bool(delivered),
+            attempts_per_hop=tuple(attempts_per_hop),
+        )
+
+    def with_energy(self, transmission: Transmission, energy: float):
+        """The same record carrying its radio-energy figure."""
+        return replace(transmission, energy=energy)
+
+    # -- protocol broadcasts ----------------------------------------------
+
+    def broadcast_delivered(
+        self, sender: NodeId, receiver: NodeId, round_index: int
+    ) -> bool:
+        """Whether one local broadcast reaches one neighbour.
+
+        The protocol engine's reception draw: directed (each listener
+        fades independently) and slotted by the round number, so a
+        protocol run is as deterministic as a routing one.
+        """
+        return self.attempt_succeeds(sender, receiver, round_index)
+
+    def __repr__(self) -> str:
+        return (
+            f"ChannelState({type(self.model).__name__}, "
+            f"faults={type(self.faults).__name__ if self.faults else None}, "
+            f"seed={self.seed})"
+        )

@@ -25,6 +25,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
+from repro.network.channel import ChannelState
 from repro.network.graph import WasnGraph
 from repro.network.node import NodeId
 
@@ -47,12 +48,16 @@ class EngineStats:
     transmissions: int
     receptions: int
     quiesced: bool
+    # Receptions the channel withheld (lossy runs only; always 0 over
+    # the default perfect radio).
+    drops: int = 0
 
     def __str__(self) -> str:  # used by example scripts' reports
         state = "quiesced" if self.quiesced else "round-limited"
+        suffix = f", {self.drops} drops" if self.drops else ""
         return (
             f"{self.rounds} rounds, {self.transmissions} transmissions, "
-            f"{self.receptions} receptions ({state})"
+            f"{self.receptions} receptions{suffix} ({state})"
         )
 
 
@@ -84,8 +89,10 @@ class SyncEngine:
         self,
         graph: WasnGraph,
         node_factory: Callable[[NodeId], ProtocolNode],
+        channel: ChannelState | None = None,
     ):
         self._graph = graph
+        self._channel = channel
         self._nodes: dict[NodeId, ProtocolNode] = {
             u: node_factory(u) for u in graph.node_ids
         }
@@ -111,12 +118,20 @@ class SyncEngine:
         round delivers the previous round's broadcasts to every
         neighbour of the sender and collects the responses.  Delivery
         order within a round follows ascending node id — the engine is
-        fully deterministic.
+        fully deterministic.  With a lossy ``channel``, each
+        neighbour's copy of a broadcast is delivered only if the
+        channel admits the directed link that round; withheld copies
+        are tallied as ``drops`` (the channel draws are pure functions
+        of seed/link/round, so lossy runs stay deterministic too).
         """
         if max_rounds < 1:
             raise ValueError("max_rounds must be >= 1")
+        channel = self._channel
+        if channel is not None and channel.is_perfect:
+            channel = None
         transmissions = 0
         receptions = 0
+        drops = 0
 
         outgoing: list[Broadcast] = []
         for u in self._graph.node_ids:
@@ -132,6 +147,11 @@ class SyncEngine:
             inboxes: dict[NodeId, list[Broadcast]] = {}
             for broadcast in outgoing:
                 for v in self._graph.neighbors(broadcast.sender):
+                    if channel is not None and not channel.broadcast_delivered(
+                        broadcast.sender, v, rounds
+                    ):
+                        drops += 1
+                        continue
                     inboxes.setdefault(v, []).append(broadcast)
                     receptions += 1
             outgoing = []
@@ -151,4 +171,5 @@ class SyncEngine:
             transmissions=transmissions,
             receptions=receptions,
             quiesced=quiesced,
+            drops=drops,
         )

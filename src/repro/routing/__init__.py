@@ -27,10 +27,12 @@ from repro.routing.handrule import hand_sweep
 from repro.routing.lgf import LgfRouter
 from repro.routing.metrics import (
     RadioEnergyModel,
+    effective_path_length,
     interference_footprint,
     nodes_involved,
     path_energy,
     path_is_valid,
+    retransmission_energy,
 )
 from repro.routing.slgf import SlgfRouter
 from repro.routing.slgf2 import Slgf2Router
@@ -49,9 +51,11 @@ __all__ = [
     "RoutingError",
     "SlgfRouter",
     "Slgf2Router",
+    "effective_path_length",
     "hand_sweep",
     "interference_footprint",
     "nodes_involved",
     "path_energy",
     "path_is_valid",
+    "retransmission_energy",
 ]

@@ -19,16 +19,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.network.channel import Transmission
 from repro.network.graph import WasnGraph
 from repro.network.node import NodeId
 from repro.routing.base import RouteResult
 
 __all__ = [
     "RadioEnergyModel",
+    "effective_path_length",
     "interference_footprint",
     "nodes_involved",
     "path_energy",
     "path_is_valid",
+    "retransmission_energy",
 ]
 
 
@@ -76,6 +79,72 @@ def path_energy(
     for a, b in zip(result.path, result.path[1:]):
         total += model.transmit(graph.distance(a, b), bits)
         total += model.receive(bits)
+    return total
+
+
+def retransmission_energy(
+    result: RouteResult,
+    graph: WasnGraph,
+    transmission: Transmission,
+    bits: int = 1,
+    model: RadioEnergyModel | None = None,
+    ack_bits: int = 1,
+) -> float:
+    """Radio energy of a lossy exchange, retransmissions and acks in.
+
+    Stop-and-wait ARQ accounting over the hops the packet actually
+    attempted (``transmission.attempts_per_hop``): every attempt —
+    acknowledged or lost — costs one payload transmission at the
+    sender and one reception at the listening receiver; every *crossed*
+    hop additionally costs one ``ack_bits`` acknowledgement back.
+    Hops beyond the drop point were never attempted and cost nothing.
+
+    Over a perfect channel (one attempt per hop) this exceeds
+    :func:`path_energy` by exactly the ack overhead, which is why the
+    two are separate aggregates rather than one flag.
+    """
+    if transmission.hops_attempted > result.hops:
+        raise ValueError(
+            f"transmission attempted {transmission.hops_attempted} hops "
+            f"but the route only has {result.hops}"
+        )
+    model = model or RadioEnergyModel()
+    total = 0.0
+    crossed = transmission.effective_hops
+    for index, tries in enumerate(transmission.attempts_per_hop):
+        distance = graph.distance(
+            result.path[index], result.path[index + 1]
+        )
+        total += tries * (model.transmit(distance, bits) + model.receive(bits))
+        if index < crossed and ack_bits:
+            # The acknowledgement travels the reverse link once per
+            # successful crossing (lost acks are out of model scope).
+            total += model.transmit(distance, ack_bits)
+            total += model.receive(ack_bits)
+    return total
+
+
+def effective_path_length(
+    result: RouteResult,
+    graph: WasnGraph,
+    transmission: Transmission,
+) -> float:
+    """Euclidean length of the hops the packet actually crossed.
+
+    Equals ``result.length`` for a fully crossed route; a packet
+    dropped mid-path only counts the distance it covered before dying.
+    """
+    if transmission.hops_attempted > result.hops:
+        raise ValueError(
+            f"transmission attempted {transmission.hops_attempted} hops "
+            f"but the route only has {result.hops}"
+        )
+    crossed = transmission.effective_hops
+    if transmission.dropped_at is None and crossed == result.hops:
+        return result.length
+    total = 0.0
+    for index in range(crossed):
+        total += graph.distance(result.path[index], result.path[index + 1])
     return total
 
 

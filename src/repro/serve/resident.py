@@ -36,6 +36,7 @@ always runs in the server's executor, never on the event loop.
 from __future__ import annotations
 
 import asyncio
+import math
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -100,10 +101,17 @@ class LatencyHistogram:
         self._max_ms = max(self._max_ms, ms)
 
     def percentile(self, p: float) -> float:
-        """Upper bound (ms) of the bucket holding the ``p``-quantile."""
+        """Upper bound (ms) of the bucket holding the ``p``-quantile.
+
+        The rank is an integral sample index, clamped to [1, total]:
+        ``p <= 0`` asks for the first recorded sample (first non-empty
+        bucket, never an empty leading bucket) and ``p >= 1.0`` for the
+        last one.  Ranks landing in the overflow bucket answer with the
+        observed maximum — the only upper bound that bucket has.
+        """
         if not self._total:
             return 0.0
-        rank = p * self._total
+        rank = 1 if p <= 0 else min(self._total, math.ceil(p * self._total))
         seen = 0
         for index, count in enumerate(self._counts):
             seen += count
@@ -763,6 +771,9 @@ class SessionManager:
                     routes_per_network=scenario.routes_per_network,
                     packet_bits=scenario.packet_bits,
                     networks=scenario.networks,
+                    channel=scenario.channel,
+                    link_faults=scenario.link_faults,
+                    max_retransmits=scenario.max_retransmits,
                 )
         return Session(scenario, registry=self._registry)
 

@@ -43,6 +43,7 @@ responds, so a slow query stream cannot freeze the health probe.
 from __future__ import annotations
 
 import asyncio
+import math
 import re
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -225,11 +226,14 @@ class RoutingServer:
         try:
             return await self._route_request(request)
         except Backpressure as error:
-            # ceil() so Retry-After: 0 can never tell a client "now".
+            # ceil() so Retry-After: 0 can never tell a client "now",
+            # and a fractional hint like 2.5 s always rounds *up* —
+            # round() would banker's-round it down to 2 and invite the
+            # client back half a second early.
             return (
                 503,
                 {"error": str(error)},
-                {"Retry-After": str(max(1, round(error.retry_after)))},
+                {"Retry-After": str(max(1, math.ceil(error.retry_after)))},
             )
         except asyncio.TimeoutError:
             return (

@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Mapping, Sequence
 
 from repro.api.scenario import (
+    FailureSpec,
     MobilitySchedule,
     NodesFailure,
     RandomFailure,
@@ -34,6 +35,15 @@ from repro.api.scenario import (
     Scenario,
 )
 from repro.geometry import Point, Rect
+from repro.network.channel import (
+    CommunicationModel,
+    DeadLinks,
+    DutyCycle,
+    IntermittentLinks,
+    LinkFaultModel,
+    LogNormalShadowing,
+    UnitDisk,
+)
 from repro.network.obstacles import (
     CompositeObstacle,
     DiscObstacle,
@@ -198,7 +208,7 @@ _NODES_FAILURE_KEYS = frozenset({"kind", "nodes"})
 _RANDOM_FAILURE_KEYS = frozenset({"kind", "count", "protect"})
 
 
-def _failure_from_wire(value, where: str):
+def _failure_from_wire(value, where: str) -> FailureSpec:
     data = _require_mapping(value, where)
     kind = data.get("kind")
     try:
@@ -232,7 +242,7 @@ def _failure_from_wire(value, where: str):
     )
 
 
-def _failure_to_wire(spec) -> dict:
+def _failure_to_wire(spec: FailureSpec) -> dict:
     if isinstance(spec, RegionFailure):
         return {
             "kind": "region",
@@ -254,6 +264,102 @@ def _failure_to_wire(spec) -> dict:
     )
 
 
+# -- radio channel ------------------------------------------------------------
+
+_UNIT_DISK_KEYS = frozenset({"kind"})
+_LOG_NORMAL_KEYS = frozenset({"kind", "sigma", "path_loss_exponent"})
+_INTERMITTENT_KEYS = frozenset({"kind", "fraction", "availability"})
+_DUTY_CYCLE_KEYS = frozenset({"kind", "on_slots", "period"})
+_DEAD_LINKS_KEYS = frozenset({"kind", "count"})
+
+
+def _channel_from_wire(value, where: str) -> CommunicationModel:
+    data = _require_mapping(value, where)
+    kind = data.get("kind")
+    try:
+        if kind == "unit_disk":
+            _check_keys(data, _UNIT_DISK_KEYS, where)
+            return UnitDisk()
+        if kind == "log_normal":
+            _check_keys(data, _LOG_NORMAL_KEYS, where)
+            kwargs = {}
+            for key in ("sigma", "path_loss_exponent"):
+                if key in data:
+                    kwargs[key] = _float_field(data, key, where)
+            return LogNormalShadowing(**kwargs)
+    except ValueError as error:
+        raise WireError(f"{where}: {error}") from None
+    raise WireError(
+        f"{where}.kind must be 'unit_disk' or 'log_normal', got {kind!r}"
+    )
+
+
+def _channel_to_wire(model: CommunicationModel) -> dict:
+    if isinstance(model, UnitDisk):
+        return {"kind": "unit_disk"}
+    if isinstance(model, LogNormalShadowing):
+        return {
+            "kind": "log_normal",
+            "sigma": model.sigma,
+            "path_loss_exponent": model.path_loss_exponent,
+        }
+    raise WireError(
+        f"channel model {type(model).__name__} has no wire encoding", 500
+    )
+
+
+def _link_faults_from_wire(value, where: str) -> LinkFaultModel:
+    data = _require_mapping(value, where)
+    kind = data.get("kind")
+    try:
+        if kind == "intermittent":
+            _check_keys(data, _INTERMITTENT_KEYS, where)
+            kwargs = {}
+            for key in ("fraction", "availability"):
+                if key in data:
+                    kwargs[key] = _float_field(data, key, where)
+            return IntermittentLinks(**kwargs)
+        if kind == "duty_cycle":
+            _check_keys(data, _DUTY_CYCLE_KEYS, where)
+            kwargs = {}
+            for key in ("on_slots", "period"):
+                if key in data:
+                    kwargs[key] = _int_field(data, key, where)
+            return DutyCycle(**kwargs)
+        if kind == "dead_links":
+            _check_keys(data, _DEAD_LINKS_KEYS, where)
+            kwargs = {}
+            if "count" in data:
+                kwargs["count"] = _int_field(data, "count", where)
+            return DeadLinks(**kwargs)
+    except ValueError as error:
+        raise WireError(f"{where}: {error}") from None
+    raise WireError(
+        f"{where}.kind must be 'intermittent', 'duty_cycle' or "
+        f"'dead_links', got {kind!r}"
+    )
+
+
+def _link_faults_to_wire(model: LinkFaultModel) -> dict:
+    if isinstance(model, IntermittentLinks):
+        return {
+            "kind": "intermittent",
+            "fraction": model.fraction,
+            "availability": model.availability,
+        }
+    if isinstance(model, DutyCycle):
+        return {
+            "kind": "duty_cycle",
+            "on_slots": model.on_slots,
+            "period": model.period,
+        }
+    if isinstance(model, DeadLinks):
+        return {"kind": "dead_links", "count": model.count}
+    raise WireError(
+        f"fault model {type(model).__name__} has no wire encoding", 500
+    )
+
+
 # -- the scenario document ----------------------------------------------------
 
 _SCALAR_INT_FIELDS = (
@@ -263,6 +369,7 @@ _SCALAR_INT_FIELDS = (
     "routes_per_network",
     "obstacle_count",
     "packet_bits",
+    "max_retransmits",
 )
 _SCALAR_FLOAT_FIELDS = (
     "radius",
@@ -278,6 +385,8 @@ _SCENARIO_KEYS = frozenset(
         "mobility",
         "routers",
         "router_options",
+        "channel",
+        "link_faults",
     )
     + _SCALAR_INT_FIELDS
     + _SCALAR_FLOAT_FIELDS
@@ -345,6 +454,14 @@ def scenario_from_dict(data: Mapping) -> Scenario:
             kwargs["mobility"] = MobilitySchedule(**mob_kwargs)
         except ValueError as error:
             raise WireError(f"scenario.mobility: {error}") from None
+    if "channel" in data and data["channel"] is not None:
+        kwargs["channel"] = _channel_from_wire(
+            data["channel"], "scenario.channel"
+        )
+    if "link_faults" in data and data["link_faults"] is not None:
+        kwargs["link_faults"] = _link_faults_from_wire(
+            data["link_faults"], "scenario.link_faults"
+        )
     if "routers" in data:
         value = data["routers"]
         if not isinstance(value, Sequence) or isinstance(value, str):
@@ -399,6 +516,12 @@ def scenario_to_dict(scenario: Scenario) -> dict:
         }
     else:
         out["mobility"] = None
+    out["channel"] = _channel_to_wire(scenario.channel)
+    out["link_faults"] = (
+        None
+        if scenario.link_faults is None
+        else _link_faults_to_wire(scenario.link_faults)
+    )
     out["routers"] = list(scenario.routers)
     out["router_options"] = {
         name: dict(opts) for name, opts in scenario.router_options.items()

@@ -1,0 +1,215 @@
+"""Lossy scenarios through the api facade: determinism and accounting.
+
+The channel layer's stack-level contracts:
+
+* perfect-link scenarios (the default) never produce transmission
+  records — their RouteSets serialize exactly as before (bit-identity);
+* lossy scenarios reproduce bit-identically from the same seed across
+  fresh sessions, fresh processes and both routing backends;
+* retransmission aggregates ride the RouteSet like any other metric
+  and survive the dict round trip the serve layer uses.
+"""
+
+import pytest
+
+from repro.api import (
+    DeadLinks,
+    DutyCycle,
+    IntermittentLinks,
+    LogNormalShadowing,
+    RouteSet,
+    Scenario,
+    Session,
+    Study,
+    UnitDisk,
+    scenario_fingerprint,
+)
+
+try:
+    import numpy  # noqa: F401
+
+    HAS_NUMPY = True
+except ImportError:  # pragma: no cover
+    HAS_NUMPY = False
+
+needs_numpy = pytest.mark.skipif(not HAS_NUMPY, reason="numpy required")
+
+LOSSY = Scenario(
+    node_count=150,
+    routes_per_network=8,
+    channel=LogNormalShadowing(sigma=6.0),
+    link_faults=IntermittentLinks(),
+    seed=11,
+)
+
+
+class TestScenarioFields:
+    def test_default_is_not_lossy(self):
+        assert not Scenario().is_lossy
+        assert isinstance(Scenario().channel, UnitDisk)
+
+    def test_lossy_flags(self):
+        assert Scenario(channel=LogNormalShadowing()).is_lossy
+        assert Scenario(link_faults=DeadLinks()).is_lossy
+        assert not Scenario(channel=UnitDisk()).is_lossy
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Scenario(channel="log_normal")
+        with pytest.raises(ValueError):
+            Scenario(link_faults=UnitDisk())
+        with pytest.raises(ValueError):
+            Scenario(max_retransmits=-1)
+        with pytest.raises(ValueError):
+            Scenario(max_retransmits=True)
+
+    def test_channel_fields_fold_into_fingerprint(self):
+        base = Scenario()
+        lossy = base.with_(channel=LogNormalShadowing())
+        faulty = base.with_(link_faults=DutyCycle())
+        budget = base.with_(max_retransmits=5)
+        prints = {
+            scenario_fingerprint(s) for s in (base, lossy, faulty, budget)
+        }
+        assert len(prints) == 4
+
+    def test_channel_fields_are_hash_stable(self):
+        assert hash(LOSSY) == hash(
+            Scenario(
+                node_count=150,
+                routes_per_network=8,
+                channel=LogNormalShadowing(sigma=6.0),
+                link_faults=IntermittentLinks(),
+                seed=11,
+            )
+        )
+
+
+class TestPerfectLinkBitIdentity:
+    def test_no_channel_state(self):
+        assert Session(Scenario(node_count=100)).channel is None
+
+    def test_no_transmission_records(self):
+        routes = Session(Scenario(node_count=100)).run()
+        assert all("transmission" not in r for r in routes.to_dicts())
+
+    def test_channel_aggregates_degrade_gracefully(self):
+        routes = Session(Scenario(node_count=100)).run()
+        agg = routes.aggregate(routes.routers()[0])
+        assert agg.channel_delivered == agg.delivered
+        # Perfect-link sets summarize to zeros, matching the energy
+        # aggregate's zeros-when-unmeasured convention.
+        assert agg.retransmits.mean == 0.0
+        assert agg.retransmits.maximum == 0.0
+        assert agg.effective_hops.mean == 0.0
+        assert agg.retransmit_energy.mean == 0.0
+
+
+class TestLossyDeterminism:
+    def test_fresh_sessions_agree(self):
+        assert Session(LOSSY).run() == Session(LOSSY).run()
+
+    @needs_numpy
+    def test_backends_agree(self):
+        scalar = Session(LOSSY).run(backend="scalar")
+        vector = Session(LOSSY).run(backend="numpy")
+        assert scalar == vector
+        assert scalar.to_dicts() == vector.to_dicts()
+
+    def test_seed_changes_outcomes(self):
+        a = Session(LOSSY).run()
+        b = Session(LOSSY.with_(seed=12)).run()
+        assert a != b
+
+    def test_clone_shares_network_but_rebuilds_channel(self):
+        base = Session(LOSSY.with_(channel=UnitDisk(), link_faults=None))
+        assert base.channel is None
+        lossy = base.clone(
+            channel=LogNormalShadowing(sigma=6.0),
+            link_faults=IntermittentLinks(),
+        )
+        assert lossy.graph is base.graph
+        assert lossy.channel is not None
+        # The clone's outcomes equal a from-scratch lossy session's.
+        assert lossy.run() == Session(
+            LOSSY.with_(
+                channel=LogNormalShadowing(sigma=6.0),
+                link_faults=IntermittentLinks(),
+            )
+        ).run()
+
+
+class TestLossyAccounting:
+    def test_transmissions_recorded_and_round_trip(self):
+        routes = Session(LOSSY).route_pairs(energy=True)
+        dicts = routes.to_dicts()
+        assert any("transmission" in r for r in dicts)
+        assert RouteSet.from_dicts(dicts) == routes
+
+    def test_channel_delivery_never_exceeds_routing_delivery(self):
+        routes = Session(LOSSY).run()
+        for name in routes.routers():
+            agg = routes.aggregate(name)
+            assert agg.channel_delivered <= agg.delivered
+            assert 0.0 <= agg.channel_delivery_rate <= agg.delivery_rate
+
+    def test_retransmit_energy_exceeds_path_energy(self):
+        routes = Session(LOSSY).route_pairs(energy=True)
+        for name in routes.routers():
+            agg = routes.aggregate(name)
+            if agg.retransmit_energy.count and agg.energy.count:
+                # Acks + retries always cost more than the bare path.
+                assert agg.retransmit_energy.mean > 0.0
+
+    def test_max_retransmits_zero_is_single_shot(self):
+        routes = Session(LOSSY.with_(max_retransmits=0)).run()
+        for record in routes.to_dicts():
+            t = record.get("transmission")
+            if t is not None:
+                assert all(a == 1 for a in t["attempts_per_hop"])
+
+    def test_merge_carries_transmissions(self):
+        a = Session(LOSSY).run()
+        b = Session(LOSSY.with_(seed=12)).run()
+        merged = RouteSet()
+        merged.merge(a)
+        merged.merge(b)
+        assert any("transmission" in r for r in merged.to_dicts())
+        name = merged.routers()[0]
+        assert (
+            merged.aggregate(name).samples
+            == a.aggregate(name).samples + b.aggregate(name).samples
+        )
+
+
+class TestStudyAxis:
+    BASE = Scenario(node_count=120, routes_per_network=4, routers=("GF",))
+    AXIS = {"channel": [UnitDisk(), LogNormalShadowing(sigma=6.0)]}
+
+    def run_study(self):
+        study = Study(self.BASE, vary=self.AXIS)
+        return {
+            cell.label(): result for cell, result in study.stream(jobs=1)
+        }
+
+    def test_channel_as_study_axis(self):
+        cells = self.run_study()
+        assert len(cells) == 2
+        # The axis value is part of each cell's identity.
+        assert any("LogNormalShadowing" in label for label in cells)
+        assert any("UnitDisk" in label for label in cells)
+
+    def test_channel_axis_is_deterministic(self):
+        first = self.run_study()
+        second = self.run_study()
+        assert set(first) == set(second)
+        for label, result in first.items():
+            assert result.point == second[label].point
+
+    def test_lossy_cell_routes_through_run_scenario(self):
+        from repro.api import run_scenario
+
+        routes = run_scenario(self.BASE.with_(**{
+            "channel": LogNormalShadowing(sigma=6.0),
+        }))
+        assert any("transmission" in r for r in routes.to_dicts())

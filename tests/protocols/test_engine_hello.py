@@ -112,3 +112,50 @@ class TestHello:
         assert stats.transmissions == 5
         assert stats.receptions == 2 * g.edge_count()
         assert stats.quiesced
+
+
+class TestLossyEngine:
+    """SyncEngine over a ChannelState: dropped receptions, determinism."""
+
+    def make_channel(self, graph, **kwargs):
+        from repro.network import ChannelState, UnitDisk
+
+        kwargs.setdefault("model", UnitDisk())
+        return ChannelState(graph, 12.0, kwargs.pop("model"), seed=9, **kwargs)
+
+    def test_perfect_channel_matches_no_channel(self):
+        g = line_graph(6)
+        bare = SyncEngine(g, _Flood).run()
+        piped = SyncEngine(g, _Flood, channel=self.make_channel(g)).run()
+        assert piped == bare
+        assert piped.drops == 0
+
+    def test_dead_links_drop_receptions(self):
+        from repro.network import DeadLinks
+
+        g = line_graph(6)
+        channel = self.make_channel(g, faults=DeadLinks(count=1))
+        stats = SyncEngine(g, _Flood, channel=channel).run()
+        assert stats.drops > 0
+        assert "drops" in str(stats)
+        # A dead line link partitions the flood: some node upstream of
+        # the cut never learns the minimum.
+        engine = SyncEngine(g, _Flood, channel=channel)
+        engine.run()
+        assert any(node.best != 0 for node in engine.nodes())
+
+    def test_lossy_run_is_deterministic(self):
+        from repro.network import IntermittentLinks, LogNormalShadowing
+
+        g = line_graph(8)
+        runs = []
+        for _ in range(2):
+            channel = self.make_channel(
+                g,
+                model=LogNormalShadowing(sigma=8.0),
+                faults=IntermittentLinks(fraction=0.5),
+            )
+            engine = SyncEngine(g, _Flood, channel=channel)
+            stats = engine.run(max_rounds=50)
+            runs.append((stats, tuple(n.best for n in engine.nodes())))
+        assert runs[0] == runs[1]

@@ -3,16 +3,18 @@
 import pytest
 
 from repro.geometry import Point
-from repro.network import build_unit_disk_graph
+from repro.network import Transmission, build_unit_disk_graph
 from repro.routing import (
     GreedyRouter,
     Phase,
     RadioEnergyModel,
     RouteResult,
+    effective_path_length,
     interference_footprint,
     nodes_involved,
     path_energy,
     path_is_valid,
+    retransmission_energy,
 )
 
 
@@ -137,3 +139,121 @@ class TestPathValidity:
             failure_reason="made_up",
         )
         assert not path_is_valid(bogus, g)
+
+
+def make_result(path, delivered=False, source=None, destination=None):
+    return RouteResult(
+        router="X",
+        source=path[0] if source is None else source,
+        destination=(path[-1] if delivered else 99)
+        if destination is None
+        else destination,
+        delivered=delivered,
+        path=tuple(path),
+        phases=(Phase.GREEDY,) * max(0, len(path) - 1),
+        length=10.0 * max(0, len(path) - 1),
+        failure_reason=None if delivered else "made_up",
+    )
+
+
+class TestMetricEdgeCases:
+    """Degenerate inputs: zero-hop routes, undelivered paths, empty
+    paths, and the lossy-accounting metrics over each."""
+
+    def test_zero_hop_route(self):
+        # source == destination: a one-node path, zero hops.
+        g = line_graph()
+        result = RouteResult(
+            router="X",
+            source=2,
+            destination=2,
+            delivered=True,
+            path=(2,),
+            phases=(),
+            length=0.0,
+        )
+        assert result.hops == 0
+        assert path_energy(result, g) == 0.0
+        assert nodes_involved(result) == 1
+        assert path_is_valid(result, g)
+        t = Transmission(delivered=True, attempts_per_hop=())
+        assert retransmission_energy(result, g, t) == 0.0
+        assert effective_path_length(result, g, t) == 0.0
+
+    def test_undelivered_route_metrics_still_account(self):
+        g = line_graph()
+        result = make_result((0, 1, 2), delivered=False)
+        assert path_energy(result, g) > 0.0
+        assert path_is_valid(result, g)
+        # The channel crossed every hop; routing still failed.
+        t = Transmission(delivered=False, attempts_per_hop=(1, 1))
+        assert effective_path_length(result, g, t) == pytest.approx(
+            result.length
+        )
+
+    def test_path_is_valid_empty_path(self):
+        g = line_graph()
+        undelivered = make_result((), delivered=False, source=0)
+        assert path_is_valid(undelivered, g)
+        # A "delivered" result with an empty path cannot even be
+        # constructed — RouteResult's own validation rejects it.
+        with pytest.raises(ValueError):
+            RouteResult(
+                router="X",
+                source=0,
+                destination=4,
+                delivered=True,
+                path=(),
+                phases=(),
+                length=0.0,
+            )
+
+    def test_retransmission_energy_counts_retries_and_acks(self):
+        g = line_graph()
+        result = make_result((0, 1, 2), delivered=True)
+        model = RadioEnergyModel()
+        per_try = model.transmit(10.0) + model.receive()
+        # Hop 0 took 3 tries, hop 1 took 1; both crossed, two acks.
+        t = Transmission(delivered=True, attempts_per_hop=(3, 1))
+        expected = 4 * per_try + 2 * per_try  # payload tries + acks
+        assert retransmission_energy(result, g, t) == pytest.approx(expected)
+        # No acks requested: only the payload attempts remain.
+        assert retransmission_energy(
+            result, g, t, ack_bits=0
+        ) == pytest.approx(4 * per_try)
+
+    def test_retransmission_energy_dropped_packet(self):
+        g = line_graph()
+        result = make_result((0, 1, 2), delivered=False)
+        t = Transmission(
+            delivered=False, attempts_per_hop=(2, 4), dropped_at=1
+        )
+        model = RadioEnergyModel()
+        per_try = model.transmit(10.0) + model.receive()
+        # 6 payload tries; only hop 0 crossed, so exactly one ack.
+        assert retransmission_energy(result, g, t) == pytest.approx(
+            6 * per_try + per_try
+        )
+        assert effective_path_length(result, g, t) == pytest.approx(10.0)
+
+    def test_transmission_longer_than_route_rejected(self):
+        g = line_graph()
+        result = make_result((0, 1), delivered=True)
+        t = Transmission(delivered=True, attempts_per_hop=(1, 1, 1))
+        with pytest.raises(ValueError):
+            retransmission_energy(result, g, t)
+        with pytest.raises(ValueError):
+            effective_path_length(result, g, t)
+
+    @pytest.mark.parametrize("backend", ["scalar", "numpy"])
+    def test_metrics_identical_across_backends(self, backend):
+        pytest.importorskip("numpy")
+        g = line_graph()
+        router = GreedyRouter(g)
+        (result,) = router.route_batch([(0, 4)], backend=backend)
+        assert path_is_valid(result, g)
+        t = Transmission(delivered=True, attempts_per_hop=(1,) * result.hops)
+        assert effective_path_length(result, g, t) == pytest.approx(
+            result.length
+        )
+        assert retransmission_energy(result, g, t) > path_energy(result, g)

@@ -1,0 +1,112 @@
+"""Regression pins for the serve-layer bugfix sweep.
+
+Two bugs, both of the "off by a rounding rule" family:
+
+* ``Retry-After`` promised ceil() but used round(), so a 2.5 s hint
+  told clients "2" — and banker's rounding made even that uneven;
+* ``LatencyHistogram.percentile`` computed a fractional rank and
+  compared it against cumulative counts directly, so ``p = 0``
+  answered with the first bucket's bound even when that bucket (or
+  the whole histogram) was empty.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve import RoutingServer
+from repro.serve.resident import Backpressure, LatencyHistogram
+
+
+class TestRetryAfterCeil:
+    """The 503 header is ceil(retry_after), floored at 1 second."""
+
+    @pytest.mark.parametrize(
+        "retry_after,header",
+        [
+            (2.5, "3"),  # round() would banker's-round to "2"
+            (0.2, "1"),  # never "0": a 503 must not mean "now"
+            (0.0, "1"),
+            (2.0, "2"),  # exact seconds stay exact
+            (1.5, "2"),  # round() would give "2" too, but for the
+            # wrong reason; 1.0001 below is the discriminating case
+            (1.0001, "2"),
+        ],
+    )
+    def test_header_value(self, retry_after, header):
+        server = RoutingServer()
+
+        async def reject(request):
+            raise Backpressure("abcdef123456", retry_after)
+
+        server._route_request = reject
+
+        async def dispatch():
+            return await server._dispatch(object())
+
+        status, body, headers = asyncio.run(dispatch())
+        assert status == 503
+        assert headers["Retry-After"] == header
+        assert "retry" in body["error"]
+
+
+class TestLatencyPercentile:
+    def test_empty_histogram_is_zero(self):
+        hist = LatencyHistogram()
+        for p in (0.0, 0.5, 0.99, 1.0):
+            assert hist.percentile(p) == 0.0
+
+    def test_single_sample(self):
+        hist = LatencyHistogram()
+        hist.record(0.003)  # 3 ms -> the "<=5ms" bucket
+        for p in (0.0, 0.5, 1.0):
+            assert hist.percentile(p) == 5.0
+
+    def test_p_zero_skips_empty_leading_buckets(self):
+        # The original bug: rank 0 matched the first bucket (bound
+        # 1 ms) before any count was seen.
+        hist = LatencyHistogram()
+        hist.record(0.040)  # 40 ms -> the "<=50ms" bucket
+        assert hist.percentile(0.0) == 50.0
+
+    def test_exact_bucket_boundaries(self):
+        hist = LatencyHistogram()
+        for ms in (0.5, 3.0, 40.0, 40.0):  # buckets: <=1, <=5, <=50 x2
+            hist.record(ms / 1e3)
+        # Ranks 1..4 -> bounds 1, 5, 50, 50.
+        assert hist.percentile(0.25) == 1.0
+        assert hist.percentile(0.5) == 5.0
+        assert hist.percentile(0.75) == 50.0
+        assert hist.percentile(1.0) == 50.0
+        # Fractional ranks round up to the next sample.
+        assert hist.percentile(0.26) == 5.0
+        assert hist.percentile(0.51) == 50.0
+
+    def test_overflow_bucket_answers_observed_max(self):
+        hist = LatencyHistogram()
+        hist.record(0.001)  # 1 ms
+        hist.record(20.0)  # 20 s -> beyond the last bound (10 s)
+        assert hist.percentile(1.0) == 20_000.0
+        assert hist.percentile(0.5) == 1.0
+
+    def test_p_above_one_clamps_to_last_sample(self):
+        hist = LatencyHistogram()
+        hist.record(0.003)
+        assert hist.percentile(2.0) == 5.0
+
+    def test_negative_p_clamps_to_first_sample(self):
+        hist = LatencyHistogram()
+        hist.record(0.040)
+        assert hist.percentile(-1.0) == 50.0
+
+    def test_to_dict_reports_pinned_percentiles(self):
+        hist = LatencyHistogram()
+        for _ in range(99):
+            hist.record(0.002)  # <=2ms bucket
+        hist.record(0.8)  # <=1000ms bucket
+        stats = hist.to_dict()
+        assert stats["count"] == 100
+        assert stats["p50_ms"] == 2.0
+        assert stats["p90_ms"] == 2.0
+        assert stats["p99_ms"] == 2.0
+        assert hist.percentile(0.995) == 1000.0

@@ -1,0 +1,95 @@
+"""Lossy scenarios over the wire: records, determinism, clone sharing."""
+
+from repro.api import RouteSet, Scenario, scenario_fingerprint
+from repro.serve import scenario_from_dict
+
+LOSSY_DOC = {
+    "node_count": 120,
+    "seed": 5,
+    "routes_per_network": 6,
+    "routers": ["GF", "SLGF2"],
+    "channel": {"kind": "log_normal", "sigma": 6.0},
+    "link_faults": {"kind": "intermittent"},
+    "max_retransmits": 4,
+}
+
+
+class TestLossyServing:
+    def test_session_id_is_the_lossy_fingerprint(self, harness):
+        created = harness.create(LOSSY_DOC)
+        expected = scenario_fingerprint(scenario_from_dict(LOSSY_DOC))
+        assert created["session"] == expected
+
+    def test_route_pairs_carries_transmissions(self, harness):
+        session_id = harness.create(LOSSY_DOC)["session"]
+        status, body, _ = harness.request(
+            "POST",
+            f"/sessions/{session_id}/route_pairs",
+            {"energy": True},
+        )
+        assert status == 200
+        routes = RouteSet.from_dict(body["routeset"])
+        records = routes.to_dicts()
+        assert any("transmission" in r for r in records)
+        agg = routes.aggregate("SLGF2")
+        assert agg.retransmits.count > 0
+        assert agg.channel_delivery_rate <= agg.delivery_rate
+        assert agg.retransmit_energy.mean > 0.0
+
+    def test_served_results_match_direct_session(self, harness):
+        from repro.api import Session
+
+        session_id = harness.create(LOSSY_DOC)["session"]
+        status, body, _ = harness.request(
+            "POST", f"/sessions/{session_id}/route_pairs", {}
+        )
+        assert status == 200
+        served = RouteSet.from_dict(body["routeset"])
+        direct = Session(scenario_from_dict(LOSSY_DOC)).route_pairs()
+        assert served == direct
+
+    def test_lossy_variant_clones_the_clean_network(self, harness):
+        clean = dict(LOSSY_DOC)
+        del clean["channel"], clean["link_faults"], clean["max_retransmits"]
+        clean_id = harness.create(clean)["session"]
+        lossy_id = harness.create(LOSSY_DOC)["session"]
+        assert clean_id != lossy_id
+        clean_resident = harness.resident(clean_id)
+        lossy_resident = harness.resident(lossy_id)
+        # Channel fields are routing-side: the lossy resident shares
+        # the clean resident's materialised network via clone().
+        assert (
+            lossy_resident.session.graph is clean_resident.session.graph
+        )
+
+    def test_bad_channel_document_answers_400(self, harness):
+        doc = dict(LOSSY_DOC)
+        doc["channel"] = {"kind": "log_normal", "sigma": "wide"}
+        status, body, _ = harness.request(
+            "POST", "/sessions", {"scenario": doc}
+        )
+        assert status == 400
+        assert "scenario.channel.sigma" in body["error"]
+
+    def test_default_document_still_round_trips_clean(self, harness):
+        # The bit-identity guard at the wire: a perfect-link serving
+        # round produces records without transmission keys.
+        doc = {"node_count": 120, "seed": 5, "routers": ["GF"]}
+        session_id = harness.create(doc)["session"]
+        status, body, _ = harness.request(
+            "POST", f"/sessions/{session_id}/route_pairs", {}
+        )
+        assert status == 200
+        assert all(
+            "transmission" not in r for r in body["routeset"]["routes"]
+        )
+
+
+def test_scenario_doc_unchanged_by_lossy_sibling(harness, scenario_doc):
+    """Loading a lossy variant never mutates the clean session's
+    scenario (a regression guard on the clone kwargs)."""
+    clean_id = harness.create(scenario_doc)["session"]
+    harness.create(LOSSY_DOC)
+    resident = harness.resident(clean_id)
+    assert not resident.session.scenario.is_lossy
+    assert resident.session.scenario.max_retransmits == 3

@@ -3,6 +3,10 @@
 import pytest
 
 from repro.api import (
+    DeadLinks,
+    DutyCycle,
+    IntermittentLinks,
+    LogNormalShadowing,
     MobilitySchedule,
     NodesFailure,
     RandomFailure,
@@ -221,3 +225,109 @@ class TestTopologyEvents:
                     ]
                 }
             )
+
+
+class TestChannelCodec:
+    """The radio-channel fields: exact round-trips, located 400s."""
+
+    def test_lossy_scenario_round_trips(self):
+        scenario = Scenario(
+            channel=LogNormalShadowing(sigma=6.0, path_loss_exponent=2.5),
+            link_faults=IntermittentLinks(fraction=0.3, availability=0.7),
+            max_retransmits=5,
+        )
+        assert scenario_from_dict(scenario_to_dict(scenario)) == scenario
+
+    def test_every_fault_model_round_trips(self):
+        for faults in (
+            DutyCycle(on_slots=2, period=6),
+            DeadLinks(count=4),
+            IntermittentLinks(),
+            None,
+        ):
+            scenario = Scenario(link_faults=faults)
+            assert scenario_from_dict(scenario_to_dict(scenario)) == scenario
+
+    def test_document_writes_channel_explicitly(self):
+        doc = scenario_to_dict(Scenario())
+        assert doc["channel"] == {"kind": "unit_disk"}
+        assert doc["link_faults"] is None
+        assert doc["max_retransmits"] == 3
+
+    def test_partial_channel_document_uses_defaults(self):
+        scenario = scenario_from_dict({"channel": {"kind": "log_normal"}})
+        assert scenario.channel == LogNormalShadowing()
+
+    def test_unknown_channel_kind_is_located(self):
+        with pytest.raises(WireError) as err:
+            scenario_from_dict({"channel": {"kind": "rayleigh"}})
+        assert err.value.status == 400
+        assert "scenario.channel.kind" in str(err.value)
+
+    def test_unknown_channel_key_is_located(self):
+        with pytest.raises(WireError) as err:
+            scenario_from_dict(
+                {"channel": {"kind": "log_normal", "sgima": 4.0}}
+            )
+        assert err.value.status == 400
+        assert "'sgima'" in str(err.value)
+        assert "scenario.channel" in str(err.value)
+
+    def test_channel_param_type_is_checked(self):
+        with pytest.raises(WireError) as err:
+            scenario_from_dict(
+                {"channel": {"kind": "log_normal", "sigma": "wide"}}
+            )
+        assert err.value.status == 400
+        assert "scenario.channel.sigma" in str(err.value)
+
+    def test_channel_semantic_validation_is_a_wire_error(self):
+        with pytest.raises(WireError) as err:
+            scenario_from_dict(
+                {"channel": {"kind": "log_normal", "sigma": -1.0}}
+            )
+        assert err.value.status == 400
+        assert "sigma" in str(err.value)
+
+    def test_unknown_fault_kind_is_located(self):
+        with pytest.raises(WireError) as err:
+            scenario_from_dict({"link_faults": {"kind": "jammer"}})
+        assert err.value.status == 400
+        assert "scenario.link_faults.kind" in str(err.value)
+
+    def test_fault_semantic_validation_is_a_wire_error(self):
+        with pytest.raises(WireError) as err:
+            scenario_from_dict(
+                {
+                    "link_faults": {
+                        "kind": "duty_cycle",
+                        "on_slots": 9,
+                        "period": 8,
+                    }
+                }
+            )
+        assert err.value.status == 400
+        assert "on_slots" in str(err.value)
+
+    def test_duty_cycle_slots_must_be_integers(self):
+        with pytest.raises(WireError) as err:
+            scenario_from_dict(
+                {"link_faults": {"kind": "duty_cycle", "period": 8.5}}
+            )
+        assert err.value.status == 400
+        assert "scenario.link_faults.period" in str(err.value)
+
+    def test_max_retransmits_must_be_an_integer(self):
+        with pytest.raises(WireError) as err:
+            scenario_from_dict({"max_retransmits": 2.5})
+        assert err.value.status == 400
+        assert "scenario.max_retransmits" in str(err.value)
+
+    def test_negative_max_retransmits_is_a_wire_error(self):
+        with pytest.raises(WireError) as err:
+            scenario_from_dict({"max_retransmits": -1})
+        assert err.value.status == 400
+
+    def test_null_channel_means_default(self):
+        assert scenario_from_dict({"channel": None}) == Scenario()
+        assert scenario_from_dict({"link_faults": None}) == Scenario()

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Cross-process determinism check for the lossy-radio channel layer.
+
+The channel's contract is that every draw is a pure function of the
+scenario seed — immune to Python hash randomisation, process boundaries
+and the scalar/numpy backend split.  This script is the executable
+proof CI runs:
+
+* ``--digest`` (worker mode) evaluates a fixed grid of lossy scenarios
+  (log-normal shadowing crossed with every fault model) through
+  :func:`repro.api.run_scenario` and prints one SHA-256 over the
+  canonical JSON of every route record, transmissions included;
+* the default (driver) mode spawns that worker twice in *fresh*
+  interpreters with different ``PYTHONHASHSEED`` values and fails
+  unless the digests are bit-identical — then repeats the comparison
+  across ``backend="scalar"`` and ``backend="numpy"`` when numpy is
+  importable (skipped, loudly, when it is not).
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/check_lossy_determinism.py
+
+Exit status 0 means every digest matched.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def build_grid():
+    """The fixed lossy grid: shadowing crossed with every fault model."""
+    from repro.api import (
+        DeadLinks,
+        DutyCycle,
+        IntermittentLinks,
+        LogNormalShadowing,
+        Scenario,
+    )
+
+    base = Scenario(
+        node_count=150,
+        routes_per_network=8,
+        networks=2,
+        seed=77,
+        routers=("GF", "SLGF2"),
+        channel=LogNormalShadowing(sigma=6.0),
+    )
+    return [
+        base,
+        base.with_(link_faults=IntermittentLinks()),
+        base.with_(link_faults=DutyCycle(on_slots=3, period=5)),
+        base.with_(link_faults=DeadLinks(count=8)),
+    ]
+
+
+def digest(backend: str) -> str:
+    from repro.api import run_scenario
+
+    blob = hashlib.sha256()
+    for scenario in build_grid():
+        routes = run_scenario(scenario, backend=backend)
+        blob.update(
+            json.dumps(routes.to_dicts(), sort_keys=True).encode()
+        )
+    return blob.hexdigest()
+
+
+def spawn(backend: str, hash_seed: int) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(hash_seed)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    out = subprocess.run(
+        [sys.executable, __file__, "--digest", "--backend", backend],
+        capture_output=True,
+        text=True,
+        check=True,
+        env=env,
+        cwd=ROOT,
+    ).stdout.strip()
+    print(f"  backend={backend} PYTHONHASHSEED={hash_seed}: {out}")
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--digest", action="store_true", help="worker mode")
+    parser.add_argument("--backend", default="scalar")
+    args = parser.parse_args()
+
+    if args.digest:
+        sys.path.insert(0, str(ROOT / "src"))
+        print(digest(args.backend))
+        return 0
+
+    print("lossy determinism: scalar backend across fresh processes")
+    first = spawn("scalar", 0)
+    second = spawn("scalar", 12345)
+    if first != second:
+        print("FAIL: scalar digests diverged across processes")
+        return 1
+
+    try:
+        import numpy  # noqa: F401
+
+        has_numpy = True
+    except ImportError:
+        has_numpy = False
+
+    if has_numpy:
+        print("lossy determinism: numpy backend must match scalar")
+        vector = spawn("numpy", 999)
+        if vector != first:
+            print("FAIL: numpy backend digest diverged from scalar")
+            return 1
+    else:
+        print("numpy not importable: backend comparison skipped")
+
+    print("OK: lossy scenarios reproduce bit-identically")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
