@@ -1,0 +1,121 @@
+"""SCALE — sharded dispatch must stay within 10% of the direct engine.
+
+The distributed layer's pitch is "the same study, across hosts, for
+free": compiling the plan, writing shard files, launching worker
+subprocesses, streaming their progress, merging bundles and
+reassembling from the cache is all bookkeeping around the identical
+cell evaluations.  This bench pins that claim on one machine at equal
+parallelism — ``Study.run(jobs=3)`` versus
+:func:`repro.dist.run_study` over a 3-worker
+:class:`~repro.dist.driver.LocalSubprocessDriver` — and both sides
+must produce bit-identical StudyResults while the sharded run stays
+within **10 %** wall-clock of the direct one.
+
+The study is sized so evaluation dominates: per-worker interpreter
+start-up (~0.5 s, paid once per shard, in parallel) must amortise
+against seconds of routing work, exactly as it would on a real
+cluster.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_dist.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.api import Scenario, Study
+from repro.api.study import _evaluate_cell
+from repro.dist import LocalSubprocessDriver, run_study
+from repro.experiments import ResultCache
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+_BASE = Scenario(
+    deployment_model="IA",
+    seed=23,
+    networks=16,
+    routes_per_network=12,
+    routers=("GF", "SLGF2"),
+)
+# Six seeds per node count: round-robin over 3 shards hands every
+# shard two cells of each node count, so the static partition is as
+# balanced as the direct engine's dynamic scheduling — the comparison
+# then measures dispatch overhead, not shard imbalance.
+_NODES = (350, 400)
+_SEEDS = (23, 24, 25, 26, 27, 28)
+_JOBS = 3
+
+
+def _study() -> Study:
+    return Study(_BASE, nodes=_NODES, seeds=_SEEDS)
+
+
+def _digest(result) -> str:
+    return json.dumps(result.to_dicts(), sort_keys=True)
+
+
+def _run_direct(cache_dir) -> tuple[float, object]:
+    start = time.perf_counter()
+    result = _study().run(jobs=_JOBS, cache=ResultCache(cache_dir))
+    return time.perf_counter() - start, result
+
+
+def _run_dist(cache_dir) -> tuple[float, object]:
+    start = time.perf_counter()
+    result = run_study(
+        _study(),
+        LocalSubprocessDriver(
+            jobs=_JOBS, extra_env={"PYTHONPATH": str(SRC)}
+        ),
+        shards=_JOBS,
+        cache=ResultCache(cache_dir),
+    )
+    return time.perf_counter() - start, result
+
+
+def test_sharded_dispatch_overhead_under_10_percent(
+    results_dir, tmp_path
+):
+    # Warm this process (imports, spatial-grid caches) so the direct
+    # side isn't charged for one-time costs the workers pay themselves
+    # — worker start-up is precisely the overhead under test.
+    _evaluate_cell(_BASE.with_(node_count=150, networks=1), None)
+
+    cells = len(_study())
+
+    # Interleaved best-of-N, fresh caches each repeat: transient
+    # machine noise on a ~10 s run easily exceeds the 10% bound, so a
+    # single shot either way would be a coin flip (same pattern as
+    # bench_study's _time_pair, repeats kept low because each rep is
+    # seconds, not milliseconds).
+    repeats = 2
+    direct_s, dist_s = float("inf"), float("inf")
+    direct = dist = None
+    for rep in range(repeats):
+        seconds, direct = _run_direct(tmp_path / f"direct_{rep}")
+        direct_s = min(direct_s, seconds)
+        seconds, dist = _run_dist(tmp_path / f"dist_{rep}")
+        dist_s = min(dist_s, seconds)
+
+    # Identity first: a fast-but-different distributed run is worthless.
+    assert _digest(dist) == _digest(direct)
+
+    overhead = dist_s / direct_s - 1.0
+    lines = [
+        "Sharded execution vs direct engine at equal parallelism "
+        f"({cells} cells, jobs={_JOBS}, best of {repeats})",
+        f"  Study.run(jobs={_JOBS})        : {direct_s:8.2f} s",
+        f"  run_study (3 shards, subprocess): {dist_s:8.2f} s "
+        f"({overhead * 100:+.1f}%)",
+        f"  dispatch overhead per shard     : "
+        f"{(dist_s - direct_s) / _JOBS * 1e3:8.1f} ms",
+    ]
+    report = "\n".join(lines)
+    print("\n" + report)
+    (results_dir / "dist_overhead.txt").write_text(report + "\n")
+
+    # The ISSUE's bound: sharded dispatch <= 10% over the direct
+    # engine at equal parallelism.
+    assert dist_s <= direct_s * 1.10, report

@@ -11,6 +11,8 @@ figure tables::
     repro-wasn --full --jobs 8         # 8 worker processes
     repro-wasn --full                  # second run: served from cache
     repro-wasn serve --port 8707       # routing-as-a-service (HTTP)
+    repro-wasn dist-worker --plan shard_0.json --bundle out/shard_0
+                                       # headless shard worker (repro.dist)
 
 The CLI drives everything through :mod:`repro.api`: router selection
 is by registered name (schemes added via
@@ -161,7 +163,9 @@ def main(argv: list[str] | None = None) -> int:
 
     ``repro-wasn serve ...`` hands over to the service CLI
     (:mod:`repro.serve.cli`) — a resident-session query server over
-    HTTP; everything else is the figure pipeline below.
+    HTTP; ``repro-wasn dist-worker ...`` to the distributed-execution
+    shard worker (:mod:`repro.dist.worker`); everything else is the
+    figure pipeline below.
     """
     if argv is None:
         argv = sys.argv[1:]
@@ -171,6 +175,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.serve.cli import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "dist-worker":
+        # Likewise on demand: the headless shard worker of the
+        # distributed layer (:mod:`repro.dist.worker`).
+        from repro.dist.worker import main as worker_main
+
+        return worker_main(argv[1:])
     parser = _parser()
     args = parser.parse_args(argv)
     if args.list_routers:
@@ -190,7 +200,11 @@ def main(argv: list[str] | None = None) -> int:
     # One ProgressEvent sink for everything the CLI says on stderr:
     # the study's per-cell events (counters/ETA ride along for any
     # richer consumer) and the CLI's own notes, as note events.
+    last_unit: list[ProgressEvent] = []
+
     def emit(event: ProgressEvent) -> None:
+        if event.kind in ("cached", "computed"):
+            last_unit[:] = [event]
         print(event, file=sys.stderr)
 
     # Repeated --models values would repeat a grid axis value; the
@@ -198,6 +212,17 @@ def main(argv: list[str] | None = None) -> int:
     models = tuple(dict.fromkeys(args.models))
     study = Study.from_config(config, models, routers=args.routers)
     results = study.run(jobs=jobs, cache=cache, progress=emit)
+    if last_unit:
+        # The final unit event carries the run's cached/computed split
+        # (completed == cached + computed, never double-counted).
+        final = last_unit[0]
+        rate = 100.0 * final.cached / final.total if final.total else 0.0
+        emit(
+            ProgressEvent.note(
+                f"[study] {final.total} cells: {final.cached} cached, "
+                f"{final.computed} computed ({rate:.0f}% cache hit rate)"
+            )
+        )
     for model in models:
         sweep = results.sweep_result(model)
         for figure_id in args.figures:

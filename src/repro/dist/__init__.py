@@ -1,0 +1,66 @@
+"""Distributed study execution: shard Studies across hosts.
+
+The engine parallelizes across one machine's cores; a Study's grid —
+axes × seeds × schemes — is embarrassingly parallel beyond that.  This
+package is the layer between the Study API and the engine that takes
+it across hosts:
+
+* :mod:`~repro.dist.plan` compiles a Study's deterministic ``(cell,
+  scenario-fingerprint)`` work-unit plan, prunes already-cached cells
+  and splits the rest into shards (portable JSON documents);
+* the headless worker (``repro-wasn dist-worker --plan shard.json
+  --bundle out/``, :mod:`~repro.dist.worker`) evaluates one shard
+  anywhere the package is installed, growing an incremental **cache
+  bundle** and streaming JSON progress lines;
+* a :class:`~repro.dist.driver.ClusterDriver` runs the shards —
+  :class:`~repro.dist.driver.LocalSubprocessDriver` (N local worker
+  processes, the CI-testable reference),
+  :class:`~repro.dist.ssh.SSHDriver` (stdlib ``subprocess`` + ssh,
+  per-host job lists, retry/requeue on host failure) or
+  :class:`~repro.dist.jobarray.JobArrayDriver` (emit shard files plus
+  a SLURM-style array submission script, collect bundles from a
+  shared directory);
+* :func:`~repro.dist.driver.run_study` merges the returned bundles
+  into the content-addressed ``.repro_cache`` (refusing mismatched
+  code digests or registry identities) and assembles one
+  :class:`~repro.api.study.StudyResult` **bit-identical** to a local
+  ``Study.run()`` — resumable at every stage, because the cache is
+  the merge point.
+"""
+
+from repro.dist.driver import (
+    ClusterDriver,
+    ClusterError,
+    DistStats,
+    LocalSubprocessDriver,
+    run_study,
+)
+from repro.dist.jobarray import JobArrayDriver
+from repro.dist.plan import (
+    PlanError,
+    PlanUnit,
+    StudyPlan,
+    compile_plan,
+    read_plan,
+    shard_plan,
+    write_plan,
+)
+from repro.dist.ssh import SSHDriver, SSHHost
+
+__all__ = [
+    "ClusterDriver",
+    "ClusterError",
+    "DistStats",
+    "JobArrayDriver",
+    "LocalSubprocessDriver",
+    "PlanError",
+    "PlanUnit",
+    "SSHDriver",
+    "SSHHost",
+    "StudyPlan",
+    "compile_plan",
+    "read_plan",
+    "run_study",
+    "shard_plan",
+    "write_plan",
+]

@@ -1,0 +1,314 @@
+"""SSH cluster driver: plain hosts, stdlib subprocess, no daemons.
+
+The smallest real cluster is "some machines I can ssh into", so this
+driver assumes nothing beyond that: the repro package importable on
+each host (``SSHHost.pythonpath`` points at a source checkout), a
+scratch directory, and a ``tar`` binary.  Per shard it ships the plan
+over stdin, runs ``dist-worker`` streaming its JSON progress lines
+back through the ssh channel, and fetches the finished bundle as a
+tarball (``tar -C bundle -cf - .``) — three ssh invocations, no scp
+dependency, nothing listening anywhere.
+
+Scheduling is a shared work queue: every host pulls the next pending
+shard, so fast hosts naturally take more work.  A shard that fails is
+requeued (its retry budget decremented) for *any* host to pick up; a
+host that keeps failing retires itself and the others absorb its
+share.  Only when every host has retired with shards still pending —
+or a worker reports an identity mismatch, which no retry can fix —
+does the run raise :class:`~repro.dist.driver.ClusterError`.
+
+The actual ``ssh`` invocation sits behind a one-method transport
+object so tests exercise the scheduler (requeue, retirement, partial
+hosts) with an in-process fake instead of a real ssh daemon.
+"""
+
+from __future__ import annotations
+
+import shlex
+import subprocess
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.dist import worker as worker_module
+from repro.dist.driver import ClusterError, ShardMonitor
+
+__all__ = ["SSHDriver", "SSHHost", "SSHTransport"]
+
+
+class _Mismatch(ClusterError):
+    """Worker refused the plan (exit 4) — retrying cannot help."""
+
+
+@dataclass(frozen=True)
+class SSHHost:
+    """One reachable host and how to run the worker there.
+
+    ``workdir`` is remote scratch (created on demand); ``pythonpath``
+    is prepended so a plain source checkout works without installing;
+    ``ssh_options`` are extra ``ssh`` arguments (port, identity file).
+    """
+
+    address: str  # e.g. "user@node17"
+    workdir: str = "~/.repro_dist"
+    python: str = "python3"
+    pythonpath: str | None = None
+    ssh_options: tuple[str, ...] = ()
+
+
+class SSHTransport:
+    """Runs one remote command over ``ssh``; the injectable seam.
+
+    ``run`` returns the remote exit status (ssh's own failures show up
+    as 255, which the driver treats like any dead host).  Exactly one
+    of the output modes is used per call: ``line_sink`` receives
+    decoded stdout lines (stderr merged in, so remote tracebacks reach
+    the monitor), ``stdout_path`` captures raw bytes (bundle
+    tarballs).
+    """
+
+    def __init__(self, ssh: str = "ssh") -> None:
+        self.ssh = ssh
+
+    def run(
+        self,
+        host: SSHHost,
+        command: str,
+        *,
+        stdin_text: str | None = None,
+        line_sink: Callable[[str], None] | None = None,
+        stdout_path: Path | None = None,
+    ) -> int:
+        argv = [
+            self.ssh,
+            "-o",
+            "BatchMode=yes",
+            *host.ssh_options,
+            host.address,
+            command,
+        ]
+        if stdout_path is not None:
+            with open(stdout_path, "wb") as sink:
+                process = subprocess.Popen(
+                    argv,
+                    stdin=subprocess.DEVNULL,
+                    stdout=sink,
+                    stderr=subprocess.DEVNULL,
+                )
+                return process.wait()
+        process = subprocess.Popen(
+            argv,
+            stdin=subprocess.PIPE if stdin_text is not None else subprocess.DEVNULL,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        if stdin_text is not None:
+            out, _ = process.communicate(stdin_text)
+            if line_sink is not None:
+                for line in out.splitlines():
+                    line_sink(line)
+            return process.returncode
+        assert process.stdout is not None
+        for line in process.stdout:
+            if line_sink is not None:
+                line_sink(line)
+        return process.wait()
+
+
+@dataclass
+class _Pending:
+    shard: Path
+    budget: int  # retries remaining
+
+
+class SSHDriver:
+    """Run shards across :class:`SSHHost` machines over plain ssh."""
+
+    def __init__(
+        self,
+        hosts: Sequence[SSHHost],
+        retries: int = 2,
+        host_strikes: int = 2,
+        transport: SSHTransport | None = None,
+    ) -> None:
+        if not hosts:
+            raise ValueError("SSHDriver needs at least one host")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.hosts = list(hosts)
+        self.retries = retries
+        self.host_strikes = host_strikes
+        self.transport = transport or SSHTransport()
+
+    # -- single-shard pipeline: ship plan, run worker, fetch bundle ----
+
+    def _run_shard_on(
+        self,
+        host: SSHHost,
+        shard: Path,
+        tar_path: Path,
+        monitor: ShardMonitor | None,
+    ) -> Path:
+        name = shard.stem
+        q = shlex.quote
+        plans_dir = f"{host.workdir}/plans"
+        bundles_dir = f"{host.workdir}/bundles"
+        remote_plan = f"{plans_dir}/{name}.json"
+        remote_bundle = f"{bundles_dir}/{name}"
+
+        code = self.transport.run(
+            host,
+            f"mkdir -p {q(plans_dir)} {q(bundles_dir)} && cat > {q(remote_plan)}",
+            stdin_text=shard.read_text(encoding="utf-8"),
+        )
+        if code != 0:
+            raise ClusterError(
+                f"[{host.address}] could not ship plan for shard {name} "
+                f"(exit {code})"
+            )
+
+        env = (
+            f"PYTHONPATH={q(host.pythonpath)} " if host.pythonpath else ""
+        )
+        worker_cmd = (
+            f"{env}{host.python} -m repro.cli dist-worker "
+            f"--plan {q(remote_plan)} --bundle {q(remote_bundle)}"
+        )
+
+        def sink(line: str) -> None:
+            if monitor is not None:
+                monitor.line(name, line)
+
+        code = self.transport.run(host, worker_cmd, line_sink=sink)
+        if code == worker_module.EXIT_MISMATCH:
+            raise _Mismatch(
+                f"[{host.address}] worker refused shard {name} (exit 4: "
+                "code/registry mismatch); align the checkout on that "
+                "host with the one that compiled the plan"
+            )
+        if code != 0:
+            raise ClusterError(
+                f"[{host.address}] shard {name} worker exited with "
+                f"code {code}"
+            )
+
+        tar_path.parent.mkdir(parents=True, exist_ok=True)
+        code = self.transport.run(
+            host,
+            f"tar -C {q(remote_bundle)} -cf - .",
+            stdout_path=tar_path,
+        )
+        if code != 0:
+            raise ClusterError(
+                f"[{host.address}] could not fetch bundle for shard "
+                f"{name} (tar exit {code})"
+            )
+        return tar_path
+
+    # -- scheduler: shared queue, per-host threads, requeue/retire -----
+
+    def run(
+        self,
+        shards: Sequence[Path],
+        bundle_root: Path,
+        monitor: ShardMonitor | None = None,
+    ) -> list[Path]:
+        shards = [Path(shard) for shard in shards]
+        bundle_root = Path(bundle_root)
+        bundle_root.mkdir(parents=True, exist_ok=True)
+
+        pending: deque[_Pending] = deque(
+            _Pending(shard, self.retries) for shard in shards
+        )
+        done: dict[Path, Path] = {}
+        fatal: list[ClusterError] = []
+        in_flight = 0
+        cond = threading.Condition()
+
+        def note(text: str) -> None:
+            if monitor is not None:
+                monitor.note(text)
+
+        def host_loop(host: SSHHost) -> None:
+            nonlocal in_flight
+            strikes = 0
+            while True:
+                with cond:
+                    # A shard in flight elsewhere may yet be requeued,
+                    # so an idle host waits instead of exiting early.
+                    while not pending and in_flight and not fatal:
+                        cond.wait()
+                    if fatal or not pending:
+                        return
+                    item = pending.popleft()
+                    in_flight += 1
+                name = item.shard.stem
+                try:
+                    result = self._run_shard_on(
+                        host,
+                        item.shard,
+                        bundle_root / f"{name}.tar",
+                        monitor,
+                    )
+                except _Mismatch as error:
+                    with cond:
+                        in_flight -= 1
+                        fatal.append(error)
+                        cond.notify_all()
+                    return
+                except ClusterError as error:
+                    strikes += 1
+                    with cond:
+                        in_flight -= 1
+                        if item.budget > 0:
+                            item.budget -= 1
+                            pending.append(item)
+                            note(
+                                f"[{name}] {error}; requeued "
+                                f"({item.budget} retr{'y' if item.budget == 1 else 'ies'} left)"
+                            )
+                        else:
+                            fatal.append(
+                                ClusterError(
+                                    f"shard {name} exhausted its retries; "
+                                    f"last error: {error}"
+                                )
+                            )
+                        cond.notify_all()
+                    if fatal:
+                        return
+                    if strikes > self.host_strikes:
+                        note(
+                            f"[dist] retiring host {host.address} after "
+                            f"{strikes} consecutive failures"
+                        )
+                        return
+                    continue
+                with cond:
+                    in_flight -= 1
+                    done[item.shard] = result
+                    cond.notify_all()
+                strikes = 0
+
+        threads = [
+            threading.Thread(
+                target=host_loop, args=(host,), name=f"ssh:{host.address}"
+            )
+            for host in self.hosts
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        if fatal:
+            raise fatal[0]
+        if pending:
+            missing = ", ".join(item.shard.stem for item in pending)
+            raise ClusterError(
+                f"every host retired with shard(s) still pending: {missing}"
+            )
+        return [done[shard] for shard in shards]

@@ -18,12 +18,18 @@ wrapper was removed on schedule.)
 """
 
 from repro.experiments.cache import (
+    BundleError,
+    BundleStats,
+    CacheCorruptionWarning,
     ResultCache,
     default_cache,
+    export_bundle,
     factory_fingerprint,
+    import_bundle,
     point_from_dict,
     point_key,
     point_to_dict,
+    verify_bundle,
 )
 from repro.experiments.config import (
     PAPER_CONFIG,
@@ -67,6 +73,9 @@ from repro.experiments.workload import (
 
 __all__ = [
     "FIGURES",
+    "BundleError",
+    "BundleStats",
+    "CacheCorruptionWarning",
     "EngineTask",
     "ExperimentConfig",
     "ExperimentEngine",
@@ -87,6 +96,8 @@ __all__ = [
     "build_network",
     "default_cache",
     "default_jobs",
+    "export_bundle",
+    "import_bundle",
     "evaluate_network",
     "evaluate_point",
     "factory_fingerprint",
@@ -105,4 +116,5 @@ __all__ = [
     "to_chart",
     "to_csv",
     "to_json",
+    "verify_bundle",
 ]

@@ -198,6 +198,7 @@ class ExperimentEngine:
         total = len(tasks)
         started = time.monotonic()
         done = 0
+        cached = 0
         computed = 0
         missing: list[EngineTask] = []
 
@@ -210,9 +211,13 @@ class ExperimentEngine:
                 # Pace of the *computed* tasks only: cached loads are
                 # near-free and would wreck the extrapolation.
                 eta = (elapsed / computed) * (total - done)
+            # Every completion event carries the cached/computed split
+            # (completed == cached + computed), so consumers summing
+            # several streams never double-count pre-dispatch hits.
             self._emit(
                 ProgressEvent.unit(
-                    kind, description, done, total, elapsed, eta
+                    kind, description, done, total, elapsed, eta,
+                    cached=cached, computed=computed,
                 )
             )
 
@@ -221,6 +226,7 @@ class ExperimentEngine:
                 point = self.cache.load(task.cache_key)
                 if point is not None:
                     self.cached_units += 1
+                    cached += 1
                     done += 1
                     emit("cached", task.description)
                     yield task, point
@@ -256,6 +262,8 @@ class ExperimentEngine:
                             description=task.description,
                             completed=done,
                             total=total,
+                            cached=cached,
+                            computed=computed,
                             elapsed_s=time.monotonic() - started,
                         )
                     )

@@ -42,6 +42,14 @@ class ProgressEvent(str):
         Units finished so far (cached + computed) out of the run's
         plan.  ``note`` events carry the counters of the moment they
         were emitted.
+    cached / computed:
+        The split behind ``completed``: units served from the result
+        cache vs. units evaluated this run.  ``completed == cached +
+        computed`` on every completion event, which is what lets a
+        consumer that aggregates *several* streams (the CLI's summary
+        line, the distributed driver's per-host merge) report an
+        honest hit rate instead of double-counting cells that were
+        cache hits before dispatch.
     elapsed_s / eta_s:
         Seconds since the run started, and the remaining-time estimate
         extrapolated from the *computed* units' pace (``None`` while
@@ -53,6 +61,8 @@ class ProgressEvent(str):
     description: str
     completed: int
     total: int
+    cached: int
+    computed: int
     elapsed_s: float
     eta_s: float | None
 
@@ -64,6 +74,8 @@ class ProgressEvent(str):
         description: str,
         completed: int,
         total: int,
+        cached: int = 0,
+        computed: int = 0,
         elapsed_s: float = 0.0,
         eta_s: float | None = None,
     ) -> "ProgressEvent":
@@ -72,6 +84,8 @@ class ProgressEvent(str):
         self.description = description
         self.completed = completed
         self.total = total
+        self.cached = cached
+        self.computed = computed
         self.elapsed_s = elapsed_s
         self.eta_s = eta_s
         return self
@@ -85,6 +99,8 @@ class ProgressEvent(str):
         total: int,
         elapsed_s: float,
         eta_s: float | None = None,
+        cached: int = 0,
+        computed: int = 0,
     ) -> "ProgressEvent":
         """Event for one finished unit, rendered in the classic style.
 
@@ -103,6 +119,8 @@ class ProgressEvent(str):
             description=description,
             completed=completed,
             total=total,
+            cached=cached,
+            computed=computed,
             elapsed_s=elapsed_s,
             eta_s=eta_s,
         )
@@ -110,7 +128,7 @@ class ProgressEvent(str):
     @classmethod
     def note(
         cls, text: str, completed: int = 0, total: int = 0,
-        elapsed_s: float = 0.0,
+        elapsed_s: float = 0.0, cached: int = 0, computed: int = 0,
     ) -> "ProgressEvent":
         """A free-form engine remark (serial fallback, cache stats)."""
         return cls(
@@ -119,6 +137,8 @@ class ProgressEvent(str):
             description=text,
             completed=completed,
             total=total,
+            cached=cached,
+            computed=computed,
             elapsed_s=elapsed_s,
         )
 

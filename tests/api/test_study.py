@@ -312,6 +312,29 @@ class TestStreaming:
         assert kinds.count("computed") == len(study) - 1
         assert resumed[first_cell].point == first_result.point
 
+    def test_progress_splits_cached_from_computed(self, tmp_path):
+        """Satellite: ``completed == cached + computed`` on every event.
+
+        Pre-dispatch cache hits must be reported as *cached*, never
+        folded into the computed count — the invariant that lets
+        multi-stream consumers (the distributed driver's aggregator,
+        the CLI hit-rate line) add counters without double-counting."""
+        study = self._study()
+        cold_events, warm_events = [], []
+        study.run(cache=ResultCache(tmp_path), progress=cold_events.append)
+        study.run(cache=ResultCache(tmp_path), progress=warm_events.append)
+        for events in (cold_events, warm_events):
+            for event in events:
+                assert event.completed == event.cached + event.computed
+        cold_final = [e for e in cold_events if e.kind == "computed"][-1]
+        assert cold_final.computed == len(study) and cold_final.cached == 0
+        warm_units = [
+            e for e in warm_events if e.kind in ("cached", "computed")
+        ]
+        assert [e.kind for e in warm_units] == ["cached"] * len(study)
+        assert warm_units[-1].cached == len(study)
+        assert warm_units[-1].computed == 0
+
     def test_parallel_stream_bit_identical_to_serial(self):
         study = self._study()
         serial = study.run(jobs=1, cache=ResultCache.disabled())

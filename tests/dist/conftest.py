@@ -1,0 +1,49 @@
+"""Shared fixtures for the distributed-execution suite.
+
+Everything runs on one deliberately tiny Study — four cells, two
+routers, a handful of routes — so plans, workers and drivers exercise
+the full protocol (shard files, subprocess workers, bundles, merges)
+in seconds.  Fixtures hand out *fresh* caches per test: distributed
+runs must prove their results against an independent local run, never
+against shared state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Scenario, Study
+from repro.experiments import ResultCache
+
+
+def tiny_study() -> Study:
+    """Four quick cells (2 node counts x 2 seeds), two routers."""
+    base = Scenario(
+        node_count=120,
+        seed=7,
+        networks=1,
+        routes_per_network=3,
+        routers=("GF", "SLGF"),
+    )
+    return Study(base, nodes=(120, 140), seeds=(7, 8))
+
+
+@pytest.fixture
+def study() -> Study:
+    return tiny_study()
+
+
+@pytest.fixture
+def make_study():
+    """The study factory itself, for tests needing fresh instances."""
+    return tiny_study
+
+
+@pytest.fixture
+def cache(tmp_path) -> ResultCache:
+    return ResultCache(tmp_path / "cache_a")
+
+
+@pytest.fixture
+def other_cache(tmp_path) -> ResultCache:
+    return ResultCache(tmp_path / "cache_b")

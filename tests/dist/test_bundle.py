@@ -1,0 +1,161 @@
+"""Bundle round-trip properties: the cache's transport format.
+
+The distributed protocol stands on three bundle properties, each
+pinned here: export→import is an *identity* (entries land in the
+destination cache byte-for-byte), merging is *idempotent* (overlapping
+or re-sent bundles converge to one state), and *foreign* bundles —
+wrong code digest, wrong registry identity, damaged entries — are
+refused or skipped with errors naming the offending bundle.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dist.plan import compile_plan
+from repro.experiments import (
+    BundleError,
+    CacheCorruptionWarning,
+    export_bundle,
+    import_bundle,
+    verify_bundle,
+)
+
+
+@pytest.fixture
+def filled(study, cache):
+    """The tiny study computed into ``cache``; returns (plan, cache)."""
+    plan = compile_plan(study)
+    dict(study.stream(cache=cache))
+    return plan, cache
+
+
+def _entry_texts(cache, keys):
+    return {key: cache.load_text(key) for key in keys}
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", ["bundle_dir", "bundle.tar", "bundle.tgz"])
+    def test_export_import_identity(self, filled, other_cache, tmp_path, name):
+        plan, cache = filled
+        bundle = export_bundle(
+            cache, plan.keys(), tmp_path / name, registry=plan.registry
+        )
+        stats = import_bundle(other_cache, bundle, registry=plan.registry)
+        assert (stats.total, stats.merged, stats.skipped, stats.corrupt) == (
+            len(plan.keys()), len(plan.keys()), 0, 0,
+        )
+        # Identity down to the bytes: the imported entries are exactly
+        # the exported ones — the bit-identical-results guarantee.
+        assert _entry_texts(other_cache, plan.keys()) == _entry_texts(
+            cache, plan.keys()
+        )
+
+    def test_missing_keys_simply_absent(self, filled, tmp_path):
+        plan, cache = filled
+        fake = "f" * 64
+        bundle = export_bundle(
+            cache, [*plan.keys(), fake], tmp_path / "b", registry=plan.registry
+        )
+        manifest, good, problems = verify_bundle(bundle, registry=plan.registry)
+        assert sorted(good) == sorted(plan.keys())
+        assert problems == []
+        assert fake not in manifest["entries"]
+
+    def test_invalid_key_rejected(self, filled, tmp_path):
+        _, cache = filled
+        with pytest.raises(BundleError, match="invalid entry key"):
+            export_bundle(cache, ["../escape"], tmp_path / "b", registry=None)
+
+
+class TestIdempotence:
+    def test_reimport_skips_everything(self, filled, other_cache, tmp_path):
+        plan, cache = filled
+        bundle = export_bundle(
+            cache, plan.keys(), tmp_path / "b", registry=plan.registry
+        )
+        import_bundle(other_cache, bundle, registry=plan.registry)
+        again = import_bundle(other_cache, bundle, registry=plan.registry)
+        assert again.merged == 0
+        assert again.skipped == len(plan.keys())
+
+    def test_overlapping_bundles_converge(self, filled, other_cache, tmp_path):
+        plan, cache = filled
+        keys = list(plan.keys())
+        first = export_bundle(
+            cache, keys[:3], tmp_path / "first", registry=plan.registry
+        )
+        second = export_bundle(
+            cache, keys[1:], tmp_path / "second", registry=plan.registry
+        )
+        a = import_bundle(other_cache, first, registry=plan.registry)
+        b = import_bundle(other_cache, second, registry=plan.registry)
+        assert a.merged == 3
+        assert b.merged == len(keys) - 3
+        assert b.skipped == 2  # the overlap, merged once
+        assert _entry_texts(other_cache, keys) == _entry_texts(cache, keys)
+
+
+def _tamper_manifest(bundle, **overrides):
+    manifest_path = bundle / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest.update(overrides)
+    manifest_path.write_text(json.dumps(manifest, sort_keys=True))
+
+
+class TestRefusals:
+    def test_mismatched_code_digest_refused_and_located(
+        self, filled, other_cache, tmp_path
+    ):
+        plan, cache = filled
+        bundle = export_bundle(
+            cache, plan.keys(), tmp_path / "stale", registry=plan.registry
+        )
+        _tamper_manifest(bundle, code="0" * 64)
+        with pytest.raises(BundleError, match="code digest mismatch") as err:
+            import_bundle(other_cache, bundle, registry=plan.registry)
+        # Located: the message leads with the offending bundle's path.
+        assert str(bundle) in str(err.value)
+        assert not any(other_cache.has(key) for key in plan.keys())
+        # force=True merges anyway (explicitly at-your-own-risk).
+        stats = import_bundle(
+            other_cache, bundle, registry=plan.registry, force=True
+        )
+        assert stats.merged == len(plan.keys())
+
+    def test_mismatched_registry_refused(self, filled, other_cache, tmp_path):
+        plan, cache = filled
+        bundle = export_bundle(
+            cache, plan.keys(), tmp_path / "foreign", registry="f" * 64
+        )
+        with pytest.raises(BundleError, match="registry identity mismatch"):
+            import_bundle(other_cache, bundle, registry=plan.registry)
+
+    def test_not_a_bundle_refused(self, other_cache, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(BundleError, match="no manifest.json"):
+            import_bundle(other_cache, empty)
+        with pytest.raises(BundleError, match="does not exist"):
+            import_bundle(other_cache, tmp_path / "nothing.tar")
+
+    def test_truncated_entry_skipped_with_warning(
+        self, filled, other_cache, tmp_path
+    ):
+        plan, cache = filled
+        bundle = export_bundle(
+            cache, plan.keys(), tmp_path / "hurt", registry=plan.registry
+        )
+        victim = plan.keys()[0]
+        entry = bundle / "entries" / f"{victim}.json"
+        entry.write_text(entry.read_text()[: 40])
+        with pytest.warns(CacheCorruptionWarning, match="digest mismatch"):
+            stats = import_bundle(other_cache, bundle, registry=plan.registry)
+        assert stats.corrupt == 1
+        assert stats.merged == len(plan.keys()) - 1
+        assert not other_cache.has(victim)
+        # The good entries still merged byte-identically.
+        others = [key for key in plan.keys() if key != victim]
+        assert _entry_texts(other_cache, others) == _entry_texts(cache, others)

@@ -1,0 +1,141 @@
+"""Plan compilation: determinism, round-trip, sharding, pruning.
+
+The plan is the driver/worker contract, so these tests pin its
+properties rather than its implementation: compiling twice yields the
+same document, a written plan reads back equal, round-robin sharding
+partitions the units without reordering a shard's view, and pruning
+drops exactly the cached cells while the total stays the full grid.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.api import Scenario, Study
+from repro.api.study import scenario_fingerprint
+from repro.dist.plan import (
+    PlanError,
+    compile_plan,
+    read_plan,
+    shard_plan,
+    write_plan,
+)
+
+_KEY = re.compile(r"^[0-9a-f]{64}$")
+
+
+class TestCompile:
+    def test_one_unit_per_cell_in_plan_order(self, study):
+        plan = compile_plan(study)
+        assert len(plan.units) == len(study) == plan.total
+        assert [unit.index for unit in plan.units] == list(range(len(study)))
+        for (cell, scenario), unit in zip(study.plan(), plan.units):
+            assert unit.scenario == scenario
+            assert unit.label == cell.label()
+            assert _KEY.match(unit.cache_key)
+            assert unit.cache_key == scenario_fingerprint(scenario)
+
+    def test_deterministic_across_compiles(self, study, make_study):
+        first = compile_plan(study).to_dict()
+        second = compile_plan(make_study()).to_dict()
+        assert first == second
+
+    def test_uncacheable_cell_raises_located_error(self):
+        base = Scenario(
+            node_count=120,
+            networks=1,
+            routes_per_network=3,
+            routers=("GF",),
+            # A value with no canonical JSON encoding makes the cell
+            # unfingerprintable — distribution must refuse, not guess.
+            router_options={"GF": {"hook": object()}},
+        )
+        with pytest.raises(PlanError, match="no cacheable identity"):
+            compile_plan(Study(base))
+
+    def test_export_plan_delegates(self, study, tmp_path):
+        plan = study.export_plan()
+        assert plan.to_dict() == compile_plan(study).to_dict()
+        path = study.export_plan(tmp_path / "plan.json")
+        assert read_plan(path).to_dict() == plan.to_dict()
+
+
+class TestRoundTrip:
+    def test_write_read_identity(self, study, tmp_path):
+        plan = compile_plan(study)
+        path = write_plan(plan, tmp_path / "plan.json")
+        loaded = read_plan(path)
+        assert loaded == plan
+
+    def test_rejects_foreign_documents(self, tmp_path):
+        path = tmp_path / "not_a_plan.json"
+        path.write_text(json.dumps({"kind": "something-else"}))
+        with pytest.raises(PlanError, match="not a dist plan"):
+            read_plan(path)
+        path.write_text("{truncated")
+        with pytest.raises(PlanError, match="not valid JSON"):
+            read_plan(path)
+        with pytest.raises(PlanError, match="cannot read"):
+            read_plan(tmp_path / "missing.json")
+
+    def test_rejects_wrong_schema(self, study, tmp_path):
+        data = compile_plan(study).to_dict()
+        data["schema"] = 999
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(PlanError, match="schema"):
+            read_plan(path)
+
+
+class TestSharding:
+    def test_round_robin_partition(self, study):
+        plan = compile_plan(study)
+        shards = shard_plan(plan, 3)
+        assert [shard.shard for shard in shards] == [
+            "shard_0", "shard_1", "shard_2",
+        ]
+        # Partition: every unit exactly once, dealt round-robin.
+        dealt = {unit.index: shard.shard for shard in shards
+                 for unit in shard.units}
+        assert sorted(dealt) == [unit.index for unit in plan.units]
+        for position, unit in enumerate(plan.units):
+            assert dealt[unit.index] == f"shard_{position % 3}"
+        # Shards keep plan order internally and remember the grid size.
+        for shard in shards:
+            indexes = [unit.index for unit in shard.units]
+            assert indexes == sorted(indexes)
+            assert shard.total == plan.total
+            assert shard.code == plan.code
+            assert shard.registry == plan.registry
+
+    def test_more_shards_than_units_drops_empties(self, study):
+        plan = compile_plan(study)
+        shards = shard_plan(plan, 40)
+        assert len(shards) == len(plan.units)
+        assert all(len(shard.units) == 1 for shard in shards)
+
+    def test_invalid_shard_count(self, study):
+        with pytest.raises(ValueError, match="shards must be >= 1"):
+            shard_plan(compile_plan(study), 0)
+
+
+class TestPruning:
+    def test_cached_cells_pruned_total_kept(self, study, cache, make_study):
+        full = compile_plan(study)
+        # Cache exactly one cell the way the engine would (the stream
+        # stores before yielding), then recompile against the cache.
+        stream = study.stream(cache=cache)
+        next(stream)
+        stream.close()
+        partial = compile_plan(make_study(), cache=cache)
+        assert partial.total == full.total
+        assert len(partial.units) == full.total - 1
+        # After a complete run, everything prunes; the total remains
+        # the full grid so progress denominators stay honest.
+        dict(make_study().stream(cache=cache))
+        pruned = compile_plan(make_study(), cache=cache)
+        assert pruned.total == full.total
+        assert len(pruned.units) == 0

@@ -1,0 +1,173 @@
+"""The headless shard worker: evaluate, resume, refuse.
+
+Most tests drive :func:`repro.dist.worker.run_worker` in-process (the
+CLI subcommand is a thin argparse shell over it, covered once by a
+real subprocess); what they pin is the worker *protocol* — exit codes,
+the JSON progress stream, resume-by-skipping, ``--limit`` checkpoints,
+and the identity gates that keep a wrong host from computing results
+that could never merge.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.dist.plan import compile_plan, shard_plan, write_plan
+from repro.dist.worker import (
+    EXIT_INCOMPLETE,
+    EXIT_MISMATCH,
+    EXIT_OK,
+    run_worker,
+)
+from repro.experiments import import_bundle
+from repro.experiments.cache import decode_point
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+@pytest.fixture
+def shard(study, tmp_path):
+    """The tiny study as one two-unit shard plan on disk."""
+    plan = compile_plan(study)
+    sub = shard_plan(plan, 2)[0]
+    return write_plan(sub, tmp_path / "shard_0.json"), sub
+
+
+def _events(capsys):
+    return [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+
+
+class TestEvaluate:
+    def test_full_shard_to_bundle(self, shard, tmp_path, capsys, other_cache):
+        path, sub = shard
+        bundle = tmp_path / "bundle"
+        assert run_worker(path, bundle) == EXIT_OK
+        events = _events(capsys)
+        assert [e["ev"] for e in events] == ["start", "unit", "unit", "done"]
+        assert [e["key"] for e in events if e["ev"] == "unit"] == list(
+            sub.keys()
+        )
+        # Entries decode as PointResults; done.json marks completion.
+        for key in sub.keys():
+            decode_point((bundle / "entries" / f"{key}.json").read_text())
+        marker = json.loads((bundle / "done.json").read_text())
+        assert marker == {"computed": 2, "skipped": 0, "units": 2}
+        stats = import_bundle(other_cache, bundle, registry=sub.registry)
+        assert stats.merged == 2
+
+    def test_rerun_resumes_by_skipping(self, shard, tmp_path, capsys):
+        path, _ = shard
+        bundle = tmp_path / "bundle"
+        assert run_worker(path, bundle) == EXIT_OK
+        capsys.readouterr()
+        assert run_worker(path, bundle) == EXIT_OK
+        events = _events(capsys)
+        kinds = [e["kind"] for e in events if e["ev"] == "unit"]
+        assert kinds == ["cached", "cached"]
+        marker = json.loads((bundle / "done.json").read_text())
+        assert marker == {"computed": 0, "skipped": 2, "units": 2}
+
+    def test_limit_checkpoints_and_resumes(self, shard, tmp_path, capsys):
+        path, sub = shard
+        bundle = tmp_path / "bundle"
+        assert run_worker(path, bundle, limit=1) == EXIT_INCOMPLETE
+        events = _events(capsys)
+        assert events[-1]["ev"] == "limit"
+        assert not (bundle / "done.json").exists()
+        assert (bundle / "entries" / f"{sub.keys()[0]}.json").exists()
+        # Resubmitting finishes from the checkpoint: one cell skipped.
+        assert run_worker(path, bundle) == EXIT_OK
+        kinds = [e["kind"] for e in _events(capsys) if e["ev"] == "unit"]
+        assert kinds == ["cached", "computed"]
+
+    def test_truncated_entry_recomputed_on_resume(
+        self, shard, tmp_path, capsys
+    ):
+        path, sub = shard
+        bundle = tmp_path / "bundle"
+        assert run_worker(path, bundle) == EXIT_OK
+        victim = bundle / "entries" / f"{sub.keys()[1]}.json"
+        original = victim.read_text()
+        victim.write_text(original[: 25])  # a kill mid-write, pre-rename
+        capsys.readouterr()
+        assert run_worker(path, bundle) == EXIT_OK
+        kinds = [e["kind"] for e in _events(capsys) if e["ev"] == "unit"]
+        assert kinds == ["cached", "computed"]
+        assert victim.read_text() == original  # bit-identical recompute
+
+
+class TestIdentityGates:
+    def _tamper(self, path: Path, mutate) -> Path:
+        data = json.loads(path.read_text())
+        mutate(data)
+        path.write_text(json.dumps(data))
+        return path
+
+    def test_wrong_code_digest_refused(self, shard, tmp_path, capsys):
+        path, _ = shard
+        self._tamper(path, lambda d: d.update(code="0" * 64))
+        assert run_worker(path, tmp_path / "bundle") == EXIT_MISMATCH
+        (event,) = _events(capsys)
+        assert event["ev"] == "error"
+        assert "different repro code" in event["detail"]
+        assert not (tmp_path / "bundle").exists()
+
+    def test_wrong_registry_refused(self, shard, tmp_path, capsys):
+        path, _ = shard
+        self._tamper(path, lambda d: d.update(registry="0" * 64))
+        assert run_worker(path, tmp_path / "bundle") == EXIT_MISMATCH
+        (event,) = _events(capsys)
+        assert "different registry" in event["detail"]
+
+    def test_tampered_cache_key_refused(self, shard, tmp_path, capsys):
+        path, _ = shard
+        self._tamper(
+            path,
+            lambda d: d["units"][0].update(cache_key="f" * 64),
+        )
+        assert run_worker(path, tmp_path / "bundle") == EXIT_MISMATCH
+        (event,) = _events(capsys)
+        assert "cache key mismatch" in event["detail"]
+
+    def test_unreadable_plan_fails_plainly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        assert run_worker(bad, tmp_path / "bundle") == 3
+        (event,) = _events(capsys)
+        assert "not valid JSON" in event["detail"]
+
+
+class TestCLI:
+    def test_dist_worker_subcommand(self, shard, tmp_path):
+        path, sub = shard
+        bundle = tmp_path / "bundle"
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "dist-worker",
+                "--plan",
+                str(path),
+                "--bundle",
+                str(bundle),
+                "--quiet",
+            ],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout == ""  # --quiet suppresses the stream
+        assert (bundle / "done.json").exists()
+
+    def test_bad_limit_rejected(self):
+        from repro.dist.worker import main
+
+        with pytest.raises(SystemExit):
+            main(["--plan", "x", "--bundle", "y", "--limit", "-1"])

@@ -1,6 +1,7 @@
 """The result cache: keying, round-tripping, replay without recompute."""
 
 import json
+import warnings as warnings_module
 
 import pytest
 
@@ -18,6 +19,7 @@ from repro.experiments import (
     point_key,
     point_to_dict,
 )
+from repro.experiments import CacheCorruptionWarning
 from repro.experiments.cache import default_cache_root
 from repro.experiments.runner import registry_routers
 
@@ -179,6 +181,45 @@ class TestSweepCaching:
         warm = _sweep("IA", jobs=1, cache=cache)
         assert warm.points == cold.points
         assert warm.points[0] == point
+
+    def test_corrupt_entry_warned_discarded_counted(self, tmp_path):
+        """Detect, warn, discard, recompute — and never warn twice.
+
+        A truncated entry (a writer killed before the atomic rename
+        semantics existed, or plain bit rot) must surface exactly one
+        :class:`CacheCorruptionWarning`, be unlinked so it cannot
+        shadow the recomputation, and show up in the stats line."""
+        cache = ResultCache(tmp_path)
+        point = evaluate_point(TINY, "IA", 250)
+        key = point_key(TINY, "IA", 250, registry_routers())
+        cache.store(key, point)
+        path = cache.path_for(key)
+        path.write_text(json.dumps(point_to_dict(point))[:40])  # truncated
+        with pytest.warns(CacheCorruptionWarning, match="discarding"):
+            assert cache.load(key) is None
+        assert cache.corrupt == 1
+        assert not path.exists()  # discarded, not left to warn again
+        assert "1 corrupt" in cache.stats()
+        # The next load is an ordinary miss: no second warning.
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error", CacheCorruptionWarning)
+            assert cache.load(key) is None
+        # And recomputation repopulates the entry cleanly.
+        cache.store(key, point)
+        assert cache.load(key) == point
+
+    def test_entry_writes_are_atomic(self, tmp_path):
+        """No partial entries: temp file + rename, temp never left behind."""
+        cache = ResultCache(tmp_path)
+        point = evaluate_point(TINY, "IA", 250)
+        key = point_key(TINY, "IA", 250, registry_routers())
+        cache.store(key, point)
+        leftovers = [
+            p for p in tmp_path.rglob("*") if p.name.endswith(".tmp")
+        ]
+        assert leftovers == []
+        # Stored under the final name only, and valid.
+        assert cache.load(key) == point
 
     def test_disabled_cache_writes_nothing(self, tmp_path):
         cache = ResultCache(tmp_path, enabled=False)

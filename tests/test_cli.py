@@ -38,6 +38,29 @@ class TestCli:
         assert code == 0
         assert capsys.readouterr().out.count("FIG6") == 1
 
+    def test_summary_reports_cache_hit_rate(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        # Cold run: everything computed; warm rerun: everything cached
+        # — and the hit-rate line must say so without double-counting.
+        import repro.cli as cli
+        from repro.experiments import ExperimentConfig
+
+        tiny = ExperimentConfig(
+            node_counts=(300,), networks_per_point=1, routes_per_network=3
+        )
+        monkeypatch.setattr(cli, "QUICK_CONFIG", tiny)
+        args = [
+            "--figures", "fig6", "--models", "IA", "--no-chart",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().err
+        assert "[study] 1 cells: 0 cached, 1 computed (0% cache hit rate)" in cold
+        assert main(args) == 0
+        warm = capsys.readouterr().err
+        assert "[study] 1 cells: 1 cached, 0 computed (100% cache hit rate)" in warm
+
     def test_quick_single_panel(self, capsys, monkeypatch, tmp_path):
         # Shrink the quick config further for test speed.
         import repro.cli as cli

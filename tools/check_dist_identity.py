@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Distributed-identity check: sharded == local, even through a kill.
+
+The headline guarantee of :mod:`repro.dist` is that a Study executed
+as shard plans by worker subprocesses, merged back through cache
+bundles, produces a StudyResult **bit-identical** to a plain local
+``Study.run()`` — and that a worker killed mid-shard costs nothing but
+the interrupted cell.  This script is the executable proof CI runs:
+
+1. evaluate a fixed multi-axis study locally into a fresh cache and
+   digest the canonical JSON of its full StudyResult;
+2. compile the same study into a 3-shard plan, start one shard's
+   worker subprocess and ``SIGKILL`` it right after its first cell
+   lands in the bundle — the simulated host failure;
+3. run the full :class:`~repro.dist.driver.LocalSubprocessDriver`
+   fleet over the same work directory, so the killed shard *resumes*
+   its partial bundle (verified: at least one cell is skipped, not
+   recomputed), merge the bundles, assemble the StudyResult;
+4. fail (exit 1) unless both digests are byte-for-byte equal.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/check_dist_identity.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+sys.path.insert(0, str(SRC))
+
+
+def build_study():
+    from repro.api import Scenario, Study
+
+    base = Scenario(
+        node_count=150,
+        networks=1,
+        routes_per_network=6,
+        seed=41,
+        routers=("GF", "SLGF2"),
+    )
+    return Study(base, nodes=(150, 200), seeds=(41, 42, 43))
+
+
+def digest_result(result) -> str:
+    payload = json.dumps(result.to_dicts(), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def kill_one_worker_mid_shard(shard_path: Path, bundle_dir: Path) -> None:
+    """Start a worker on one shard, SIGKILL it after its first cell."""
+    env = dict(os.environ, PYTHONPATH=str(SRC))
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "dist-worker",
+            "--plan",
+            str(shard_path),
+            "--bundle",
+            str(bundle_dir),
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    assert process.stdout is not None
+    killed = False
+    for line in process.stdout:
+        event = json.loads(line)
+        if event.get("ev") == "unit":
+            # The entry for this cell is on disk (entries are written
+            # before the event) — now the "host" dies, mid-shard.
+            process.send_signal(signal.SIGKILL)
+            killed = True
+            break
+    process.wait()
+    if not killed:
+        raise SystemExit(
+            "worker finished before it could be killed — grow the shard"
+        )
+    entries = list((bundle_dir / "entries").glob("*.json"))
+    if not entries:
+        raise SystemExit("killed worker left no entries to resume from")
+    print(
+        f"[check] killed worker on {shard_path.name} after "
+        f"{len(entries)} cell(s); partial bundle left behind"
+    )
+
+
+def main() -> int:
+    from repro.dist import LocalSubprocessDriver, run_study
+    from repro.dist.driver import ShardMonitor, execute_plan
+    from repro.dist.plan import compile_plan, shard_plan, write_plan
+    from repro.experiments import ResultCache
+
+    with tempfile.TemporaryDirectory(prefix="repro_dist_check_") as tmp:
+        tmp = Path(tmp)
+
+        print("[check] local baseline run ...")
+        local = build_study().run(cache=ResultCache(tmp / "local_cache"))
+        local_digest = digest_result(local)
+        print(f"[check] local digest {local_digest[:16]}…")
+
+        dist_cache = ResultCache(tmp / "dist_cache")
+        plan = compile_plan(build_study(), cache=dist_cache)
+        workdir = tmp / "work"
+        shards = shard_plan(plan, 3)
+        shard_paths = [
+            write_plan(sub, workdir / "shards" / f"{sub.shard}.json")
+            for sub in shards
+        ]
+
+        # Simulated host failure on the first shard.
+        kill_one_worker_mid_shard(
+            shard_paths[0], workdir / "bundles" / "shard_0"
+        )
+
+        print("[check] dispatching full fleet (killed shard resumes) ...")
+        monitor = ShardMonitor(
+            progress=lambda event: print(f"  {event}"), total=plan.total
+        )
+        driver = LocalSubprocessDriver(
+            extra_env={"PYTHONPATH": str(SRC)}
+        )
+        execute_plan(
+            plan, driver, dist_cache, shards=3, workdir=workdir,
+            monitor=monitor,
+        )
+
+        done = json.loads(
+            (workdir / "bundles" / "shard_0" / "done.json").read_text()
+        )
+        if done["skipped"] < 1:
+            print(
+                "[check] FAIL: resumed shard recomputed every cell "
+                f"(done.json: {done})"
+            )
+            return 1
+        print(
+            f"[check] shard_0 resumed: {done['skipped']} cell(s) reused, "
+            f"{done['computed']} computed after the kill"
+        )
+
+        dist = build_study().run(cache=dist_cache, progress=None)
+        dist_digest = digest_result(dist)
+        print(f"[check] distributed digest {dist_digest[:16]}…")
+
+        if dist_digest != local_digest:
+            print(
+                "[check] FAIL: distributed result differs from the "
+                f"local run ({dist_digest[:16]}… vs {local_digest[:16]}…)"
+            )
+            return 1
+        print(
+            f"[check] OK: {plan.total} cells bit-identical across "
+            "local and sharded execution, through a worker kill"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
