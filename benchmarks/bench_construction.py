@@ -12,13 +12,24 @@ representative 400-node IA network:
   cost (each boundary edge carries the walk token once).
 
 It also times the centralized constructions, which is the cost a
-simulation user actually pays per generated network.
+simulation user actually pays per generated network — and pins the
+vectorized construction backend's speedup over the scalar reference
+(``test_vectorized_construction_speedup``): the numpy kernels of
+:mod:`repro.network.construct` must keep delivering at least
+``PINNED_VECTOR_SPEEDUP * _TOLERANCE`` on the full columnar pipeline
+(unit-disk build, lengths, both planarizations, safety labels) at
+n=2000, with bit-identity asserted before any timing counts.
 """
 
 from __future__ import annotations
 
+import os
 import random
+import time
 
+import pytest
+
+from repro._optional import load_numpy
 from repro.core import InformationModel, compute_safety, compute_shapes
 from repro.geometry import Rect
 from repro.network import EdgeDetector, UniformDeployment, build_unit_disk_graph
@@ -29,6 +40,14 @@ from repro.protocols import (
 )
 
 _AREA = Rect(0, 0, 200, 200)
+
+# Pinned when the vectorized construction backend landed (measured
+# ~4.4x at n=2000); a run below threshold * _TOLERANCE is a
+# regression.  The ISSUE acceptance floor (>= 3x) sits just below the
+# tolerance band: tripping the band trips the floor.
+PINNED_VECTOR_SPEEDUP = 3.4
+_TOLERANCE = 0.9
+assert PINNED_VECTOR_SPEEDUP * _TOLERANCE >= 3.0
 
 
 def _network(n=400, seed=11, radius=20.0):
@@ -88,6 +107,77 @@ def test_boundhole_construction(benchmark):
     g = _network()
     boundaries = benchmark(build_hole_boundaries, g)
     assert len(boundaries) >= 1  # the outer rim at minimum
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_vectorized_construction_speedup(results_dir):
+    """numpy vs scalar over the full columnar construction pipeline.
+
+    The workload materialises everything a Session's prepared network
+    eventually touches: the unit-disk build, the lengths column, both
+    planarization masks with their adjacency dicts, and the safety
+    labeling.  Identity is asserted column for column before the
+    timing loop — the speedup is only worth pinning because the
+    results are bit-equal.
+    """
+    if load_numpy() is None:
+        pytest.skip("numpy not installed; scalar backend is the only one")
+
+    n, area, radius = 2000, 450.0, 30.0
+    rng = random.Random(7)
+    positions = UniformDeployment(Rect(0, 0, area, area)).sample(n, rng)
+
+    def pipeline(backend):
+        graph = build_unit_disk_graph(positions, radius, backend=backend)
+        core = graph.core
+        core.lengths
+        for kind in ("gabriel", "rng"):
+            core.planar_mask(kind)
+            core.planar_adjacency(kind)
+        return core, compute_safety(graph, backend=backend)
+
+    core_s, safety_s = pipeline("scalar")
+    core_n, safety_n = pipeline("numpy")
+    assert core_s.xs.tobytes() == core_n.xs.tobytes()
+    assert core_s.indptr.tobytes() == core_n.indptr.tobytes()
+    assert core_s.indices.tobytes() == core_n.indices.tobytes()
+    assert core_s.lengths.tobytes() == core_n.lengths.tobytes()
+    for kind in ("gabriel", "rng"):
+        assert bytes(core_s.planar_mask(kind)) == bytes(
+            core_n.planar_mask(kind)
+        )
+        assert core_s.planar_adjacency(kind) == core_n.planar_adjacency(kind)
+    assert safety_s.statuses == safety_n.statuses
+    assert safety_s.rounds == safety_n.rounds
+
+    repeats = 10 if os.environ.get("REPRO_FULL", "") == "1" else 5
+    scalar_s = _best_of(lambda: pipeline("scalar"), repeats)
+    numpy_s = _best_of(lambda: pipeline("numpy"), repeats)
+    speedup = scalar_s / numpy_s if numpy_s else float("inf")
+
+    floor = PINNED_VECTOR_SPEEDUP * _TOLERANCE
+    report = "\n".join(
+        [
+            f"vectorized construction at n={n}, r={radius} "
+            "(build + lengths + planarizations + safety)",
+            f"scalar reference: {1e3 * scalar_s:8.2f} ms",
+            f"numpy backend:    {1e3 * numpy_s:8.2f} ms",
+            f"speedup:          {speedup:8.2f}x "
+            f"(pinned {PINNED_VECTOR_SPEEDUP}x, floor {floor:.2f}x)",
+        ]
+    )
+    (results_dir / "construction_backend.txt").write_text(report + "\n")
+    print()
+    print(report)
+    assert speedup >= floor, report
 
 
 def test_construction_cost_report(benchmark, results_dir):

@@ -138,17 +138,21 @@ class _PreparedNetwork:
         graph: WasnGraph,
         deployment_model: str,
         seed: int,
+        construction_backend: str = "auto",
     ) -> None:
         self.graph = graph
         self.deployment_model = deployment_model
         self.seed = seed
+        self.construction_backend = construction_backend
         self._model: InformationModel | None = None
         self._boundaries = None
 
     @property
     def model(self) -> InformationModel:
         if self._model is None:
-            self._model = InformationModel.build(self.graph)
+            self._model = InformationModel.build(
+                self.graph, backend=self.construction_backend
+            )
         return self._model
 
     @property
@@ -158,7 +162,11 @@ class _PreparedNetwork:
         return self._boundaries
 
 
-def _materialise(scenario: Scenario, network_index: int) -> _PreparedNetwork:
+def _materialise(
+    scenario: Scenario,
+    network_index: int,
+    construction_backend: str = "auto",
+) -> _PreparedNetwork:
     """Build network ``network_index`` of a scenario, deterministically.
 
     Seed derivation and graph construction replicate the legacy
@@ -210,10 +218,14 @@ def _materialise(scenario: Scenario, network_index: int) -> _PreparedNetwork:
         positions,
         scenario.radius,
         edge_detector=EdgeDetector(strategy="convex"),
+        backend=construction_backend,
     )
     _apply_failures(topology, scenario, rng)
     return _PreparedNetwork(
-        topology.graph, scenario.deployment_model, seed
+        topology.graph,
+        scenario.deployment_model,
+        seed,
+        construction_backend=construction_backend,
     )
 
 
@@ -232,10 +244,18 @@ class Session:
         scenario: Scenario | None = None,
         network_index: int = 0,
         registry: RouterRegistry | None = None,
+        construction_backend: str = "auto",
         _instance: "_PreparedNetwork | None" = None,
     ) -> None:
         self.scenario = scenario if scenario is not None else Scenario()
         self.network_index = network_index
+        # How the network materialises (unit-disk build, planarization
+        # masks, safety classification): "auto" vectorizes when numpy
+        # is importable and degrades silently otherwise.  A Session
+        # parameter rather than a Scenario field on purpose — backends
+        # cannot change any value, so they must not perturb Study
+        # cache fingerprints.
+        self.construction_backend = construction_backend
         self._registry = (
             registry if registry is not None else default_registry
         )
@@ -251,6 +271,7 @@ class Session:
         seed: int = 0,
         registry: RouterRegistry | None = None,
         routers: "Mapping[str, Router] | None" = None,
+        construction_backend: str = "auto",
     ) -> "Session":
         """Session over an already-built graph (mobility snapshots,
         externally generated topologies).  The information model and
@@ -267,12 +288,16 @@ class Session:
         """
         scenario = scenario if scenario is not None else Scenario()
         instance = _PreparedNetwork(
-            graph, scenario.deployment_model, seed
+            graph,
+            scenario.deployment_model,
+            seed,
+            construction_backend=construction_backend,
         )
         session = cls(
             scenario,
             network_index=0,
             registry=registry,
+            construction_backend=construction_backend,
             _instance=instance,
         )
         if routers is not None:
@@ -323,6 +348,7 @@ class Session:
             scenario,
             self.network_index,
             registry=self._registry,
+            construction_backend=self.construction_backend,
             _instance=self.instance,
         )
 
@@ -333,7 +359,9 @@ class Session:
         """The prepared network (graph + lazy information bases)."""
         if self._instance_cache is None:
             self._instance_cache = _materialise(
-                self.scenario, self.network_index
+                self.scenario,
+                self.network_index,
+                construction_backend=self.construction_backend,
             )
         return self._instance_cache
 
@@ -563,6 +591,7 @@ class Session:
                 self.scenario,
                 seed=seed + 1 + epoch,
                 registry=self._registry,
+                construction_backend=self.construction_backend,
             )
 
     def _walker_seed(self) -> int:

@@ -35,7 +35,10 @@ class InformationModel:
 
     @classmethod
     def build(
-        cls, graph: WasnGraph, shape_mode: str = "chain"
+        cls,
+        graph: WasnGraph,
+        shape_mode: str = "chain",
+        backend: str = "auto",
     ) -> "InformationModel":
         """Construct the full model for ``graph`` (Definition 1 +
         Algorithm 2).
@@ -44,8 +47,12 @@ class InformationModel:
         the exact greedy-region bounding boxes — the paper's
         future-work item on "more accurate information for unsafe
         areas" (see :func:`repro.core.shape.compute_shapes`).
+
+        ``backend`` is forwarded to :func:`~repro.core.safety.compute_safety`
+        (vectorized quadrant classification); it cannot change any
+        value in the model.
         """
-        safety = compute_safety(graph)
+        safety = compute_safety(graph, backend=backend)
         shapes = compute_shapes(safety, mode=shape_mode)
         return cls(
             graph=graph,

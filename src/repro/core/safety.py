@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.zones import ZONE_TYPES, ZoneType, forwarding_zone_contains
+from repro.network import construct as _construct
 from repro.network.graph import WasnGraph
 from repro.network.node import NodeId
 
@@ -132,7 +133,7 @@ class SafetyModel:
         return safe / len(self.statuses)
 
 
-def _quadrant_tables(graph: WasnGraph):
+def _quadrant_tables(graph: WasnGraph, np=None):
     """Per-type quadrant membership, forward and reverse.
 
     ``forward[i-1][u]`` holds the neighbours of ``u`` inside the
@@ -140,18 +141,31 @@ def _quadrant_tables(graph: WasnGraph):
     ``reverse[i-1][v]`` the nodes whose ``Q_i`` contains ``v``.  The
     sweep runs on the graph's columnar core — one coordinate-difference
     per directed edge classifies all four quadrants at once — and
-    falls back to the object API for graphs without a core.  Either
-    path yields identical tables.
+    falls back to the object API for graphs without a core.  With
+    ``np`` (the resolved numpy module) the classification runs as the
+    vectorized kernel of :mod:`repro.network.construct` instead of the
+    per-edge branch loop.  Every path yields identical tables (the
+    cross-backend differential suite pins the numpy kernel against
+    this scalar sweep).
     """
     node_ids = graph.node_ids
-    forward: list[dict[NodeId, tuple[NodeId, ...]]] = [{} for _ in ZONE_TYPES]
-    reverse: list[dict[NodeId, list[NodeId]]] = [
-        {u: [] for u in node_ids} for _ in ZONE_TYPES
-    ]
     try:
         core = graph.core
     except ValueError:
         core = None
+    if core is not None and np is not None:
+        return _construct.quadrant_tables(
+            np,
+            core.ids,
+            np.frombuffer(core.xs, dtype=np.float64),
+            np.frombuffer(core.ys, dtype=np.float64),
+            np.frombuffer(core.indptr, dtype=np.int64),
+            np.frombuffer(core.indices, dtype=np.int64),
+        )
+    forward: list[dict[NodeId, tuple[NodeId, ...]]] = [{} for _ in ZONE_TYPES]
+    reverse: list[dict[NodeId, list[NodeId]]] = [
+        {u: [] for u in node_ids} for _ in ZONE_TYPES
+    ]
     if core is not None:
         xs, ys = core.coords_by_id()
         rows = core.rows_by_id()
@@ -212,7 +226,7 @@ def _quadrant_tables(graph: WasnGraph):
     return forward, reverse
 
 
-def compute_safety(graph: WasnGraph) -> SafetyModel:
+def compute_safety(graph: WasnGraph, backend: str = "auto") -> SafetyModel:
     """Run the labeling process of Definition 1 to its fixed point.
 
     Edge nodes (``graph.is_edge_node``) are pinned to (1, 1, 1, 1);
@@ -224,8 +238,47 @@ def compute_safety(graph: WasnGraph) -> SafetyModel:
     ``rounds`` reports how many synchronous rounds the equivalent
     round-based process would need (the longest propagation chain),
     which the construction-cost benchmarks compare against BOUNDHOLE.
+
+    ``backend`` selects the implementation: ``"numpy"`` runs both the
+    quadrant classification *and* the synchronous fixed-point
+    iteration as the vectorized kernel
+    :func:`repro.network.construct.safety_labels` (raising
+    :class:`~repro._optional.MissingDependencyError` without numpy),
+    ``"auto"`` (default) does so when numpy is importable and silently
+    falls back otherwise, ``"scalar"`` forces the per-edge reference
+    sweep and the worklist below.  Graphs without a columnar core
+    always use the reference path.  Statuses and the round count are
+    identical across backends — the sign tests of the classification
+    carry no rounding and the worklist's round-``k`` frontier *is* the
+    synchronous round-``k`` flip set — and the cross-backend
+    differential suite pins both.
     """
+    np = _construct.resolve_backend(
+        backend, "compute_safety(backend='numpy')"
+    )
     node_ids = graph.node_ids
+    if np is not None:
+        try:
+            core = graph.core
+        except ValueError:
+            core = None
+        if core is not None:
+            columns, rounds = _construct.safety_labels(
+                np,
+                np.frombuffer(core.xs, dtype=np.float64),
+                np.frombuffer(core.ys, dtype=np.float64),
+                np.frombuffer(core.indptr, dtype=np.int64),
+                np.frombuffer(core.indices, dtype=np.int64),
+                core.edge_flags,
+            )
+            c1, c2, c3, c4 = columns
+            statuses = {
+                u: (c1[i], c2[i], c3[i], c4[i])
+                for i, u in enumerate(node_ids)
+            }
+            return SafetyModel(
+                graph=graph, statuses=statuses, rounds=rounds
+            )
     # status[i-1][u] — mutable working state per type.
     status: list[dict[NodeId, bool]] = [
         {u: True for u in node_ids} for _ in ZONE_TYPES
@@ -234,7 +287,7 @@ def compute_safety(graph: WasnGraph) -> SafetyModel:
     # Precompute quadrant neighbour lists once per type: the labeling
     # only ever asks "which neighbours of u lie in Q_i(u)" and the
     # reverse "which nodes have u in their Q_i".
-    quadrant_neighbors, reverse_quadrant = _quadrant_tables(graph)
+    quadrant_neighbors, reverse_quadrant = _quadrant_tables(graph, np=np)
 
     total_rounds = 0
     for index, zone_type in enumerate(ZONE_TYPES):

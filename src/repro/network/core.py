@@ -41,6 +41,7 @@ from typing import Iterable, Mapping, Sequence
 
 from repro._optional import require_numpy
 from repro.geometry import Point
+from repro.network import construct as _construct
 from repro.network.node import NodeId
 
 __all__ = ["CoreArrays", "TopologyCore", "build_core"]
@@ -96,6 +97,8 @@ class TopologyCore:
         "_rows_by_id",
         "_flags_by_id",
         "_ndarrays",
+        "_edge_count",
+        "_backend",
     )
 
     def __init__(
@@ -107,9 +110,15 @@ class TopologyCore:
         edge_flags: tuple[bool, ...],
         rows: tuple[tuple[NodeId, ...], ...],
         planar_cache: dict | None = None,
+        backend: str = "auto",
     ) -> None:
         if radius <= 0:
             raise ValueError("communication radius must be positive")
+        if backend not in _construct.BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; "
+                "expected 'auto', 'scalar' or 'numpy'"
+            )
         n = len(ids)
         if not (len(xs) == len(ys) == len(edge_flags) == len(rows) == n):
             raise ValueError("column lengths disagree")
@@ -133,6 +142,11 @@ class TopologyCore:
         self._rows_by_id: list | None = None
         self._flags_by_id: list | None = None
         self._ndarrays = None
+        self._edge_count: int | None = None
+        # Lazy-column backend preference ("auto"/"scalar"/"numpy"),
+        # re-resolved at every use per repro._optional's no-caching
+        # rule — a core built before numpy was blocked degrades too.
+        self._backend = backend
 
     # -- construction ---------------------------------------------------
 
@@ -144,20 +158,22 @@ class TopologyCore:
         radius: float,
         rows: Sequence[tuple[NodeId, ...]],
         edge_ids: Iterable[NodeId] = (),
+        backend: str = "auto",
     ) -> "TopologyCore":
         """Adopt sorted per-node neighbour tuples (ids ascending).
 
         This is how dict-built graphs and dynamic-topology snapshots
         become cores: the row tuples are shared, not copied, so a
         snapshot whose rows mostly survived the last delta reuses the
-        unchanged slices.
+        unchanged slices.  ``backend`` sets the lazy-column preference
+        (CSR assembly, lengths, planarizations) — see :func:`build_core`.
         """
         ids = tuple(ids)
         xs = array("d", [positions[u].x for u in ids])
         ys = array("d", [positions[u].y for u in ids])
         edge_set = set(edge_ids)
         flags = tuple(u in edge_set for u in ids)
-        return cls(ids, xs, ys, radius, flags, tuple(rows))
+        return cls(ids, xs, ys, radius, flags, tuple(rows), backend=backend)
 
     def with_edge_flags(self, edge_ids: Iterable[NodeId]) -> "TopologyCore":
         """A core sharing all structure, with edge flags replaced.
@@ -175,6 +191,7 @@ class TopologyCore:
             flags,
             self._rows,
             planar_cache=self._planar,
+            backend=self._backend,
         )
 
     # -- scalar facts ---------------------------------------------------
@@ -258,6 +275,17 @@ class TopologyCore:
         return self._indices
 
     def _build_csr(self) -> None:
+        if not self._dense:
+            # Sparse ids need an id -> index translation per edge; the
+            # numpy path does it as one searchsorted over the id column.
+            np = _construct.resolve_backend(
+                self._backend, "TopologyCore CSR assembly (backend='numpy')"
+            )
+            if np is not None:
+                self._indptr, self._indices = _construct.csr_from_rows(
+                    np, self._ids, self._rows
+                )
+                return
         indptr = array("q", [0])
         indices = array("q")
         if self._dense:
@@ -265,8 +293,10 @@ class TopologyCore:
                 indices.extend(row)
                 indptr.append(len(indices))
         else:
-            index_of = {u: i for i, u in enumerate(self._ids)}
-            self._index_of = index_of
+            index_of = self._index_of
+            if index_of is None:
+                index_of = {u: i for i, u in enumerate(self._ids)}
+                self._index_of = index_of
             for row in self._rows:
                 indices.extend([index_of[v] for v in row])
                 indptr.append(len(indices))
@@ -284,6 +314,18 @@ class TopologyCore:
         if self._lengths is None:
             xs, ys = self._xs, self._ys
             indptr, indices = self.indptr, self.indices
+            np = _construct.resolve_backend(
+                self._backend, "TopologyCore.lengths (backend='numpy')"
+            )
+            if np is not None and len(indices):
+                self._lengths = _construct.lengths_from_csr(
+                    np,
+                    np.frombuffer(xs, dtype=np.float64),
+                    np.frombuffer(ys, dtype=np.float64),
+                    np.frombuffer(indptr, dtype=np.int64),
+                    np.frombuffer(indices, dtype=np.int64),
+                )
+                return self._lengths
             hyp = math.hypot
             lengths = array("d", bytes(8 * len(indices)))
             for i in range(len(self._ids)):
@@ -296,7 +338,9 @@ class TopologyCore:
         return self._lengths
 
     def edge_count(self) -> int:
-        return sum(len(row) for row in self._rows) // 2
+        if self._edge_count is None:
+            self._edge_count = sum(len(row) for row in self._rows) // 2
+        return self._edge_count
 
     # -- by-id views (what the batched executors iterate) ---------------
 
@@ -417,9 +461,34 @@ class TopologyCore:
                 f"unknown planarization {kind!r}; "
                 f"expected one of {sorted(_PLANAR_KINDS)}"
             )
-        mask = (
-            self._gabriel_mask() if kind == "gabriel" else self._rng_mask()
+        np = _construct.resolve_backend(
+            self._backend, f"planar_mask({kind!r}) (backend='numpy')"
         )
+        if np is not None:
+            xs, ys = self._xs, self._ys
+            indptr, indices = self.indptr, self.indices
+            scalar_edge = (
+                _gabriel_edge_keep if kind == "gabriel" else _rng_edge_keep
+            )
+            aindptr = np.frombuffer(indptr, dtype=np.int64)
+            aindices = np.frombuffer(indices, dtype=np.int64)
+            mask = _construct.planar_mask(
+                np,
+                kind,
+                np.frombuffer(xs, dtype=np.float64),
+                np.frombuffer(ys, dtype=np.float64),
+                aindptr,
+                aindices,
+                _PLANAR_EPS,
+                lambda i, v: scalar_edge(xs, ys, indptr, indices, i, v),
+            )
+            kept = _construct.masked_adjacency(
+                np, self._ids, aindptr, aindices, mask
+            )
+            result = (mask, kept)
+            self._planar[kind] = result
+            return result
+        mask = self._gabriel_mask() if kind == "gabriel" else self._rng_mask()
         ids = self._ids
         rows = self._rows
         kept: dict[NodeId, tuple[NodeId, ...]] = {}
@@ -546,10 +615,66 @@ def _mirror(
     return j
 
 
+def _gabriel_edge_keep(
+    xs: array, ys: array, indptr: array, indices: array, i: int, v: int
+) -> bool:
+    """The scalar Gabriel verdict for one edge (i, v) — the defect
+    target of the vectorized mask kernel.  Must mirror the loop body
+    of :meth:`TopologyCore._gabriel_mask` expression for expression
+    (the eps-boundary differential tests pin the two together)."""
+    eps = _PLANAR_EPS
+    xi = xs[i]
+    yi = ys[i]
+    cx = (xi + xs[v]) / 2.0
+    cy = (yi + ys[v]) / 2.0
+    dx = cx - xi
+    dy = cy - yi
+    bound = dx * dx + dy * dy + eps
+    for k in range(indptr[i], indptr[i + 1]):
+        w = indices[k]
+        if w == v:
+            continue
+        wx = xs[w] - cx
+        wy = ys[w] - cy
+        if wx * wx + wy * wy <= bound:
+            return False
+    return True
+
+
+def _rng_edge_keep(
+    xs: array, ys: array, indptr: array, indices: array, i: int, v: int
+) -> bool:
+    """The scalar RNG verdict for one edge (i, v) — the defect target
+    of the vectorized mask kernel; mirrors
+    :meth:`TopologyCore._rng_mask` expression for expression."""
+    eps = _PLANAR_EPS
+    xi = xs[i]
+    yi = ys[i]
+    xv = xs[v]
+    yv = ys[v]
+    dx = xi - xv
+    dy = yi - yv
+    bound = dx * dx + dy * dy - eps
+    for k in range(indptr[i], indptr[i + 1]):
+        w = indices[k]
+        if w == v:
+            continue
+        ux = xs[w] - xi
+        uy = ys[w] - yi
+        if ux * ux + uy * uy >= bound:
+            continue
+        vx = xs[w] - xv
+        vy = ys[w] - yv
+        if vx * vx + vy * vy < bound:
+            return False
+    return True
+
+
 def build_core(
     positions: Sequence[Point],
     radius: float,
     edge_ids: Iterable[NodeId] = (),
+    backend: str = "auto",
 ) -> TopologyCore:
     """Bulk unit-disk construction straight into columnar form.
 
@@ -559,9 +684,35 @@ def build_core(
     pipeline produced, pair for pair, but enumerated with a single
     half-neighbourhood sweep over the grid cells and no intermediate
     ``Point`` objects.
+
+    ``backend`` selects the construction implementation (and the
+    core's lazy-column preference for lengths, CSR and planarization
+    masks): ``"numpy"`` runs the grid binning, pair filtering and CSR
+    assembly as array ops (:mod:`repro.network.construct`) and raises
+    :class:`~repro._optional.MissingDependencyError` without numpy;
+    ``"auto"`` (default) does the same when numpy is importable and
+    silently falls back to the scalar sweep otherwise; ``"scalar"``
+    forces the reference path.  All three produce bit-identical cores
+    (the cross-backend differential suite pins every column).
     """
     if radius <= 0:
         raise ValueError("communication radius must be positive")
+    np = _construct.resolve_backend(backend, "build_core(backend='numpy')")
+    if np is not None:
+        n = len(positions)
+        xs, ys, rows, indptr, indices = _construct.build_columns(
+            np, positions, radius
+        )
+        edge_set = set(edge_ids)
+        flags = tuple(i in edge_set for i in range(n))
+        core = TopologyCore(
+            tuple(range(n)), xs, ys, radius, flags, rows, backend=backend
+        )
+        # The CSR fell out of the vectorized build; install it rather
+        # than re-deriving it lazily from the rows.
+        core._indptr = indptr
+        core._indices = indices
+        return core
     n = len(positions)
     xs = array("d", bytes(8 * n))
     ys = array("d", bytes(8 * n))
@@ -623,5 +774,5 @@ def build_core(
     edge_set = set(edge_ids)
     flags = tuple(i in edge_set for i in range(n))
     return TopologyCore(
-        tuple(range(n)), xs, ys, radius, flags, tuple(rows)
+        tuple(range(n)), xs, ys, radius, flags, tuple(rows), backend=backend
     )

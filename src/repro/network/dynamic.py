@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.geometry import Point, Rect
+from repro.network import construct as _construct
 from repro.network.edges import EdgeDetector
 from repro.network.graph import WasnGraph
 from repro.network.node import Node, NodeId
@@ -158,6 +159,7 @@ class DynamicTopology:
         radius: float,
         edge_detector: EdgeDetector | None = None,
         area: Rect | None = None,
+        backend: str = "auto",
     ):
         if radius <= 0:
             raise ValueError("communication radius must be positive")
@@ -174,15 +176,45 @@ class DynamicTopology:
         self._down: set[NodeId] = set()
         self._grid = SpatialGrid(cell_size=radius)
         self._grid.bulk_insert(items)
-        self._neighbors: dict[NodeId, set[NodeId]] = {
-            key: set() for key, _ in items
-        }
-        for a, b in self._grid.all_pairs_within(radius):
-            self._neighbors[a].add(b)
-            self._neighbors[b].add(a)
         # Per-node caches reused across snapshots; entries drop the
         # moment the node's adjacency / position / edge flag changes.
         self._sorted: dict[NodeId, tuple[NodeId, ...]] = {}
+        np = _construct.resolve_backend(
+            backend, "DynamicTopology(backend='numpy')"
+        )
+        if np is not None and len(items) > 1:
+            # The initial bulk neighbour pass as array ops — the same
+            # closed-ball edge set the grid sweep below produces (the
+            # kernel re-decides threshold-adjacent pairs with the
+            # scalar test, so the sets are identical).  Rows arrive
+            # sorted, which also seeds the snapshot tuple cache.
+            self._neighbors = {}
+            keys = [key for key, _ in items]
+            axs = np.fromiter(
+                (p.x for _, p in items), dtype=np.float64, count=len(items)
+            )
+            ays = np.fromiter(
+                (p.y for _, p in items), dtype=np.float64, count=len(items)
+            )
+            a, b = _construct.unit_disk_pairs(np, axs, ays, radius)
+            ids_arr = np.asarray(keys, dtype=np.int64)
+            src = np.concatenate((a, b))
+            dst = np.concatenate((b, a))
+            order = np.lexsort((dst, src))
+            flat_ids = ids_arr[dst[order]].tolist()
+            counts = np.bincount(src, minlength=len(items))
+            offs = np.zeros(len(items) + 1, dtype=np.int64)
+            np.cumsum(counts, out=offs[1:])
+            offs_l = offs.tolist()
+            for i, key in enumerate(keys):
+                row = flat_ids[offs_l[i] : offs_l[i + 1]]
+                self._neighbors[key] = set(row)
+                self._sorted[key] = tuple(row)
+        else:
+            self._neighbors = {key: set() for key, _ in items}
+            for a, b in self._grid.all_pairs_within(radius):
+                self._neighbors[a].add(b)
+                self._neighbors[b].add(a)
         self._node_cache: dict[NodeId, Node] = {}
         self._edge_ids: set[NodeId] = set()
         self._snapshot: WasnGraph | None = None
@@ -194,6 +226,7 @@ class DynamicTopology:
         graph: WasnGraph,
         edge_detector: EdgeDetector | None = None,
         area: Rect | None = None,
+        backend: str = "auto",
     ) -> "DynamicTopology":
         """Adopt an existing unit-disk graph (ids and flags preserved).
 
@@ -209,6 +242,7 @@ class DynamicTopology:
             graph.radius,
             edge_detector=edge_detector,
             area=area,
+            backend=backend,
         )
         topo._edge_ids = {
             u for u in graph.node_ids if graph.is_edge_node(u)

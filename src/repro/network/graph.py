@@ -362,6 +362,7 @@ def build_unit_disk_graph(
     positions: Sequence[Point],
     radius: float,
     edge_ids: Iterable[NodeId] = (),
+    backend: str = "auto",
 ) -> WasnGraph:
     """Construct the unit-disk graph over ``positions``.
 
@@ -373,5 +374,13 @@ def build_unit_disk_graph(
     pass, no intermediate ``Point``/dict churn); the returned graph is
     the lazy object view over it, bit-identical to the historical
     dict-pipeline product.
+
+    ``backend`` (``"auto"`` | ``"scalar"`` | ``"numpy"``) picks the
+    construction implementation — see
+    :func:`repro.network.core.build_core`.  ``"auto"`` vectorizes when
+    numpy is importable and degrades silently otherwise; the result is
+    bit-identical either way.
     """
-    return WasnGraph.from_core(build_core(positions, radius, edge_ids))
+    return WasnGraph.from_core(
+        build_core(positions, radius, edge_ids, backend=backend)
+    )
